@@ -1,0 +1,83 @@
+// Auxiliary-network scaling study: how DeHIN's precision and candidate-set
+// sizes depend on the size of the adversary's crawl. The paper runs one
+// point (2,320,895 users); this sweep substantiates EXPERIMENTS.md's
+// residual-gap analysis — profile-only candidate sets grow linearly with
+// the auxiliary, pushing distance-0 precision down toward the paper's
+// values, while distance-1+ precision degrades only mildly because
+// neighborhood constraints keep binding.
+
+#include <iostream>
+#include <vector>
+
+#include "anon/kdd_anonymizer.h"
+#include "bench/bench_common.h"
+#include "eval/parallel_metrics.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace hinpriv;
+  util::FlagParser flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Define("density", "0.01", "target density");
+  flags.Define("scales", "10000,25000,50000,100000,200000",
+               "comma-separated auxiliary sizes to sweep");
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+
+  std::vector<size_t> scales;
+  const std::string scales_flag = flags.GetString("scales");
+  for (const auto& field : util::Split(scales_flag, ',')) {
+    auto parsed = util::ParseUint64(util::Trim(field));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --scales entry: %s\n",
+                   std::string(field).c_str());
+      return 2;
+    }
+    scales.push_back(parsed.value());
+  }
+
+  const double density = flags.GetDouble("density");
+  std::printf("Auxiliary scaling at density %.3f (paper point: 2,320,895 "
+              "users)\n\n",
+              density);
+  util::TablePrinter table({"aux users", "n=0 prec%", "n=0 candidates",
+                            "n=1 prec%", "n=1 candidates", "n=2 prec%"});
+
+  anon::KddAnonymizer anonymizer;
+  for (size_t scale : scales) {
+    synth::TqqConfig config = bench::AuxConfigFromFlags(flags);
+    config.num_users = scale;
+    util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+    auto dataset = eval::BuildExperimentDataset(
+        config, bench::TargetSpecFromFlags(flags, density),
+        synth::GrowthConfig{}, anonymizer, /*strip_majority=*/false, &rng);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "dataset failed at scale %zu: %s\n", scale,
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    core::Dehin dehin(&dataset.value().auxiliary, bench::AttackConfig(false));
+    const auto d0 = eval::EvaluateAttackParallel(
+        dehin, dataset.value().target, dataset.value().ground_truth, 0);
+    const auto d1 = eval::EvaluateAttackParallel(
+        dehin, dataset.value().target, dataset.value().ground_truth, 1);
+    const auto d2 = eval::EvaluateAttackParallel(
+        dehin, dataset.value().target, dataset.value().ground_truth, 2);
+    table.AddRow({std::to_string(scale), bench::Pct(d0.precision),
+                  util::FormatDouble(d0.mean_candidate_count, 1),
+                  bench::Pct(d1.precision),
+                  util::FormatDouble(d1.mean_candidate_count, 1),
+                  bench::Pct(d2.precision)});
+  }
+  if (flags.GetBool("tsv")) {
+    table.PrintTsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::printf("\nExpected shape: distance-0 candidate sets grow linearly "
+              "with the auxiliary (precision falls toward the paper's 5.4%% "
+              "at 2.3M users); distance-1+ precision stays high because "
+              "typed-neighborhood constraints scale with the target, not "
+              "the auxiliary.\n");
+  return 0;
+}

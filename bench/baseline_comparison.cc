@@ -1,0 +1,139 @@
+// Compares DeHIN against the seed-and-propagate baseline (Narayanan &
+// Shmatikov, S&P'09 style — Section 2.2 of the paper) on identical
+// datasets. The paper's argument for DeHIN: it needs no out-of-band seed
+// mappings and no large-scale detectable structures. This bench quantifies
+// that — propagation precision is reported for several seed budgets, on
+// targets whose largest clique has size <= 3 (checked), exactly the
+// setting the paper says seed-based attacks struggle with.
+
+#include <algorithm>
+#include <iostream>
+
+#include "anon/kdd_anonymizer.h"
+#include "baselines/clique_seeds.h"
+#include "baselines/propagation_attack.h"
+#include "bench/bench_common.h"
+#include "eval/parallel_metrics.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace hinpriv {
+namespace {
+
+// Precision over all non-seed target users: a propagation mapping is
+// correct iff it equals the ground truth (unmapped counts as a miss, like
+// a non-unique DeHIN candidate set).
+double PropagationPrecision(const baselines::PropagationResult& result,
+                            const std::vector<hin::VertexId>& ground_truth,
+                            size_t num_seeds) {
+  size_t correct = 0;
+  for (hin::VertexId v = num_seeds; v < result.mapping.size(); ++v) {
+    if (result.mapping[v] == ground_truth[v]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(result.mapping.size() - num_seeds);
+}
+
+}  // namespace
+}  // namespace hinpriv
+
+int main(int argc, char** argv) {
+  using namespace hinpriv;
+  util::FlagParser flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Define("density", "0.01", "target density");
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  anon::KddAnonymizer anonymizer;
+  auto dataset = eval::BuildExperimentDataset(
+      bench::AuxConfigFromFlags(flags),
+      bench::TargetSpecFromFlags(flags, flags.GetDouble("density")),
+      synth::GrowthConfig{}, anonymizer, /*strip_majority=*/false, &rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const auto& d = dataset.value();
+
+  std::printf("Attack comparison at density %.3f (%zu aux users)\n\n",
+              d.target_density, d.auxiliary.num_vertices());
+  util::TablePrinter table(
+      {"attack", "seeds", "precision%", "notes"});
+
+  // DeHIN: no seeds, profile + neighborhood matching.
+  core::Dehin dehin(&d.auxiliary, bench::AttackConfig(false));
+  for (int n : {0, 1, 2}) {
+    const auto metrics =
+        eval::EvaluateAttackParallel(dehin, d.target, d.ground_truth, n);
+    table.AddRow({"DeHIN n=" + std::to_string(n), "0",
+                  bench::Pct(metrics.precision), "no seeds needed"});
+  }
+
+  // Propagation baseline with growing seed budgets (ground-truth seeds —
+  // the most generous assumption for the baseline).
+  for (size_t seeds : {5u, 20u, 50u, 100u}) {
+    std::vector<std::pair<hin::VertexId, hin::VertexId>> seed_pairs;
+    for (hin::VertexId v = 0; v < seeds; ++v) {
+      seed_pairs.emplace_back(v, d.ground_truth[v]);
+    }
+    auto result = baselines::RunPropagationAttack(d.target, d.auxiliary,
+                                                  seed_pairs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "propagation failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const double precision =
+        PropagationPrecision(result.value(), d.ground_truth, seeds);
+    table.AddRow({"propagation", std::to_string(seeds),
+                  bench::Pct(precision),
+                  std::to_string(result.value().num_mapped - seeds) +
+                      " mapped in " +
+                      std::to_string(result.value().iterations_run) +
+                      " passes"});
+  }
+  // Fully end-to-end baseline: the adversary discovers its own seeds by
+  // matching small cliques between the graphs (NS09 style). The paper's
+  // critique is that such structures cannot be detected reliably; the row
+  // below shows how few usable seeds survive.
+  {
+    auto seeds = baselines::GenerateCliqueSeeds(d.target, d.auxiliary);
+    if (!seeds.ok()) {
+      std::fprintf(stderr, "clique seeding failed: %s\n",
+                   seeds.status().ToString().c_str());
+      return 1;
+    }
+    size_t correct_seeds = 0;
+    for (const auto& [vt, va] : seeds.value().seeds) {
+      if (d.ground_truth[vt] == va) ++correct_seeds;
+    }
+    auto result = baselines::RunPropagationAttack(d.target, d.auxiliary,
+                                                  seeds.value().seeds);
+    double precision = 0.0;
+    if (result.ok() && !result.value().mapping.empty()) {
+      size_t correct = 0;
+      for (hin::VertexId v = 0; v < result.value().mapping.size(); ++v) {
+        if (result.value().mapping[v] == d.ground_truth[v]) ++correct;
+      }
+      precision = static_cast<double>(correct) /
+                  static_cast<double>(result.value().mapping.size());
+    }
+    table.AddRow({"propagation + clique seeds",
+                  std::to_string(seeds.value().seeds.size()),
+                  bench::Pct(precision),
+                  std::to_string(correct_seeds) + " of " +
+                      std::to_string(seeds.value().seeds.size()) +
+                      " discovered seeds correct"});
+  }
+
+  table.Print(std::cout);
+  std::printf("\nExpected shape: DeHIN at n>=1 dominates the seed-based "
+              "baseline even when the baseline is handed ground-truth "
+              "seeds, and the fully end-to-end variant (clique-discovered "
+              "seeds) collapses because the degree signatures drift between "
+              "the snapshot and the grown auxiliary — the paper's argument "
+              "for attacks that need no seeds (Sections 1.3 / 2.2).\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#ifndef HINPRIV_BENCH_BENCH_COMMON_H_
+#define HINPRIV_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the table/figure reproduction binaries. Each binary
+// regenerates one table or figure of the paper's Section 6 on the synthetic
+// t.qq substrate (see DESIGN.md for the substitution rationale): it prints
+// the measured values next to the paper's published numbers so the *shape*
+// comparison is immediate. Absolute values are not expected to match — the
+// auxiliary network here is synthetic and (by default) smaller than the
+// 2.3M-user original; pass --aux_users to scale up.
+
+#include <cstdio>
+#include <string>
+
+#include "core/dehin.h"
+#include "core/matchers.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace hinpriv::bench {
+
+// Registers the flags every experiment binary shares.
+inline void DefineCommonFlags(util::FlagParser* flags) {
+  flags->Define("aux_users", "50000",
+                "users in the base/auxiliary network (paper: 2,320,895)");
+  flags->Define("target_size", "1000",
+                "users per published target graph (paper: 1000)");
+  flags->Define("seed", "20140324", "rng seed (EDBT 2014 opening day)");
+  flags->Define("tsv", "false", "emit tab-separated output for plotting");
+}
+
+// Parses argv; on --help or error prints and exits.
+inline void ParseFlagsOrDie(util::FlagParser* flags, int argc, char** argv) {
+  const util::Status status = flags->Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags->Usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  if (flags->help_requested()) {
+    std::printf("%s", flags->Usage(argv[0]).c_str());
+    std::exit(0);
+  }
+}
+
+inline synth::TqqConfig AuxConfigFromFlags(const util::FlagParser& flags) {
+  synth::TqqConfig config;
+  config.num_users = static_cast<size_t>(flags.GetInt("aux_users"));
+  return config;
+}
+
+inline synth::PlantedTargetSpec TargetSpecFromFlags(
+    const util::FlagParser& flags, double density) {
+  synth::PlantedTargetSpec spec;
+  spec.target_size = static_cast<size_t>(flags.GetInt("target_size"));
+  spec.density = density;
+  return spec;
+}
+
+// The attack configuration of Section 6: growth-aware t.qq matchers; the
+// reconfigured variant (Section 6.2) adds the saturation fallback and is
+// paired with majority-strength stripping by the caller.
+inline core::DehinConfig AttackConfig(bool reconfigured) {
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  if (reconfigured) config.saturation_fraction = 0.5;
+  return config;
+}
+
+// Percent formatting used throughout the paper's tables.
+inline std::string Pct(double fraction, int decimals = 1) {
+  return util::FormatDouble(fraction * 100.0, decimals);
+}
+
+}  // namespace hinpriv::bench
+
+#endif  // HINPRIV_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,91 @@
+// Reproduces Figure 8 (a)-(j): DeHIN precision against the three published
+// anonymizations — the original KDD Cup anonymization (KDDA), Complete
+// Graph Anonymity (CGA, attacked with the reconfigured DeHIN), and Varying
+// Weight Complete Graph Anonymity (VW-CGA) — for each density 0.001..0.01
+// across max distances 0..3.
+
+#include <array>
+#include <iostream>
+#include <memory>
+
+#include "anon/complete_graph_anonymizer.h"
+#include "anon/kdd_anonymizer.h"
+#include "bench/bench_common.h"
+#include "eval/parallel_metrics.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace hinpriv {
+namespace {
+
+constexpr std::array<double, 10> kDensities = {0.001, 0.002, 0.003, 0.004,
+                                               0.005, 0.006, 0.007, 0.008,
+                                               0.009, 0.010};
+
+struct Scheme {
+  std::unique_ptr<anon::Anonymizer> anonymizer;
+  bool reconfigured;  // strip + saturation fallback (Section 6.2)
+};
+
+}  // namespace
+}  // namespace hinpriv
+
+int main(int argc, char** argv) {
+  using namespace hinpriv;
+  util::FlagParser flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Define("max_distance", "3", "largest max distance to evaluate");
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+
+  const int max_distance = static_cast<int>(flags.GetInt("max_distance"));
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  Scheme schemes[3];
+  schemes[0] = {std::make_unique<anon::KddAnonymizer>(), false};
+  schemes[1] = {std::make_unique<anon::CompleteGraphAnonymizer>(), true};
+  schemes[2] = {std::make_unique<anon::VaryingWeightCgaAnonymizer>(), true};
+
+  std::printf("Figure 8: DeHIN precision (%%) against KDDA / CGA / VW-CGA "
+              "per density (panels a-j)\n\n");
+
+  for (size_t panel = 0; panel < kDensities.size(); ++panel) {
+    const double density = kDensities[panel];
+    std::printf("Figure 8(%c): density %.3f\n",
+                static_cast<char>('a' + panel), density);
+    std::vector<std::string> header = {"scheme"};
+    for (int n = 0; n <= max_distance; ++n) {
+      header.push_back("n=" + std::to_string(n));
+    }
+    util::TablePrinter table(header);
+    for (const Scheme& scheme : schemes) {
+      auto dataset = eval::BuildExperimentDataset(
+          bench::AuxConfigFromFlags(flags),
+          bench::TargetSpecFromFlags(flags, density), synth::GrowthConfig{},
+          *scheme.anonymizer, scheme.reconfigured, &rng);
+      if (!dataset.ok()) {
+        std::fprintf(stderr, "dataset failed: %s\n",
+                     dataset.status().ToString().c_str());
+        return 1;
+      }
+      core::Dehin dehin(&dataset.value().auxiliary,
+                        bench::AttackConfig(scheme.reconfigured));
+      std::vector<std::string> cells = {scheme.anonymizer->name()};
+      for (int n = 0; n <= max_distance; ++n) {
+        const auto metrics = eval::EvaluateAttackParallel(
+            dehin, dataset.value().target, dataset.value().ground_truth, n);
+        cells.push_back(bench::Pct(metrics.precision));
+      }
+      table.AddRow(std::move(cells));
+    }
+    if (flags.GetBool("tsv")) {
+      table.PrintTsv(std::cout);
+    } else {
+      table.Print(std::cout);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expected shape per panel: KDDA highest, CGA slightly below "
+              "it, VW-CGA flat at the n=0 level (neighbor utilization "
+              "defeated, Section 6.3).\n");
+  return 0;
+}

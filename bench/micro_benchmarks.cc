@@ -1,0 +1,184 @@
+// Google-benchmark micro-benchmarks for the performance-critical pieces:
+// graph construction, Hopcroft-Karp vs. the Kuhn reference matcher,
+// signature computation, candidate-index construction/lookup, and the
+// DeHIN per-query cost by max distance.
+
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_index.h"
+#include "core/dehin.h"
+#include "core/signature.h"
+#include "hin/subgraph.h"
+#include "hin/tqq_schema.h"
+#include "matching/hopcroft_karp.h"
+#include "synth/planted_target.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv {
+namespace {
+
+const hin::Graph& SharedNetwork() {
+  static const hin::Graph* graph = [] {
+    synth::TqqConfig config;
+    config.num_users = 20000;
+    util::Rng rng(1);
+    auto built = synth::GenerateTqqNetwork(config, &rng);
+    return new hin::Graph(std::move(built).value());
+  }();
+  return *graph;
+}
+
+const synth::PlantedDataset& SharedDataset() {
+  static const synth::PlantedDataset* dataset = [] {
+    synth::TqqConfig config;
+    config.num_users = 20000;
+    synth::PlantedTargetSpec spec;
+    spec.target_size = 1000;
+    spec.density = 0.01;
+    util::Rng rng(2);
+    auto built =
+        synth::BuildPlantedDataset(config, spec, synth::GrowthConfig{}, &rng);
+    return new synth::PlantedDataset(std::move(built).value());
+  }();
+  return *dataset;
+}
+
+matching::BipartiteGraph RandomBipartite(size_t n, double edge_prob,
+                                         uint64_t seed) {
+  util::Rng rng(seed);
+  matching::BipartiteGraph g(n, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (rng.Bernoulli(edge_prob)) g.AddEdge(i, j);
+    }
+  }
+  return g;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  synth::TqqConfig config;
+  config.num_users = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(3);
+    auto graph = synth::GenerateTqqNetwork(config, &rng);
+    benchmark::DoNotOptimize(graph.value().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const auto g = RandomBipartite(static_cast<size_t>(state.range(0)),
+                                 8.0 / static_cast<double>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::HopcroftKarpMaximumMatching(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_KuhnMatching(benchmark::State& state) {
+  const auto g = RandomBipartite(static_cast<size_t>(state.range(0)),
+                                 8.0 / static_cast<double>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::KuhnMaximumMatching(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_KuhnMatching)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SignatureComputation(benchmark::State& state) {
+  const hin::Graph& graph = SharedNetwork();
+  core::SignatureOptions options;
+  options.attributes = {hin::kTagCountAttr};
+  options.link_types = core::AllLinkTypes(graph);
+  const int distance = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeSignatures(graph, options, distance));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_vertices());
+}
+BENCHMARK(BM_SignatureComputation)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_CandidateIndexBuild(benchmark::State& state) {
+  const hin::Graph& graph = SharedNetwork();
+  const core::MatchOptions options = core::DefaultTqqMatchOptions();
+  for (auto _ : state) {
+    core::CandidateIndex index(graph, options);
+    benchmark::DoNotOptimize(index.num_buckets());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_vertices());
+}
+BENCHMARK(BM_CandidateIndexBuild);
+
+void BM_CandidateLookup(benchmark::State& state) {
+  const hin::Graph& graph = SharedNetwork();
+  const core::MatchOptions options = core::DefaultTqqMatchOptions();
+  const core::CandidateIndex index(graph, options);
+  hin::VertexId v = 0;
+  for (auto _ : state) {
+    size_t count = 0;
+    index.ForEachCandidate(graph, v, [&](hin::VertexId) { ++count; });
+    benchmark::DoNotOptimize(count);
+    v = (v + 1) % graph.num_vertices();
+  }
+}
+BENCHMARK(BM_CandidateLookup);
+
+void BM_DehinQuery(benchmark::State& state) {
+  const synth::PlantedDataset& dataset = SharedDataset();
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  static const core::Dehin* dehin =
+      new core::Dehin(&dataset.auxiliary, config);
+  const int distance = static_cast<int>(state.range(0));
+  hin::VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dehin->Deanonymize(dataset.target, v, distance));
+    v = (v + 1) % dataset.target.num_vertices();
+  }
+}
+BENCHMARK(BM_DehinQuery)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_DehinQueryNoIndex(benchmark::State& state) {
+  const synth::PlantedDataset& dataset = SharedDataset();
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  config.use_candidate_index = false;
+  static const core::Dehin* dehin =
+      new core::Dehin(&dataset.auxiliary, config);
+  hin::VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dehin->Deanonymize(dataset.target, v, 1));
+    v = (v + 1) % dataset.target.num_vertices();
+  }
+}
+BENCHMARK(BM_DehinQueryNoIndex);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  const hin::Graph& graph = SharedNetwork();
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::Rng rng(state.iterations());
+    state.ResumeTiming();
+    auto sub = hin::SampleInducedSubgraph(graph, 1000, &rng);
+    benchmark::DoNotOptimize(sub.value().graph.num_edges());
+  }
+}
+BENCHMARK(BM_InducedSubgraph);
+
+void BM_StripMajorityStrengthLinks(benchmark::State& state) {
+  const synth::PlantedDataset& dataset = SharedDataset();
+  for (auto _ : state) {
+    auto stripped = core::StripMajorityStrengthLinks(dataset.target);
+    benchmark::DoNotOptimize(stripped.value().num_edges());
+  }
+}
+BENCHMARK(BM_StripMajorityStrengthLinks);
+
+}  // namespace
+}  // namespace hinpriv
+
+BENCHMARK_MAIN();

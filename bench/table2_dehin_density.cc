@@ -1,0 +1,107 @@
+// Reproduces Table 2: DeHIN precision and reduction rate on the KDD-Cup-
+// anonymized t.qq dataset across target densities 0.001..0.01 and max
+// distances 0..3 (Section 6.1).
+
+#include <algorithm>
+#include <array>
+#include <iostream>
+
+#include "anon/kdd_anonymizer.h"
+#include "bench/bench_common.h"
+#include "eval/parallel_metrics.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace hinpriv {
+namespace {
+
+// Paper Table 2 precision (%) for max distances 0..3 per density row.
+struct PaperRow {
+  double density;
+  std::array<double, 4> precision;
+};
+constexpr std::array<PaperRow, 10> kPaperTable2 = {{
+    {0.001, {4.1, 12.6, 12.6, 12.6}},
+    {0.002, {5.1, 22.0, 22.7, 22.7}},
+    {0.003, {6.5, 32.8, 33.5, 33.5}},
+    {0.004, {4.3, 39.4, 40.8, 40.9}},
+    {0.005, {4.3, 48.7, 49.8, 49.9}},
+    {0.006, {7.0, 59.4, 61.6, 61.7}},
+    {0.007, {5.1, 65.6, 68.8, 68.9}},
+    {0.008, {5.3, 76.6, 78.8, 79.0}},
+    {0.009, {6.4, 86.2, 88.6, 88.8}},
+    {0.010, {5.4, 92.5, 95.6, 95.7}},
+}};
+
+}  // namespace
+}  // namespace hinpriv
+
+int main(int argc, char** argv) {
+  using namespace hinpriv;
+  util::FlagParser flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Define("max_distance", "3", "largest max distance to evaluate");
+  flags.Define("samples", "1",
+               "target graphs averaged per density (paper: 500 samples "
+               "total; raise for tighter estimates)");
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+
+  const int max_distance = static_cast<int>(flags.GetInt("max_distance"));
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  anon::KddAnonymizer anonymizer;
+
+  std::printf("Table 2: DeHIN on the KDD-anonymized t.qq dataset "
+              "(precision %% / reduction rate %%)\n");
+  std::printf("auxiliary users: %lld (paper: 2,320,895)\n\n",
+              static_cast<long long>(flags.GetInt("aux_users")));
+
+  std::vector<std::string> header = {"density"};
+  for (int n = 0; n <= max_distance; ++n) {
+    header.push_back("n=" + std::to_string(n) + " prec");
+    header.push_back("paper");
+    header.push_back("redux");
+  }
+  util::TablePrinter table(header);
+
+  const int samples = std::max<int>(1, static_cast<int>(flags.GetInt("samples")));
+  for (const auto& row : kPaperTable2) {
+    std::vector<util::RunningStats> precision_stats(max_distance + 1);
+    std::vector<util::RunningStats> reduction_stats(max_distance + 1);
+    for (int sample = 0; sample < samples; ++sample) {
+      auto dataset = eval::BuildExperimentDataset(
+          bench::AuxConfigFromFlags(flags),
+          bench::TargetSpecFromFlags(flags, row.density),
+          synth::GrowthConfig{}, anonymizer, /*strip_majority=*/false, &rng);
+      if (!dataset.ok()) {
+        std::fprintf(stderr, "dataset failed: %s\n",
+                     dataset.status().ToString().c_str());
+        return 1;
+      }
+      core::Dehin dehin(&dataset.value().auxiliary,
+                        bench::AttackConfig(false));
+      for (int n = 0; n <= max_distance; ++n) {
+        const auto metrics = eval::EvaluateAttackParallel(
+            dehin, dataset.value().target, dataset.value().ground_truth, n);
+        precision_stats[n].Add(metrics.precision);
+        reduction_stats[n].Add(metrics.reduction_rate);
+      }
+    }
+    std::vector<std::string> cells = {util::FormatDouble(row.density, 3)};
+    for (int n = 0; n <= max_distance; ++n) {
+      cells.push_back(bench::Pct(precision_stats[n].mean()));
+      cells.push_back(n < 4 ? util::FormatDouble(row.precision[n], 1) : "-");
+      cells.push_back(bench::Pct(reduction_stats[n].mean(), 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  if (flags.GetBool("tsv")) {
+    table.PrintTsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::printf("\nExpected shape: precision at n=0 is a few percent, jumps "
+              "at n=1, climbs near-linearly with density, and saturates for "
+              "n > 1; reduction rate stays > 99.6%%.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Table 4: the reconfigured DeHIN (majority-strength stripping +
+// saturation fallback, Section 6.2) against Complete Graph Anonymity — the
+// best case of the k-degree / k-neighborhood / k-automorphism / k-symmetry /
+// k-security defense family.
+
+#include <array>
+#include <iostream>
+
+#include "anon/complete_graph_anonymizer.h"
+#include "bench/bench_common.h"
+#include "eval/parallel_metrics.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace hinpriv {
+namespace {
+
+struct PaperRow {
+  double density;
+  std::array<double, 4> precision;  // max distances 0..3
+};
+constexpr std::array<PaperRow, 10> kPaperTable4 = {{
+    {0.001, {4.1, 11.5, 11.9, 11.9}},
+    {0.002, {5.1, 19.7, 20.9, 20.9}},
+    {0.003, {6.5, 29.8, 31.6, 31.6}},
+    {0.004, {4.3, 35.8, 38.3, 38.4}},
+    {0.005, {4.3, 44.1, 47.1, 47.1}},
+    {0.006, {7.0, 54.3, 57.8, 57.9}},
+    {0.007, {5.1, 59.5, 64.2, 64.2}},
+    {0.008, {5.3, 70.3, 74.8, 74.8}},
+    {0.009, {6.4, 78.1, 83.4, 83.5}},
+    {0.010, {5.4, 84.4, 89.8, 89.8}},
+}};
+
+}  // namespace
+}  // namespace hinpriv
+
+int main(int argc, char** argv) {
+  using namespace hinpriv;
+  util::FlagParser flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Define("max_distance", "3", "largest max distance to evaluate");
+  flags.Define("fake_strength", "1",
+               "constant short-circuited weight of CGA's fake links");
+  bench::ParseFlagsOrDie(&flags, argc, argv);
+
+  const int max_distance = static_cast<int>(flags.GetInt("max_distance"));
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  anon::CompleteGraphAnonymizer anonymizer(
+      static_cast<hin::Strength>(flags.GetInt("fake_strength")));
+
+  std::printf("Table 4: reconfigured DeHIN vs. Complete Graph Anonymity "
+              "(precision %% [paper] / reduction rate %%)\n\n");
+
+  std::vector<std::string> header = {"density"};
+  for (int n = 0; n <= max_distance; ++n) {
+    header.push_back("n=" + std::to_string(n) + " prec");
+    header.push_back("paper");
+    header.push_back("redux");
+  }
+  util::TablePrinter table(header);
+
+  for (const auto& row : kPaperTable4) {
+    auto dataset = eval::BuildExperimentDataset(
+        bench::AuxConfigFromFlags(flags),
+        bench::TargetSpecFromFlags(flags, row.density), synth::GrowthConfig{},
+        anonymizer, /*strip_majority=*/true, &rng);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "dataset failed: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    core::Dehin dehin(&dataset.value().auxiliary, bench::AttackConfig(true));
+    std::vector<std::string> cells = {util::FormatDouble(row.density, 3)};
+    for (int n = 0; n <= max_distance; ++n) {
+      const auto metrics = eval::EvaluateAttackParallel(
+          dehin, dataset.value().target, dataset.value().ground_truth, n);
+      cells.push_back(bench::Pct(metrics.precision));
+      cells.push_back(n < 4 ? util::FormatDouble(row.precision[n], 1) : "-");
+      cells.push_back(bench::Pct(metrics.reduction_rate, 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  if (flags.GetBool("tsv")) {
+    table.PrintTsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::printf("\nExpected shape: precision tracks Table 2 with a slight "
+              "degradation — stripping the majority strength removes the "
+              "fakes plus the real links sharing their value, so DeHIN "
+              "still beats the defense (Section 6.2).\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Privacy audit for a data publisher (Sections 4 and 4.5): before
+// releasing an anonymized copy of a network, quantify the privacy risk its
+// users face, identify the most at-risk individuals, and evaluate which
+// link types to withhold to bring the risk down.
+//
+//   privacy_audit --users=2000 --density=0.01
+//   privacy_audit --load=my_network.graph     (hinpriv-graph format)
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/privacy_risk.h"
+#include "eval/experiment.h"
+#include "hin/density.h"
+#include "hin/io.h"
+#include "hin/tqq_schema.h"
+#include "synth/planted_target.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace hinpriv;
+
+util::Result<hin::Graph> LoadOrGenerate(const util::FlagParser& flags) {
+  const std::string path = flags.GetString("load");
+  if (!path.empty()) return hin::LoadGraphFromFile(path);
+  synth::TqqConfig config;
+  config.num_users = static_cast<size_t>(flags.GetInt("users")) * 5;
+  synth::PlantedTargetSpec spec;
+  spec.target_size = static_cast<size_t>(flags.GetInt("users"));
+  spec.density = flags.GetDouble("density");
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  auto dataset =
+      synth::BuildPlantedDataset(config, spec, synth::GrowthConfig{}, &rng);
+  if (!dataset.ok()) return dataset.status();
+  return std::move(dataset).value().target;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("users", "1000", "users in the generated network to audit");
+  flags.Define("density", "0.01", "density of the generated network");
+  flags.Define("load", "", "audit a hinpriv-graph file instead of generating");
+  flags.Define("max_distance", "3", "deepest neighbor distance to audit");
+  flags.Define("risk_budget", "0.5",
+               "publish only if dataset risk stays at or below this");
+  flags.Define("seed", "99", "rng seed");
+  auto parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    std::fprintf(stderr, "%s\n%s", parse_status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  auto graph = LoadOrGenerate(flags);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot obtain network: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  const hin::Graph& g = graph.value();
+  const int max_distance = static_cast<int>(flags.GetInt("max_distance"));
+  std::printf("Auditing network: %zu users, %zu typed links, density %.4f\n\n",
+              g.num_vertices(), g.num_edges(), hin::Density(g));
+
+  // Risk ladder with the full profile attribute set and all link types.
+  core::SignatureOptions options;
+  options.attributes = {hin::kGenderAttr, hin::kYobAttr, hin::kTweetCountAttr,
+                        hin::kTagCountAttr};
+  options.link_types = core::AllLinkTypes(g);
+  std::printf("Dataset privacy risk by max distance of utilized neighbors:\n");
+  const auto ladder = core::NetworkPrivacyRisk(g, options, max_distance);
+  for (const auto& level : ladder) {
+    std::printf("  n = %d: risk %.3f  (distinct combined values: %zu / %zu)\n",
+                level.max_distance, level.risk, level.cardinality,
+                g.num_vertices());
+  }
+
+  // Most at-risk users: unique at the shallowest distance.
+  const auto signatures = core::ComputeSignatures(g, options, max_distance);
+  std::vector<int> unique_at(g.num_vertices(), -1);
+  for (int n = max_distance; n >= 0; --n) {
+    const auto risks = core::PerTupleRisk(signatures[n]);
+    for (hin::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (risks[v] == 1.0) unique_at[v] = n;
+    }
+  }
+  size_t never = 0;
+  std::vector<size_t> counts(max_distance + 1, 0);
+  for (hin::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (unique_at[v] < 0) {
+      ++never;
+    } else {
+      ++counts[unique_at[v]];
+    }
+  }
+  std::printf("\nUsers first re-identifiable at distance n:\n");
+  for (int n = 0; n <= max_distance; ++n) {
+    std::printf("  n = %d: %zu users\n", n, counts[n]);
+  }
+  std::printf("  never unique up to n = %d: %zu users\n", max_distance, never);
+
+  // Section 4.5: withholding link types lowers C(L*) and hence the risk
+  // bounds. Rank the single-link-type-released options.
+  std::printf("\nRisk if only one link type were published (Section 4.5):\n");
+  util::TablePrinter table({"published links", "risk n=1", "risk n=2"});
+  const double budget = flags.GetDouble("risk_budget");
+  // Baseline option: withholding all links caps an adversary at n = 0.
+  std::string recommendation = "withhold all link information";
+  double best_risk = ladder[0].risk;
+  for (const auto& subset : eval::TqqLinkTypeSubsets()) {
+    core::SignatureOptions reduced = options;
+    reduced.link_types = subset.link_types;
+    const auto reduced_ladder = core::NetworkPrivacyRisk(g, reduced, 2);
+    if (subset.link_types.size() == 1) {
+      table.AddRow({subset.label,
+                    util::FormatDouble(reduced_ladder[1].risk, 3),
+                    util::FormatDouble(reduced_ladder[2].risk, 3)});
+    }
+    if (reduced_ladder[2].risk <= budget &&
+        subset.link_types.size() > 0) {
+      recommendation = "publish only '" + subset.label + "'";
+      best_risk = reduced_ladder[2].risk;
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf("\nRecommendation for a %.2f risk budget: %s (risk %.3f).\n",
+              budget, recommendation.c_str(), best_risk);
+  std::printf("Note: every audited configuration still exceeds the budget "
+              "unless most link types are withheld — consistent with the "
+              "paper's conclusion that utility-preserving anonymization of "
+              "a heterogeneous network leaves high privacy risk.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Quickstart: the paper's motivating example (Section 1.1) in ~100 lines.
+//
+// A microblogging site publishes an anonymized copy of its user network.
+// An adversary holding a later crawl of the same site (the auxiliary
+// dataset) wants to re-identify the anonymized user "A3H", who accepted a
+// bank recommendation. We build both datasets by hand, measure the privacy
+// risk of the published data, and run the DeHIN attack.
+
+#include <cstdio>
+
+#include "anon/kdd_anonymizer.h"
+#include "core/dehin.h"
+#include "core/privacy_risk.h"
+#include "hin/density.h"
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+#include "util/random.h"
+
+namespace {
+
+using hinpriv::hin::Graph;
+using hinpriv::hin::GraphBuilder;
+using hinpriv::hin::VertexId;
+
+// Builds the "time T0" network that the publisher anonymizes: six users
+// with profiles and a few typed, weighted interactions. Returns the graph;
+// vertex 0 is the eventual attack target ("Ada" / anonymized "A3H").
+Graph BuildOriginalNetwork() {
+  GraphBuilder builder(hinpriv::hin::TqqTargetSchema());
+  struct UserSpec {
+    const char* name;
+    int gender, yob, tweets, tags;
+  };
+  const UserSpec users[] = {
+      {"Ada", 1, 1980, 120, 3},   // the target
+      {"F8P", 0, 1985, 80, 2},    // commented 15 times by Ada
+      {"M7R", 1, 1970, 400, 5},   // retweeted 10 times by Ada
+      {"Bob", 1, 1980, 120, 3},   // same profile as Ada: profiles alone tie
+      {"Eve", 0, 1990, 10, 1},
+      {"Zed", 1, 1975, 55, 4},
+  };
+  for (const auto& u : users) {
+    const VertexId v = builder.AddVertex(0);
+    (void)builder.SetAttribute(v, hinpriv::hin::kGenderAttr, u.gender);
+    (void)builder.SetAttribute(v, hinpriv::hin::kYobAttr, u.yob);
+    (void)builder.SetAttribute(v, hinpriv::hin::kTweetCountAttr, u.tweets);
+    (void)builder.SetAttribute(v, hinpriv::hin::kTagCountAttr, u.tags);
+  }
+  // Ada's distinguishing heterogeneous neighborhood (Figure 4 style):
+  // 15 comments to F8P, 10 retweets of M7R, follows Zed.
+  (void)builder.AddEdge(0, 1, hinpriv::hin::kCommentLink, 15);
+  (void)builder.AddEdge(0, 2, hinpriv::hin::kRetweetLink, 10);
+  (void)builder.AddEdge(0, 5, hinpriv::hin::kFollowLink, 1);
+  // Bob shares Ada's profile but interacts differently.
+  (void)builder.AddEdge(3, 4, hinpriv::hin::kMentionLink, 2);
+  (void)builder.AddEdge(3, 5, hinpriv::hin::kFollowLink, 1);
+  // Background chatter.
+  (void)builder.AddEdge(4, 0, hinpriv::hin::kMentionLink, 1);
+  (void)builder.AddEdge(5, 2, hinpriv::hin::kRetweetLink, 3);
+  auto built = std::move(builder).Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+}  // namespace
+
+int main() {
+  hinpriv::util::Rng rng(42);
+  const Graph original = BuildOriginalNetwork();
+  std::printf("Original network: %zu users, %zu typed links, density %.4f\n",
+              original.num_vertices(), original.num_edges(),
+              hinpriv::hin::Density(original));
+
+  // --- The publisher measures privacy risk before release (Section 4) ---
+  hinpriv::core::SignatureOptions sig_options;
+  sig_options.attributes = {hinpriv::hin::kGenderAttr, hinpriv::hin::kYobAttr,
+                            hinpriv::hin::kTagCountAttr};
+  sig_options.link_types = hinpriv::core::AllLinkTypes(original);
+  const auto risk =
+      hinpriv::core::NetworkPrivacyRisk(original, sig_options, 2);
+  for (const auto& level : risk) {
+    std::printf(
+        "Privacy risk at max distance %d: %.3f (cardinality %zu of %zu)\n",
+        level.max_distance, level.risk, level.cardinality,
+        original.num_vertices());
+  }
+
+  // --- The publisher releases an id-randomized copy (KDD Cup style) ------
+  hinpriv::anon::KddAnonymizer anonymizer;
+  auto published = anonymizer.Anonymize(original, &rng);
+  if (!published.ok()) {
+    std::fprintf(stderr, "anonymize failed: %s\n",
+                 published.status().ToString().c_str());
+    return 1;
+  }
+  // Ada's anonymized id in the published graph.
+  VertexId a3h = 0;
+  for (VertexId v = 0; v < published.value().graph.num_vertices(); ++v) {
+    if (published.value().to_original[v] == 0) a3h = v;
+  }
+  std::printf("\nPublished: Ada is now the meaningless id %u ('A3H')\n", a3h);
+
+  // --- The adversary runs DeHIN with the original site as auxiliary ------
+  hinpriv::core::DehinConfig config;
+  config.match = hinpriv::core::DefaultTqqMatchOptions();
+  config.match.growth_aware = false;  // time-synchronized for the demo
+  config.max_distance = 1;
+  hinpriv::core::Dehin dehin(&original, config);
+
+  const auto profile_only = dehin.Deanonymize(published.value().graph, a3h, 0);
+  std::printf("Profile-only candidates for A3H: %zu (ambiguous: Bob shares "
+              "Ada's profile)\n",
+              profile_only.size());
+  const auto with_links = dehin.Deanonymize(published.value().graph, a3h, 1);
+  std::printf("Candidates after utilizing distance-1 heterogeneous links: "
+              "%zu\n",
+              with_links.size());
+  if (with_links.size() == 1 && with_links[0] == 0) {
+    std::printf("A3H uniquely de-anonymized as auxiliary user 0 (Ada): the "
+                "adversary now knows Ada's bank preference.\n");
+    return 0;
+  }
+  std::printf("unexpected: attack did not converge to Ada\n");
+  return 1;
+}

@@ -1,0 +1,48 @@
+#include "anon/anonymizer.h"
+
+#include <numeric>
+
+#include "hin/graph_builder.h"
+
+namespace hinpriv::anon {
+
+util::Result<AnonymizedGraph> PermuteVertices(const hin::Graph& target,
+                                              util::Rng* rng) {
+  const size_t n = target.num_vertices();
+  // to_original[new_id] = old_id, a uniform random permutation: this is the
+  // KDD Cup style replacement of user ids by meaningless random strings.
+  std::vector<hin::VertexId> to_original(n);
+  std::iota(to_original.begin(), to_original.end(), 0);
+  rng->Shuffle(&to_original);
+  std::vector<hin::VertexId> to_new(n);
+  for (hin::VertexId new_id = 0; new_id < n; ++new_id) {
+    to_new[to_original[new_id]] = new_id;
+  }
+
+  hin::GraphBuilder builder(target.schema());
+  for (hin::VertexId new_id = 0; new_id < n; ++new_id) {
+    const hin::VertexId old_id = to_original[new_id];
+    const hin::EntityTypeId t = target.entity_type(old_id);
+    if (builder.AddVertex(t) != new_id) {
+      return util::Status::FailedPrecondition("vertex id mismatch");
+    }
+    const size_t num_attrs = target.num_attributes(t);
+    for (hin::AttributeId a = 0; a < num_attrs; ++a) {
+      HINPRIV_RETURN_IF_ERROR(
+          builder.SetAttribute(new_id, a, target.attribute(old_id, a)));
+    }
+  }
+  for (hin::LinkTypeId lt = 0; lt < target.num_link_types(); ++lt) {
+    for (hin::VertexId old_src = 0; old_src < n; ++old_src) {
+      for (const hin::Edge& e : target.OutEdges(lt, old_src)) {
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(
+            to_new[old_src], to_new[e.neighbor], lt, e.strength));
+      }
+    }
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  return AnonymizedGraph{std::move(built).value(), std::move(to_original)};
+}
+
+}  // namespace hinpriv::anon

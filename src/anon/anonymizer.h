@@ -1,0 +1,45 @@
+#ifndef HINPRIV_ANON_ANONYMIZER_H_
+#define HINPRIV_ANON_ANONYMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "hin/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hinpriv::anon {
+
+// Output of an anonymization pass over a target network that is about to be
+// published. Vertex identities are randomized: vertex i of `graph`
+// corresponds to vertex to_original[i] of the input graph. Structural
+// schemes may additionally add fake links or perturb strengths.
+struct AnonymizedGraph {
+  hin::Graph graph;
+  std::vector<hin::VertexId> to_original;
+};
+
+// Interface for graph-data anonymization schemes (Section 2.3 / Section 6).
+// Implementations must not remove real vertices; information hiding is done
+// by id randomization, fake links, and weight perturbation, preserving the
+// dataset's recommendation-research utility as the paper assumes.
+class Anonymizer {
+ public:
+  virtual ~Anonymizer() = default;
+
+  // Name used in experiment reports (e.g., "KDDA", "CGA", "VW-CGA").
+  virtual std::string name() const = 0;
+
+  virtual util::Result<AnonymizedGraph> Anonymize(const hin::Graph& target,
+                                                  util::Rng* rng) const = 0;
+};
+
+// Helper shared by implementations: copies `target` into a new graph under
+// a random vertex permutation, optionally leaving room for extra edges the
+// caller stages afterwards. Returns the permutation as to_original.
+util::Result<AnonymizedGraph> PermuteVertices(const hin::Graph& target,
+                                              util::Rng* rng);
+
+}  // namespace hinpriv::anon
+
+#endif  // HINPRIV_ANON_ANONYMIZER_H_

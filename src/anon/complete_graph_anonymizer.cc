@@ -1,0 +1,72 @@
+#include "anon/complete_graph_anonymizer.h"
+
+#include "hin/graph_builder.h"
+
+namespace hinpriv::anon {
+
+namespace {
+
+// Shared core of CGA and VW-CGA: permute ids, then complete every link
+// type, with `fake_strength_fn` supplying the strength of each fake link.
+template <typename FakeStrengthFn>
+util::Result<AnonymizedGraph> CompleteAllLinkTypes(
+    const hin::Graph& target, util::Rng* rng,
+    FakeStrengthFn&& fake_strength_fn) {
+  auto permuted = PermuteVertices(target, rng);
+  if (!permuted.ok()) return permuted.status();
+  const hin::Graph& base = permuted.value().graph;
+  const size_t n = base.num_vertices();
+
+  hin::GraphBuilder builder(base.schema());
+  for (hin::VertexId v = 0; v < n; ++v) {
+    const hin::EntityTypeId t = base.entity_type(v);
+    builder.AddVertex(t);
+    const size_t num_attrs = base.num_attributes(t);
+    for (hin::AttributeId a = 0; a < num_attrs; ++a) {
+      HINPRIV_RETURN_IF_ERROR(
+          builder.SetAttribute(v, a, base.attribute(v, a)));
+    }
+  }
+  for (hin::LinkTypeId lt = 0; lt < base.num_link_types(); ++lt) {
+    const bool self_links = base.schema().link_type(lt).allows_self_link;
+    for (hin::VertexId src = 0; src < n; ++src) {
+      // Walk the sorted real adjacency in lockstep with the dst sweep so
+      // every real strength is kept and every absent pair gets a fake link.
+      const auto real = base.OutEdges(lt, src);
+      size_t r = 0;
+      for (hin::VertexId dst = 0; dst < n; ++dst) {
+        if (dst == src && !self_links) continue;
+        hin::Strength strength;
+        if (r < real.size() && real[r].neighbor == dst) {
+          strength = real[r].strength;
+          ++r;
+        } else {
+          strength = fake_strength_fn();
+        }
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(src, dst, lt, strength));
+      }
+    }
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  return AnonymizedGraph{std::move(built).value(),
+                         std::move(permuted).value().to_original};
+}
+
+}  // namespace
+
+util::Result<AnonymizedGraph> CompleteGraphAnonymizer::Anonymize(
+    const hin::Graph& target, util::Rng* rng) const {
+  return CompleteAllLinkTypes(target, rng,
+                              [this] { return fake_strength_; });
+}
+
+util::Result<AnonymizedGraph> VaryingWeightCgaAnonymizer::Anonymize(
+    const hin::Graph& target, util::Rng* rng) const {
+  return CompleteAllLinkTypes(target, rng, [this, rng] {
+    return static_cast<hin::Strength>(
+        1 + rng->UniformU64(std::max<hin::Strength>(1, max_fake_strength_)));
+  });
+}
+
+}  // namespace hinpriv::anon

@@ -1,0 +1,58 @@
+#ifndef HINPRIV_ANON_COMPLETE_GRAPH_ANONYMIZER_H_
+#define HINPRIV_ANON_COMPLETE_GRAPH_ANONYMIZER_H_
+
+#include "anon/anonymizer.h"
+
+namespace hinpriv::anon {
+
+// Complete Graph Anonymity (Section 6.2): after id randomization, fake
+// links are added until every link type forms a complete directed graph.
+// This is the best case of the k-degree / k-neighborhood / k-automorphism /
+// k-symmetry / k-security family — with a complete graph, k reaches the
+// number of vertices for all of them.
+//
+// Following the paper, the short-circuited strength of every fake link is
+// one shared number (`fake_strength`); existing real strengths are kept to
+// preserve utility. The paper's reconfigured DeHIN strips the majority
+// strength value, which removes the fakes (plus real links that share the
+// value). The default of 1 makes the Section 6.4 "security by obscurity"
+// equivalence exact: under KDDA the majority strength is also 1.
+//
+// O(|L| * V^2) output edges: intended for target-sized graphs (10^3
+// vertices), not auxiliary networks.
+class CompleteGraphAnonymizer : public Anonymizer {
+ public:
+  explicit CompleteGraphAnonymizer(hin::Strength fake_strength = 1)
+      : fake_strength_(fake_strength) {}
+
+  std::string name() const override { return "CGA"; }
+
+  util::Result<AnonymizedGraph> Anonymize(const hin::Graph& target,
+                                          util::Rng* rng) const override;
+
+ private:
+  hin::Strength fake_strength_;
+};
+
+// Varying Weight Complete Graph Anonymity (Section 6.3): like CGA, but each
+// fake link gets an independently random strength in
+// [1, max_fake_strength], so majority-value stripping no longer isolates
+// the fakes and DeHIN's neighbor utilization is defeated — at a much larger
+// utility loss.
+class VaryingWeightCgaAnonymizer : public Anonymizer {
+ public:
+  explicit VaryingWeightCgaAnonymizer(hin::Strength max_fake_strength = 30)
+      : max_fake_strength_(max_fake_strength) {}
+
+  std::string name() const override { return "VW-CGA"; }
+
+  util::Result<AnonymizedGraph> Anonymize(const hin::Graph& target,
+                                          util::Rng* rng) const override;
+
+ private:
+  hin::Strength max_fake_strength_;
+};
+
+}  // namespace hinpriv::anon
+
+#endif  // HINPRIV_ANON_COMPLETE_GRAPH_ANONYMIZER_H_

@@ -1,0 +1,144 @@
+#include "anon/k_degree_anonymizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "hin/graph_builder.h"
+
+namespace hinpriv::anon {
+
+namespace {
+
+using hin::Edge;
+using hin::Graph;
+using hin::GraphBuilder;
+using hin::LinkTypeId;
+using hin::VertexId;
+
+// Copies vertices (with attributes) of `base` into a fresh builder.
+util::Status CopyVertices(const Graph& base, GraphBuilder* builder) {
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    const hin::EntityTypeId t = base.entity_type(v);
+    builder->AddVertex(t);
+    const size_t num_attrs = base.num_attributes(t);
+    for (hin::AttributeId a = 0; a < num_attrs; ++a) {
+      HINPRIV_RETURN_IF_ERROR(builder->SetAttribute(v, a, base.attribute(v, a)));
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<AnonymizedGraph> KDegreeAnonymizer::Anonymize(
+    const hin::Graph& target, util::Rng* rng) const {
+  if (k_ < 2) {
+    return util::Status::InvalidArgument("k-degree anonymity requires k >= 2");
+  }
+  auto permuted = PermuteVertices(target, rng);
+  if (!permuted.ok()) return permuted.status();
+  const Graph& base = permuted.value().graph;
+  const size_t n = base.num_vertices();
+  if (n < k_) {
+    return util::Status::InvalidArgument(
+        "graph smaller than the requested k");
+  }
+
+  GraphBuilder builder(base.schema());
+  HINPRIV_RETURN_IF_ERROR(CopyVertices(base, &builder));
+
+  for (LinkTypeId lt = 0; lt < base.num_link_types(); ++lt) {
+    // Real edges first.
+    for (VertexId v = 0; v < n; ++v) {
+      for (const Edge& e : base.OutEdges(lt, v)) {
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, e.neighbor, lt, e.strength));
+      }
+    }
+    // Greedy degree-sequence anonymization: vertices sorted by out-degree
+    // descending, grouped in runs of size >= k, every member raised to the
+    // group's maximum degree by adding fake edges to random non-neighbors.
+    std::vector<VertexId> order(n);
+    for (VertexId v = 0; v < n; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return base.OutDegree(lt, a) > base.OutDegree(lt, b);
+    });
+    size_t group_start = 0;
+    while (group_start < n) {
+      // The last group absorbs any remainder smaller than k.
+      size_t group_end = group_start + k_;
+      if (group_end > n || n - group_end < k_) group_end = n;
+      const size_t group_max = base.OutDegree(lt, order[group_start]);
+      for (size_t i = group_start; i < group_end; ++i) {
+        const VertexId v = order[i];
+        size_t degree = base.OutDegree(lt, v);
+        if (degree >= group_max) continue;
+        std::unordered_set<VertexId> taken;
+        for (const Edge& e : base.OutEdges(lt, v)) taken.insert(e.neighbor);
+        // Random non-neighbors; bounded retries in case the row is nearly
+        // full, then a deterministic sweep finishes the job.
+        size_t attempts = 0;
+        while (degree < group_max && attempts < 16 * n) {
+          ++attempts;
+          const VertexId dst = static_cast<VertexId>(rng->UniformU64(n));
+          if (dst == v || taken.contains(dst)) continue;
+          taken.insert(dst);
+          HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, dst, lt, fake_strength_));
+          ++degree;
+        }
+        for (VertexId dst = 0; degree < group_max && dst < n; ++dst) {
+          if (dst == v || taken.contains(dst)) continue;
+          taken.insert(dst);
+          HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, dst, lt, fake_strength_));
+          ++degree;
+        }
+      }
+      group_start = group_end;
+    }
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  return AnonymizedGraph{std::move(built).value(),
+                         std::move(permuted).value().to_original};
+}
+
+util::Result<AnonymizedGraph> EdgePerturbationAnonymizer::Anonymize(
+    const hin::Graph& target, util::Rng* rng) const {
+  if (removal_prob_ < 0.0 || removal_prob_ > 1.0) {
+    return util::Status::InvalidArgument("removal_prob must be in [0, 1]");
+  }
+  auto permuted = PermuteVertices(target, rng);
+  if (!permuted.ok()) return permuted.status();
+  const Graph& base = permuted.value().graph;
+  const size_t n = base.num_vertices();
+
+  GraphBuilder builder(base.schema());
+  HINPRIV_RETURN_IF_ERROR(CopyVertices(base, &builder));
+  size_t removed = 0;
+  for (LinkTypeId lt = 0; lt < base.num_link_types(); ++lt) {
+    for (VertexId v = 0; v < n; ++v) {
+      for (const Edge& e : base.OutEdges(lt, v)) {
+        if (rng->Bernoulli(removal_prob_)) {
+          ++removed;
+          continue;
+        }
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, e.neighbor, lt, e.strength));
+      }
+    }
+  }
+  // Replace removed edges with fakes to keep the edge count (and thus the
+  // published density) steady.
+  const size_t num_links = base.num_link_types();
+  for (size_t i = 0; i < removed && n >= 2; ++i) {
+    const LinkTypeId lt = static_cast<LinkTypeId>(rng->UniformU64(num_links));
+    const VertexId src = static_cast<VertexId>(rng->UniformU64(n));
+    const VertexId dst = static_cast<VertexId>(rng->UniformU64(n));
+    if (src == dst && !base.schema().link_type(lt).allows_self_link) continue;
+    HINPRIV_RETURN_IF_ERROR(builder.AddEdge(src, dst, lt, fake_strength_));
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  return AnonymizedGraph{std::move(built).value(),
+                         std::move(permuted).value().to_original};
+}
+
+}  // namespace hinpriv::anon

@@ -1,0 +1,24 @@
+#ifndef HINPRIV_ANON_KDD_ANONYMIZER_H_
+#define HINPRIV_ANON_KDD_ANONYMIZER_H_
+
+#include "anon/anonymizer.h"
+
+namespace hinpriv::anon {
+
+// The anonymization actually applied to the released KDD Cup 2012 t.qq
+// dataset ("KDDA" in the paper's Figure 8): user ids are replaced by
+// meaningless random identifiers while profile attributes and social links
+// (the dataset's utility) are published unchanged.
+class KddAnonymizer : public Anonymizer {
+ public:
+  std::string name() const override { return "KDDA"; }
+
+  util::Result<AnonymizedGraph> Anonymize(const hin::Graph& target,
+                                          util::Rng* rng) const override {
+    return PermuteVertices(target, rng);
+  }
+};
+
+}  // namespace hinpriv::anon
+
+#endif  // HINPRIV_ANON_KDD_ANONYMIZER_H_

@@ -1,0 +1,69 @@
+#include "anon/utility_tradeoff_anonymizers.h"
+
+#include <algorithm>
+
+#include "hin/graph_builder.h"
+
+namespace hinpriv::anon {
+
+util::Result<AnonymizedGraph> StrengthBucketingAnonymizer::Anonymize(
+    const hin::Graph& target, util::Rng* rng) const {
+  if (bucket_ == 0) {
+    return util::Status::InvalidArgument("bucket size must be >= 1");
+  }
+  auto permuted = PermuteVertices(target, rng);
+  if (!permuted.ok()) return permuted.status();
+  const hin::Graph& base = permuted.value().graph;
+
+  hin::GraphBuilder builder(base.schema());
+  HINPRIV_RETURN_IF_ERROR(hin::CopyVerticesWithAttributes(base, &builder));
+  for (hin::LinkTypeId lt = 0; lt < base.num_link_types(); ++lt) {
+    const bool bucketed = base.schema().link_type(lt).growable_strength;
+    for (hin::VertexId v = 0; v < base.num_vertices(); ++v) {
+      for (const hin::Edge& e : base.OutEdges(lt, v)) {
+        const hin::Strength strength =
+            bucketed ? 1 + ((e.strength - 1) / bucket_) * bucket_
+                     : e.strength;
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, e.neighbor, lt, strength));
+      }
+    }
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  return AnonymizedGraph{std::move(built).value(),
+                         std::move(permuted).value().to_original};
+}
+
+std::string LinkTypeDroppingAnonymizer::name() const {
+  std::string out = "DROP-TO";
+  for (hin::LinkTypeId lt : kept_) out += "-" + std::to_string(lt);
+  return out;
+}
+
+util::Result<AnonymizedGraph> LinkTypeDroppingAnonymizer::Anonymize(
+    const hin::Graph& target, util::Rng* rng) const {
+  for (hin::LinkTypeId lt : kept_) {
+    if (lt >= target.num_link_types()) {
+      return util::Status::InvalidArgument("kept link type out of range");
+    }
+  }
+  auto permuted = PermuteVertices(target, rng);
+  if (!permuted.ok()) return permuted.status();
+  const hin::Graph& base = permuted.value().graph;
+
+  hin::GraphBuilder builder(base.schema());
+  HINPRIV_RETURN_IF_ERROR(hin::CopyVerticesWithAttributes(base, &builder));
+  for (hin::LinkTypeId lt : kept_) {
+    for (hin::VertexId v = 0; v < base.num_vertices(); ++v) {
+      for (const hin::Edge& e : base.OutEdges(lt, v)) {
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, e.neighbor, lt, e.strength));
+      }
+    }
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  return AnonymizedGraph{std::move(built).value(),
+                         std::move(permuted).value().to_original};
+}
+
+}  // namespace hinpriv::anon

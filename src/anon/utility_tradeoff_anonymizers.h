@@ -1,0 +1,58 @@
+#ifndef HINPRIV_ANON_UTILITY_TRADEOFF_ANONYMIZERS_H_
+#define HINPRIV_ANON_UTILITY_TRADEOFF_ANONYMIZERS_H_
+
+#include <vector>
+
+#include "anon/anonymizer.h"
+
+namespace hinpriv::anon {
+
+// Defenses built from the paper's own Section 4.5 guidance (and its
+// future-work item b): reduce the heterogeneous link cardinality C(L*) —
+// which drives the Theorem-2 double-exponential risk growth — rather than
+// suppressing profile data or faking structure.
+
+// Rounds every published strength of growable-strength link types down to
+// a bucket boundary: strength s becomes 1 + floor((s-1)/bucket)*bucket.
+// This shrinks the strength alphabet (C(L*)) by the bucket factor while
+// preserving every link and the ordering of strong vs. weak ties — far
+// cheaper in utility than CGA's fake links. The transformation is
+// growth-consistent (bucketed value <= original), so DeHIN's growth-aware
+// matchers remain sound and the attack's precision loss is purely from the
+// lost cardinality.
+class StrengthBucketingAnonymizer : public Anonymizer {
+ public:
+  explicit StrengthBucketingAnonymizer(hin::Strength bucket)
+      : bucket_(bucket) {}
+
+  std::string name() const override {
+    return "BUCKET" + std::to_string(bucket_);
+  }
+
+  util::Result<AnonymizedGraph> Anonymize(const hin::Graph& target,
+                                          util::Rng* rng) const override;
+
+ private:
+  hin::Strength bucket_;
+};
+
+// Publishes only the given link types (the paper's "online forums may only
+// allow premium users to access all or partial types of relationships"):
+// all other links are withheld. Vertices and profiles are untouched.
+class LinkTypeDroppingAnonymizer : public Anonymizer {
+ public:
+  explicit LinkTypeDroppingAnonymizer(std::vector<hin::LinkTypeId> kept)
+      : kept_(std::move(kept)) {}
+
+  std::string name() const override;
+
+  util::Result<AnonymizedGraph> Anonymize(const hin::Graph& target,
+                                          util::Rng* rng) const override;
+
+ private:
+  std::vector<hin::LinkTypeId> kept_;
+};
+
+}  // namespace hinpriv::anon
+
+#endif  // HINPRIV_ANON_UTILITY_TRADEOFF_ANONYMIZERS_H_

@@ -1,0 +1,238 @@
+#include "baselines/clique_seeds.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hinpriv::baselines {
+
+namespace {
+
+using hin::Graph;
+using hin::LinkTypeId;
+using hin::VertexId;
+
+// Sorted undirected adjacency (union over link types and directions),
+// restricted to vertices under the degree cap.
+std::vector<std::vector<VertexId>> BuildUndirectedAdjacency(
+    const Graph& graph, size_t degree_cap) {
+  const size_t n = graph.num_vertices();
+  std::vector<std::vector<VertexId>> adjacency(n);
+  for (VertexId v = 0; v < n; ++v) {
+    auto& neighbors = adjacency[v];
+    for (LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+      for (const hin::Edge& e : graph.OutEdges(lt, v)) {
+        neighbors.push_back(e.neighbor);
+      }
+      for (const hin::Edge& e : graph.InEdges(lt, v)) {
+        neighbors.push_back(e.neighbor);
+      }
+    }
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+  // Degree-cap filter: drop capped vertices and edges into them, so hubs
+  // neither start nor join cliques.
+  std::vector<bool> capped(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    capped[v] = adjacency[v].size() > degree_cap;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (capped[v]) {
+      adjacency[v].clear();
+      continue;
+    }
+    auto& neighbors = adjacency[v];
+    neighbors.erase(std::remove_if(neighbors.begin(), neighbors.end(),
+                                   [&](VertexId u) { return capped[u]; }),
+                    neighbors.end());
+  }
+  return adjacency;
+}
+
+// Sorted-vector intersection keeping only ids > floor.
+std::vector<VertexId> IntersectAbove(const std::vector<VertexId>& a,
+                                     const std::vector<VertexId>& b,
+                                     VertexId floor) {
+  std::vector<VertexId> out;
+  auto ia = std::upper_bound(a.begin(), a.end(), floor);
+  auto ib = std::upper_bound(b.begin(), b.end(), floor);
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      out.push_back(*ia);
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+void ExtendClique(const std::vector<std::vector<VertexId>>& adjacency,
+                  size_t clique_size, size_t max_cliques, Clique* current,
+                  const std::vector<VertexId>& candidates,
+                  std::vector<Clique>* cliques) {
+  if (cliques->size() >= max_cliques) return;
+  for (VertexId v : candidates) {
+    current->push_back(v);
+    if (current->size() == clique_size) {
+      cliques->push_back(*current);
+    } else {
+      ExtendClique(adjacency, clique_size, max_cliques, current,
+                   IntersectAbove(candidates, adjacency[v], v), cliques);
+    }
+    current->pop_back();
+    if (cliques->size() >= max_cliques) return;
+  }
+}
+
+// Total undirected-ish degree used as the matching signature: out + in over
+// all link types (no dedup — cheap and monotone under growth).
+size_t SignatureDegree(const Graph& graph, VertexId v) {
+  size_t degree = graph.TotalOutDegree(v);
+  for (LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+    degree += graph.InDegree(lt, v);
+  }
+  return degree;
+}
+
+}  // namespace
+
+util::Result<std::vector<Clique>> FindCliques(const Graph& graph,
+                                              const CliqueSeedConfig& config) {
+  if (config.clique_size < 2) {
+    return util::Status::InvalidArgument("clique size must be >= 2");
+  }
+  const auto adjacency = BuildUndirectedAdjacency(graph, config.degree_cap);
+  std::vector<Clique> cliques;
+  Clique current;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (adjacency[v].empty()) continue;
+    current.assign(1, v);
+    // Candidates restricted to ids > v for canonical ordering.
+    std::vector<VertexId> candidates;
+    candidates.assign(
+        std::upper_bound(adjacency[v].begin(), adjacency[v].end(), v),
+        adjacency[v].end());
+    ExtendClique(adjacency, config.clique_size, config.max_cliques, &current,
+                 candidates, &cliques);
+    if (cliques.size() >= config.max_cliques) break;
+  }
+  return cliques;
+}
+
+util::Result<CliqueSeedResult> GenerateCliqueSeeds(
+    const Graph& target, const Graph& auxiliary,
+    const CliqueSeedConfig& config, size_t slack) {
+  auto target_cliques = FindCliques(target, config);
+  if (!target_cliques.ok()) return target_cliques.status();
+  auto aux_cliques = FindCliques(auxiliary, config);
+  if (!aux_cliques.ok()) return aux_cliques.status();
+
+  CliqueSeedResult result;
+  result.target_cliques = target_cliques.value().size();
+  result.aux_cliques = aux_cliques.value().size();
+
+  // Degree signatures, members sorted by (degree, id) so equal-signature
+  // cliques align positionally.
+  auto signature = [](const Graph& graph, Clique clique) {
+    std::sort(clique.begin(), clique.end(), [&](VertexId a, VertexId b) {
+      const size_t da = SignatureDegree(graph, a);
+      const size_t db = SignatureDegree(graph, b);
+      return da != db ? da < db : a < b;
+    });
+    std::vector<size_t> degrees;
+    degrees.reserve(clique.size());
+    for (VertexId v : clique) degrees.push_back(SignatureDegree(graph, v));
+    return std::make_pair(std::move(clique), std::move(degrees));
+  };
+
+  std::vector<std::pair<Clique, std::vector<size_t>>> aux_signed;
+  aux_signed.reserve(aux_cliques.value().size());
+  for (auto& clique : aux_cliques.value()) {
+    aux_signed.push_back(signature(auxiliary, std::move(clique)));
+  }
+  std::vector<std::pair<Clique, std::vector<size_t>>> target_signed;
+  target_signed.reserve(target_cliques.value().size());
+  for (auto& clique : target_cliques.value()) {
+    target_signed.push_back(signature(target, std::move(clique)));
+  }
+
+  // Reject target cliques whose signature is shared by another target
+  // clique (the adversary could not tell which is which).
+  std::unordered_map<std::string, size_t> target_sig_counts;
+  auto sig_key = [](const std::vector<size_t>& degrees) {
+    std::string key;
+    for (size_t d : degrees) {
+      key += std::to_string(d);
+      key += ',';
+    }
+    return key;
+  };
+  for (const auto& [clique, degrees] : target_signed) {
+    ++target_sig_counts[sig_key(degrees)];
+  }
+
+  auto compatible = [&](const std::vector<size_t>& target_degrees,
+                        const std::vector<size_t>& aux_degrees) {
+    for (size_t i = 0; i < target_degrees.size(); ++i) {
+      if (aux_degrees[i] < target_degrees[i] ||
+          aux_degrees[i] > target_degrees[i] + slack) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::unordered_map<VertexId, VertexId> mapping;
+  std::unordered_map<VertexId, size_t> conflicts;
+  for (const auto& [t_clique, t_degrees] : target_signed) {
+    if (target_sig_counts[sig_key(t_degrees)] != 1) continue;
+    // Member degrees must be pairwise distinct or alignment is ambiguous.
+    bool distinct = true;
+    for (size_t i = 1; i < t_degrees.size(); ++i) {
+      if (t_degrees[i] == t_degrees[i - 1]) distinct = false;
+    }
+    if (!distinct) continue;
+    const std::pair<Clique, std::vector<size_t>>* match = nullptr;
+    bool unique = true;
+    for (const auto& aux_entry : aux_signed) {
+      if (!compatible(t_degrees, aux_entry.second)) continue;
+      if (match != nullptr) {
+        unique = false;
+        break;
+      }
+      match = &aux_entry;
+    }
+    if (match == nullptr || !unique) continue;
+    ++result.matched_cliques;
+    for (size_t i = 0; i < t_clique.size(); ++i) {
+      const VertexId vt = t_clique[i];
+      const VertexId va = match->first[i];
+      auto it = mapping.find(vt);
+      if (it != mapping.end() && it->second != va) {
+        ++conflicts[vt];  // contradictory evidence: drop the vertex
+        continue;
+      }
+      mapping.emplace(vt, va);
+    }
+  }
+
+  // Emit conflict-free, aux-injective seeds.
+  std::unordered_map<VertexId, size_t> aux_uses;
+  for (const auto& [vt, va] : mapping) {
+    if (conflicts.contains(vt)) continue;
+    ++aux_uses[va];
+  }
+  for (const auto& [vt, va] : mapping) {
+    if (conflicts.contains(vt) || aux_uses[va] != 1) continue;
+    result.seeds.emplace_back(vt, va);
+  }
+  std::sort(result.seeds.begin(), result.seeds.end());
+  return result;
+}
+
+}  // namespace hinpriv::baselines

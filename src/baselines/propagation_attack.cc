@@ -1,0 +1,153 @@
+#include "baselines/propagation_attack.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hinpriv::baselines {
+
+namespace {
+
+using hin::Edge;
+using hin::Graph;
+using hin::LinkTypeId;
+using hin::VertexId;
+
+// Accumulates votes for auxiliary candidates of one unmapped target
+// vertex: every mapped target neighbor nominates the auxiliary vertices
+// standing in the same typed/directed relation to its own image.
+void CollectVotes(const Graph& target, const Graph& aux,
+                  const std::vector<VertexId>& mapping,
+                  const std::vector<bool>& aux_used,
+                  const std::vector<LinkTypeId>& link_types,
+                  bool normalize_by_degree, VertexId vt,
+                  std::unordered_map<VertexId, double>* votes) {
+  auto vote = [&](VertexId candidate, double weight) {
+    if (aux_used[candidate]) return;  // injective mapping
+    (*votes)[candidate] += weight;
+  };
+  for (LinkTypeId lt : link_types) {
+    // v' -> b' in the target: candidates are in-neighbors of b's image.
+    for (const Edge& out : target.OutEdges(lt, vt)) {
+      const VertexId image = mapping[out.neighbor];
+      if (image == hin::kInvalidVertex) continue;
+      for (const Edge& candidate : aux.InEdges(lt, image)) {
+        const double weight =
+            normalize_by_degree
+                ? 1.0 / std::sqrt(1.0 + static_cast<double>(
+                                            aux.TotalOutDegree(
+                                                candidate.neighbor)))
+                : 1.0;
+        vote(candidate.neighbor, weight);
+      }
+    }
+    // b' -> v' in the target: candidates are out-neighbors of b's image.
+    for (const Edge& in : target.InEdges(lt, vt)) {
+      const VertexId image = mapping[in.neighbor];
+      if (image == hin::kInvalidVertex) continue;
+      for (const Edge& candidate : aux.OutEdges(lt, image)) {
+        const double weight =
+            normalize_by_degree
+                ? 1.0 / std::sqrt(1.0 + static_cast<double>(
+                                            aux.TotalOutDegree(
+                                                candidate.neighbor)))
+                : 1.0;
+        vote(candidate.neighbor, weight);
+      }
+    }
+  }
+}
+
+// Eccentricity of the score distribution: (best - second) / stddev.
+// A single candidate is maximally eccentric.
+bool IsEccentric(const std::unordered_map<VertexId, double>& votes,
+                 double theta, VertexId* winner) {
+  if (votes.empty()) return false;
+  VertexId best = hin::kInvalidVertex;
+  double best_score = -1.0;
+  double second_score = -1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [candidate, score] : votes) {
+    sum += score;
+    sum_sq += score * score;
+    if (score > best_score) {
+      second_score = best_score;
+      best_score = score;
+      best = candidate;
+    } else if (score > second_score) {
+      second_score = score;
+    }
+  }
+  *winner = best;
+  if (votes.size() == 1) return true;
+  const double n = static_cast<double>(votes.size());
+  const double mean = sum / n;
+  const double variance = std::max(0.0, sum_sq / n - mean * mean);
+  const double stddev = std::sqrt(variance);
+  if (stddev == 0.0) return false;  // a tie carries no signal
+  return (best_score - second_score) / stddev >= theta;
+}
+
+}  // namespace
+
+util::Result<PropagationResult> RunPropagationAttack(
+    const hin::Graph& target, const hin::Graph& auxiliary,
+    const std::vector<std::pair<VertexId, VertexId>>& seeds,
+    const PropagationConfig& config) {
+  if (target.num_link_types() != auxiliary.num_link_types()) {
+    return util::Status::InvalidArgument(
+        "target and auxiliary graphs have different link type counts");
+  }
+  if (config.max_iterations < 1) {
+    return util::Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  std::vector<LinkTypeId> link_types = config.link_types;
+  if (link_types.empty()) {
+    for (size_t lt = 0; lt < target.num_link_types(); ++lt) {
+      link_types.push_back(static_cast<LinkTypeId>(lt));
+    }
+  }
+  for (LinkTypeId lt : link_types) {
+    if (lt >= target.num_link_types()) {
+      return util::Status::InvalidArgument("link type out of range");
+    }
+  }
+
+  PropagationResult result;
+  result.mapping.assign(target.num_vertices(), hin::kInvalidVertex);
+  std::vector<bool> aux_used(auxiliary.num_vertices(), false);
+  for (const auto& [vt, va] : seeds) {
+    if (vt >= target.num_vertices() || va >= auxiliary.num_vertices()) {
+      return util::Status::OutOfRange("seed vertex out of range");
+    }
+    if (result.mapping[vt] != hin::kInvalidVertex || aux_used[va]) {
+      return util::Status::InvalidArgument("duplicate seed mapping");
+    }
+    result.mapping[vt] = va;
+    aux_used[va] = true;
+    ++result.num_mapped;
+  }
+
+  std::unordered_map<VertexId, double> votes;
+  for (int pass = 0; pass < config.max_iterations; ++pass) {
+    ++result.iterations_run;
+    size_t newly_mapped = 0;
+    for (VertexId vt = 0; vt < target.num_vertices(); ++vt) {
+      if (result.mapping[vt] != hin::kInvalidVertex) continue;
+      votes.clear();
+      CollectVotes(target, auxiliary, result.mapping, aux_used, link_types,
+                   config.normalize_by_degree, vt, &votes);
+      VertexId winner = hin::kInvalidVertex;
+      if (!IsEccentric(votes, config.theta, &winner)) continue;
+      result.mapping[vt] = winner;
+      aux_used[winner] = true;
+      ++newly_mapped;
+      ++result.num_mapped;
+    }
+    if (newly_mapped == 0) break;
+  }
+  return result;
+}
+
+}  // namespace hinpriv::baselines

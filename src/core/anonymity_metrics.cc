@@ -1,0 +1,46 @@
+#include "core/anonymity_metrics.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hinpriv::core {
+
+size_t KAnonymity(std::span<const uint64_t> quasi_identifiers) {
+  if (quasi_identifiers.empty()) return 0;
+  std::unordered_map<uint64_t, size_t> classes;
+  for (uint64_t q : quasi_identifiers) ++classes[q];
+  size_t k = SIZE_MAX;
+  for (const auto& [value, count] : classes) k = std::min(k, count);
+  return k;
+}
+
+std::map<size_t, size_t> AnonymitySetHistogram(
+    std::span<const uint64_t> quasi_identifiers) {
+  std::unordered_map<uint64_t, size_t> classes;
+  for (uint64_t q : quasi_identifiers) ++classes[q];
+  std::map<size_t, size_t> histogram;
+  for (const auto& [value, count] : classes) histogram[count] += count;
+  return histogram;
+}
+
+util::Result<size_t> LDiversity(std::span<const uint64_t> quasi_identifiers,
+                                std::span<const uint64_t> sensitive) {
+  if (quasi_identifiers.size() != sensitive.size()) {
+    return util::Status::InvalidArgument(
+        "quasi-identifier and sensitive columns must have equal length");
+  }
+  if (quasi_identifiers.empty()) {
+    return util::Status::InvalidArgument("empty dataset has no l-diversity");
+  }
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> classes;
+  for (size_t i = 0; i < quasi_identifiers.size(); ++i) {
+    classes[quasi_identifiers[i]].insert(sensitive[i]);
+  }
+  size_t l = SIZE_MAX;
+  for (const auto& [value, distinct] : classes) {
+    l = std::min(l, distinct.size());
+  }
+  return l;
+}
+
+}  // namespace hinpriv::core

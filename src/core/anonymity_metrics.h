@@ -1,0 +1,36 @@
+#ifndef HINPRIV_CORE_ANONYMITY_METRICS_H_
+#define HINPRIV_CORE_ANONYMITY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "util/status.h"
+
+namespace hinpriv::core {
+
+// Classical relational anonymity metrics (Section 2.1), provided so the
+// privacy-risk metric can be contrasted against them — Section 1.2 argues
+// k-anonymity cannot differentiate datasets once a single unique tuple is
+// injected, while R(T) degrades gracefully. The unit tests reproduce that
+// argument numerically.
+
+// k-anonymity of a dataset described by (hashed) quasi-identifier values:
+// the size of the smallest equivalence class. 0 for an empty dataset.
+size_t KAnonymity(std::span<const uint64_t> quasi_identifiers);
+
+// Histogram of anonymity-set sizes: for each equivalence-class size k, how
+// many *tuples* live in classes of that size. The k-anonymity above is the
+// smallest key; the privacy risk R(T) is sum over classes of 1/N.
+std::map<size_t, size_t> AnonymitySetHistogram(
+    std::span<const uint64_t> quasi_identifiers);
+
+// Distinct l-diversity: the minimum, over quasi-identifier equivalence
+// classes, of the number of distinct sensitive values in the class.
+// `sensitive` must parallel `quasi_identifiers`.
+util::Result<size_t> LDiversity(std::span<const uint64_t> quasi_identifiers,
+                                std::span<const uint64_t> sensitive);
+
+}  // namespace hinpriv::core
+
+#endif  // HINPRIV_CORE_ANONYMITY_METRICS_H_

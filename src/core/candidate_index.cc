@@ -1,0 +1,42 @@
+#include "core/candidate_index.h"
+
+#include <algorithm>
+
+#include "util/hashing.h"
+
+namespace hinpriv::core {
+
+CandidateIndex::CandidateIndex(const hin::Graph& aux,
+                               const MatchOptions& options)
+    : aux_(aux), options_(options) {
+  if (!options_.growable_attributes.empty()) {
+    has_primary_ = true;
+    primary_ = options_.growable_attributes.front();
+  }
+  buckets_.reserve(aux.num_vertices() / 8 + 1);
+  for (hin::VertexId v = 0; v < aux.num_vertices(); ++v) {
+    buckets_[ExactKey(aux, v)].push_back(v);
+  }
+  if (has_primary_) {
+    for (auto& [key, bucket] : buckets_) {
+      std::sort(bucket.begin(), bucket.end(),
+                [&](hin::VertexId a, hin::VertexId b) {
+                  const hin::AttrValue av = aux.attribute(a, primary_);
+                  const hin::AttrValue bv = aux.attribute(b, primary_);
+                  return av != bv ? av > bv : a < b;
+                });
+    }
+  }
+}
+
+uint64_t CandidateIndex::ExactKey(const hin::Graph& graph,
+                                  hin::VertexId v) const {
+  uint64_t h = 0x853c49e6748fea9bULL;
+  for (hin::AttributeId a : options_.exact_attributes) {
+    h = util::HashCombine(
+        h, static_cast<uint64_t>(static_cast<int64_t>(graph.attribute(v, a))));
+  }
+  return util::Mix64(h);
+}
+
+}  // namespace hinpriv::core

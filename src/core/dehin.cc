@@ -1,0 +1,162 @@
+#include "core/dehin.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "hin/graph_builder.h"
+#include "matching/hopcroft_karp.h"
+
+namespace hinpriv::core {
+
+namespace {
+
+// Memo key for (target vertex, aux vertex, depth): target ids are sample-
+// scale (< 2^28), aux ids fit 32 bits, depth fits 4 bits.
+uint64_t MemoKey(hin::VertexId vt, hin::VertexId va, int depth) {
+  return (static_cast<uint64_t>(vt) << 36) |
+         (static_cast<uint64_t>(va) << 4) | static_cast<uint64_t>(depth);
+}
+
+}  // namespace
+
+Dehin::Dehin(const hin::Graph* auxiliary, DehinConfig config)
+    : aux_(auxiliary), config_(std::move(config)) {
+  // The index implements exactly the MatchOptions profile predicate, so a
+  // custom entity matcher forces the full scan.
+  if (config_.use_candidate_index && !config_.entity_match_override) {
+    index_ = std::make_unique<CandidateIndex>(*aux_, config_.match);
+  }
+}
+
+bool Dehin::EntityMatch(const hin::Graph& target, hin::VertexId vt,
+                        hin::VertexId va) const {
+  if (config_.entity_match_override) {
+    return config_.entity_match_override(target, vt, *aux_, va);
+  }
+  return EntityAttributesMatch(target, vt, *aux_, va, config_.match);
+}
+
+bool Dehin::StrengthMatch(hin::Strength target_strength,
+                          hin::Strength aux_strength) const {
+  if (config_.link_match_override) {
+    return config_.link_match_override(target_strength, aux_strength);
+  }
+  return LinkStrengthMatch(target_strength, aux_strength,
+                           config_.match.growth_aware);
+}
+
+std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
+                                              hin::VertexId vt,
+                                              int max_distance) const {
+  std::vector<hin::VertexId> candidates;
+  std::unordered_map<uint64_t, bool> memo;
+  auto consider = [&](hin::VertexId va) {
+    if (max_distance > 0 && !LinkMatch(max_distance, target, vt, va, &memo)) {
+      return;
+    }
+    candidates.push_back(va);
+  };
+  if (index_ != nullptr) {
+    index_->ForEachCandidate(target, vt, consider);
+  } else {
+    for (hin::VertexId va = 0; va < aux_->num_vertices(); ++va) {
+      if (EntityMatch(target, vt, va)) consider(va);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
+                      hin::VertexId va,
+                      std::unordered_map<uint64_t, bool>* memo) const {
+  const uint64_t key = MemoKey(vt, va, depth);
+  if (auto it = memo->find(key); it != memo->end()) return it->second;
+
+  // The saturation threshold in absolute neighbor count (see DehinConfig).
+  const size_t saturation_limit = static_cast<size_t>(
+      config_.saturation_fraction *
+      static_cast<double>(target.num_vertices() > 0 ? target.num_vertices() - 1
+                                                    : 0));
+
+  bool is_match = true;
+  for (hin::LinkTypeId lt : config_.match.link_types) {
+    const int directions = config_.match.use_in_edges ? 2 : 1;
+    for (int dir = 0; dir < directions && is_match; ++dir) {
+      const bool incoming = dir == 1;
+      const auto t_neighbors =
+          incoming ? target.InEdges(lt, vt) : target.OutEdges(lt, vt);
+      if (t_neighbors.empty()) continue;
+      // A near-complete neighborhood is fake-link saturation (VW-CGA);
+      // it carries no signal, so the adversary ignores this link type.
+      if (t_neighbors.size() > saturation_limit) continue;
+      const auto a_neighbors =
+          incoming ? aux_->InEdges(lt, va) : aux_->OutEdges(lt, va);
+      if (a_neighbors.size() < t_neighbors.size()) {
+        is_match = false;  // growth only adds links; pigeonhole reject
+        break;
+      }
+      // Bipartite candidate sets C(b') for each target neighbor
+      // (Algorithm 2), then the Hopcroft-Karp acceptance test.
+      matching::BipartiteGraph bipartite(t_neighbors.size(),
+                                         a_neighbors.size());
+      for (uint32_t i = 0; i < t_neighbors.size(); ++i) {
+        const hin::Edge& tb = t_neighbors[i];
+        bool any = false;
+        for (uint32_t j = 0; j < a_neighbors.size(); ++j) {
+          const hin::Edge& ab = a_neighbors[j];
+          if (!StrengthMatch(tb.strength, ab.strength)) continue;
+          if (!EntityMatch(target, tb.neighbor, ab.neighbor)) continue;
+          if (depth > 1 &&
+              !LinkMatch(depth - 1, target, tb.neighbor, ab.neighbor, memo)) {
+            continue;
+          }
+          bipartite.AddEdge(i, j);
+          any = true;
+        }
+        if (!any) {
+          is_match = false;  // empty candidate set C(b'): no matching exists
+          break;
+        }
+      }
+      if (is_match && !matching::HasPerfectLeftMatching(bipartite)) {
+        is_match = false;
+      }
+    }
+    if (!is_match) break;
+  }
+  memo->emplace(key, is_match);
+  return is_match;
+}
+
+util::Result<hin::Graph> StripMajorityStrengthLinks(const hin::Graph& graph) {
+  hin::GraphBuilder builder(graph.schema());
+  HINPRIV_RETURN_IF_ERROR(hin::CopyVerticesWithAttributes(graph, &builder));
+  for (hin::LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+    // Majority (most frequent) strength for this link type; ties break
+    // toward the smaller strength for determinism.
+    std::unordered_map<hin::Strength, size_t> counts;
+    for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (const hin::Edge& e : graph.OutEdges(lt, v)) ++counts[e.strength];
+    }
+    if (counts.empty()) continue;
+    hin::Strength majority = 0;
+    size_t majority_count = 0;
+    for (const auto& [strength, count] : counts) {
+      if (count > majority_count ||
+          (count == majority_count && strength < majority)) {
+        majority = strength;
+        majority_count = count;
+      }
+    }
+    for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (const hin::Edge& e : graph.OutEdges(lt, v)) {
+        if (e.strength == majority) continue;
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, e.neighbor, lt, e.strength));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace hinpriv::core

@@ -1,0 +1,43 @@
+#include "core/matchers.h"
+
+#include "hin/tqq_schema.h"
+
+namespace hinpriv::core {
+
+MatchOptions DefaultTqqMatchOptions() {
+  MatchOptions options;
+  options.exact_attributes = {hin::kGenderAttr, hin::kYobAttr,
+                              hin::kTagCountAttr};
+  options.growable_attributes = {hin::kTweetCountAttr};
+  options.link_types = {hin::kFollowLink, hin::kMentionLink, hin::kRetweetLink,
+                        hin::kCommentLink};
+  options.growth_aware = true;
+  options.use_in_edges = false;
+  return options;
+}
+
+bool EntityAttributesMatch(const hin::Graph& target, hin::VertexId vt,
+                           const hin::Graph& aux, hin::VertexId va,
+                           const MatchOptions& options) {
+  for (hin::AttributeId a : options.exact_attributes) {
+    if (target.attribute(vt, a) != aux.attribute(va, a)) return false;
+  }
+  for (hin::AttributeId a : options.growable_attributes) {
+    if (options.growth_aware) {
+      if (aux.attribute(va, a) < target.attribute(vt, a)) return false;
+    } else {
+      if (aux.attribute(va, a) != target.attribute(vt, a)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<hin::LinkTypeId> AllLinkTypes(const hin::Graph& graph) {
+  std::vector<hin::LinkTypeId> types(graph.num_link_types());
+  for (size_t i = 0; i < types.size(); ++i) {
+    types[i] = static_cast<hin::LinkTypeId>(i);
+  }
+  return types;
+}
+
+}  // namespace hinpriv::core

@@ -1,0 +1,84 @@
+#include "core/signature.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hashing.h"
+
+namespace hinpriv::core {
+
+namespace {
+
+using util::HashCombine;
+using util::Mix64;
+
+// Canonical hash of one neighborhood element: the link type, traversal
+// direction, link strength, and the neighbor's previous-level signature.
+uint64_t EdgeElementHash(hin::LinkTypeId lt, bool incoming,
+                         hin::Strength strength, uint64_t neighbor_sig) {
+  uint64_t h = HashCombine(0x9d39247e33776d41ULL, lt);
+  h = HashCombine(h, incoming ? 1 : 0);
+  h = HashCombine(h, strength);
+  h = HashCombine(h, neighbor_sig);
+  return Mix64(h);
+}
+
+}  // namespace
+
+std::vector<std::vector<uint64_t>> ComputeSignatures(
+    const hin::Graph& graph, const SignatureOptions& options,
+    int max_distance) {
+  const size_t n = graph.num_vertices();
+  std::vector<std::vector<uint64_t>> levels;
+  levels.reserve(static_cast<size_t>(max_distance) + 1);
+
+  // Distance 0: the selected profile attributes, order-dependently combined
+  // (attribute identity is part of the value).
+  std::vector<uint64_t> sig0(n);
+  for (hin::VertexId v = 0; v < n; ++v) {
+    uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (hin::AttributeId a : options.attributes) {
+      h = HashCombine(h, static_cast<uint64_t>(
+                             static_cast<int64_t>(graph.attribute(v, a))));
+    }
+    sig0[v] = Mix64(h);
+  }
+  levels.push_back(std::move(sig0));
+
+  std::vector<uint64_t> elements;  // reused scratch
+  for (int level = 1; level <= max_distance; ++level) {
+    const std::vector<uint64_t>& prev = levels.back();
+    std::vector<uint64_t> next(n);
+    for (hin::VertexId v = 0; v < n; ++v) {
+      elements.clear();
+      for (hin::LinkTypeId lt : options.link_types) {
+        for (const hin::Edge& e : graph.OutEdges(lt, v)) {
+          elements.push_back(
+              EdgeElementHash(lt, /*incoming=*/false, e.strength,
+                              prev[e.neighbor]));
+        }
+        if (options.use_in_edges) {
+          for (const hin::Edge& e : graph.InEdges(lt, v)) {
+            elements.push_back(EdgeElementHash(lt, /*incoming=*/true,
+                                               e.strength, prev[e.neighbor]));
+          }
+        }
+      }
+      // Canonical form: neighborhood elements are a multiset, so sort the
+      // element hashes before the order-dependent fold.
+      std::sort(elements.begin(), elements.end());
+      uint64_t h = levels[0][v];
+      for (uint64_t element : elements) h = HashCombine(h, element);
+      next[v] = Mix64(h);
+    }
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+size_t CountDistinct(std::span<const uint64_t> values) {
+  std::unordered_set<uint64_t> distinct(values.begin(), values.end());
+  return distinct.size();
+}
+
+}  // namespace hinpriv::core

@@ -1,0 +1,63 @@
+#include "eval/experiment.h"
+
+#include "hin/tqq_schema.h"
+
+namespace hinpriv::eval {
+
+util::Result<ExperimentDataset> BuildExperimentDataset(
+    const synth::TqqConfig& config, const synth::PlantedTargetSpec& spec,
+    const synth::GrowthConfig& growth, const anon::Anonymizer& anonymizer,
+    bool strip_majority, util::Rng* rng) {
+  auto dataset = synth::BuildPlantedDataset(config, spec, growth, rng);
+  if (!dataset.ok()) return dataset.status();
+
+  auto anonymized = anonymizer.Anonymize(dataset.value().target, rng);
+  if (!anonymized.ok()) return anonymized.status();
+
+  // Compose ground truth through the anonymizer's permutation: anonymized
+  // vertex i was original target vertex to_original[i], whose auxiliary
+  // counterpart is target_to_aux[to_original[i]].
+  std::vector<hin::VertexId> ground_truth(
+      anonymized.value().graph.num_vertices());
+  for (hin::VertexId i = 0; i < ground_truth.size(); ++i) {
+    ground_truth[i] =
+        dataset.value().target_to_aux[anonymized.value().to_original[i]];
+  }
+
+  hin::Graph published = std::move(anonymized).value().graph;
+  if (strip_majority) {
+    auto stripped = core::StripMajorityStrengthLinks(published);
+    if (!stripped.ok()) return stripped.status();
+    published = std::move(stripped).value();
+  }
+
+  return ExperimentDataset{std::move(dataset.value().auxiliary),
+                           std::move(published), std::move(ground_truth),
+                           dataset.value().target_density};
+}
+
+std::vector<LinkTypeSubset> TqqLinkTypeSubsets() {
+  const hin::LinkTypeId f = hin::kFollowLink;
+  const hin::LinkTypeId m = hin::kMentionLink;
+  const hin::LinkTypeId r = hin::kRetweetLink;
+  const hin::LinkTypeId c = hin::kCommentLink;
+  return {
+      {"f", {f}},
+      {"m", {m}},
+      {"c", {c}},
+      {"r", {r}},
+      {"f-m", {f, m}},
+      {"f-c", {f, c}},
+      {"f-r", {f, r}},
+      {"m-c", {m, c}},
+      {"m-r", {m, r}},
+      {"c-r", {c, r}},
+      {"f-m-c", {f, m, c}},
+      {"f-m-r", {f, m, r}},
+      {"f-c-r", {f, c, r}},
+      {"m-c-r", {m, c, r}},
+      {"f-m-c-r", {f, m, c, r}},
+  };
+}
+
+}  // namespace hinpriv::eval

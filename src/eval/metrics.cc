@@ -1,0 +1,37 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace hinpriv::eval {
+
+AttackMetrics EvaluateAttack(const core::Dehin& dehin,
+                             const hin::Graph& target,
+                             const std::vector<hin::VertexId>& ground_truth,
+                             int max_distance) {
+  AttackMetrics metrics;
+  metrics.num_targets = target.num_vertices();
+  if (metrics.num_targets == 0) return metrics;
+  const double aux_size =
+      static_cast<double>(dehin.auxiliary().num_vertices());
+  double reduction_sum = 0.0;
+  double candidate_sum = 0.0;
+  for (hin::VertexId vt = 0; vt < target.num_vertices(); ++vt) {
+    const auto candidates = dehin.Deanonymize(target, vt, max_distance);
+    const hin::VertexId truth = ground_truth[vt];
+    const bool contains_truth =
+        std::binary_search(candidates.begin(), candidates.end(), truth);
+    if (contains_truth) ++metrics.num_containing_truth;
+    if (contains_truth && candidates.size() == 1) {
+      ++metrics.num_unique_correct;
+    }
+    reduction_sum += 1.0 - static_cast<double>(candidates.size()) / aux_size;
+    candidate_sum += static_cast<double>(candidates.size());
+  }
+  const double n = static_cast<double>(metrics.num_targets);
+  metrics.precision = static_cast<double>(metrics.num_unique_correct) / n;
+  metrics.reduction_rate = reduction_sum / n;
+  metrics.mean_candidate_count = candidate_sum / n;
+  return metrics;
+}
+
+}  // namespace hinpriv::eval

@@ -1,0 +1,39 @@
+#ifndef HINPRIV_EVAL_METRICS_H_
+#define HINPRIV_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dehin.h"
+#include "hin/graph.h"
+
+namespace hinpriv::eval {
+
+// The two Section 6 metrics plus supporting counts.
+//
+//   Precision      = (1/|V'|) * sum_i s(v'_i), where s = 1 iff the
+//                    candidate set is exactly {true counterpart}.
+//   Reduction rate = (1/|V'|) * sum_i (1 - |C(v'_i)| / |V|).
+struct AttackMetrics {
+  double precision = 0.0;
+  double reduction_rate = 0.0;
+  size_t num_targets = 0;
+  // Targets whose candidate set was a unique, correct match.
+  size_t num_unique_correct = 0;
+  // Targets whose candidate set contains the true counterpart (soundness
+  // indicator: 100% under growth-consistent anonymization without edge
+  // deletion).
+  size_t num_containing_truth = 0;
+  double mean_candidate_count = 0.0;
+};
+
+// Runs dehin.Deanonymize on every vertex of `target` at `max_distance` and
+// scores against ground_truth (target vertex i's true auxiliary vertex).
+AttackMetrics EvaluateAttack(const core::Dehin& dehin,
+                             const hin::Graph& target,
+                             const std::vector<hin::VertexId>& ground_truth,
+                             int max_distance);
+
+}  // namespace hinpriv::eval
+
+#endif  // HINPRIV_EVAL_METRICS_H_

@@ -1,0 +1,67 @@
+#include "eval/parallel_metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace hinpriv::eval {
+
+AttackMetrics EvaluateAttackParallel(
+    const core::Dehin& dehin, const hin::Graph& target,
+    const std::vector<hin::VertexId>& ground_truth, int max_distance,
+    size_t num_threads) {
+  AttackMetrics metrics;
+  metrics.num_targets = target.num_vertices();
+  if (metrics.num_targets == 0) return metrics;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, metrics.num_targets);
+
+  struct Partial {
+    size_t unique_correct = 0;
+    size_t containing_truth = 0;
+    double reduction_sum = 0.0;
+    double candidate_sum = 0.0;
+  };
+  std::vector<Partial> partials(num_threads);
+  std::atomic<hin::VertexId> next{0};
+  const double aux_size =
+      static_cast<double>(dehin.auxiliary().num_vertices());
+
+  auto worker = [&](size_t tid) {
+    Partial& p = partials[tid];
+    while (true) {
+      const hin::VertexId vt = next.fetch_add(1, std::memory_order_relaxed);
+      if (vt >= target.num_vertices()) break;
+      const auto candidates = dehin.Deanonymize(target, vt, max_distance);
+      const bool contains_truth = std::binary_search(
+          candidates.begin(), candidates.end(), ground_truth[vt]);
+      if (contains_truth) ++p.containing_truth;
+      if (contains_truth && candidates.size() == 1) ++p.unique_correct;
+      p.reduction_sum +=
+          1.0 - static_cast<double>(candidates.size()) / aux_size;
+      p.candidate_sum += static_cast<double>(candidates.size());
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (auto& thread : threads) thread.join();
+
+  double reduction_sum = 0.0;
+  double candidate_sum = 0.0;
+  for (const Partial& p : partials) {
+    metrics.num_unique_correct += p.unique_correct;
+    metrics.num_containing_truth += p.containing_truth;
+    reduction_sum += p.reduction_sum;
+    candidate_sum += p.candidate_sum;
+  }
+  const double n = static_cast<double>(metrics.num_targets);
+  metrics.precision = static_cast<double>(metrics.num_unique_correct) / n;
+  metrics.reduction_rate = reduction_sum / n;
+  metrics.mean_candidate_count = candidate_sum / n;
+  return metrics;
+}
+
+}  // namespace hinpriv::eval

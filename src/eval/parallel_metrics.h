@@ -1,0 +1,21 @@
+#ifndef HINPRIV_EVAL_PARALLEL_METRICS_H_
+#define HINPRIV_EVAL_PARALLEL_METRICS_H_
+
+#include <cstddef>
+
+#include "eval/metrics.h"
+
+namespace hinpriv::eval {
+
+// Multi-threaded EvaluateAttack. Dehin::Deanonymize is const and keeps all
+// per-call state local, so target vertices can be scored concurrently;
+// results are bit-identical to the serial EvaluateAttack (verified by the
+// unit tests). `num_threads` == 0 picks the hardware concurrency.
+AttackMetrics EvaluateAttackParallel(
+    const core::Dehin& dehin, const hin::Graph& target,
+    const std::vector<hin::VertexId>& ground_truth, int max_distance,
+    size_t num_threads = 0);
+
+}  // namespace hinpriv::eval
+
+#endif  // HINPRIV_EVAL_PARALLEL_METRICS_H_

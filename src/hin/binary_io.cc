@@ -1,0 +1,242 @@
+#include "hin/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "hin/graph_builder.h"
+
+namespace hinpriv::hin {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'I', 'N', 'P', 'R', 'I', 'V', 'B'};
+constexpr uint32_t kVersion = 1;
+// Hard caps that keep a corrupted length field from driving a multi-GB
+// allocation before validation can catch it.
+constexpr uint64_t kMaxStringLength = 1 << 16;
+constexpr uint64_t kMaxCount = 1ULL << 40;
+
+template <typename T>
+void WriteRaw(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteRaw<uint32_t>(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+template <typename T>
+util::Status ReadRaw(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!is) return util::Status::Corruption("unexpected end of binary graph");
+  return util::Status::OK();
+}
+
+util::Status ReadString(std::istream& is, std::string* s) {
+  uint32_t length = 0;
+  HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &length));
+  if (length > kMaxStringLength) {
+    return util::Status::Corruption("string length out of range");
+  }
+  s->resize(length);
+  is.read(s->data(), length);
+  if (!is) return util::Status::Corruption("unexpected end of binary graph");
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status SaveGraphBinary(const Graph& graph, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  WriteRaw<uint32_t>(os, kVersion);
+
+  const NetworkSchema& schema = graph.schema();
+  WriteRaw<uint16_t>(os, static_cast<uint16_t>(schema.num_entity_types()));
+  for (size_t t = 0; t < schema.num_entity_types(); ++t) {
+    const auto& et = schema.entity_type(static_cast<EntityTypeId>(t));
+    WriteString(os, et.name);
+    WriteRaw<uint16_t>(os, static_cast<uint16_t>(et.attributes.size()));
+    for (const auto& attr : et.attributes) {
+      WriteString(os, attr.name);
+      WriteRaw<uint8_t>(os, attr.growable ? 1 : 0);
+    }
+  }
+  WriteRaw<uint16_t>(os, static_cast<uint16_t>(schema.num_link_types()));
+  for (size_t lt = 0; lt < schema.num_link_types(); ++lt) {
+    const auto& def = schema.link_type(static_cast<LinkTypeId>(lt));
+    WriteString(os, def.name);
+    WriteRaw<uint16_t>(os, def.src);
+    WriteRaw<uint16_t>(os, def.dst);
+    WriteRaw<uint8_t>(os, def.has_strength ? 1 : 0);
+    WriteRaw<uint8_t>(os, def.growable_strength ? 1 : 0);
+    WriteRaw<uint8_t>(os, def.allows_self_link ? 1 : 0);
+  }
+
+  WriteRaw<uint64_t>(os, graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    WriteRaw<uint16_t>(os, graph.entity_type(v));
+  }
+  for (size_t t = 0; t < schema.num_entity_types(); ++t) {
+    const EntityTypeId et = static_cast<EntityTypeId>(t);
+    const size_t num_attrs = schema.entity_type(et).attributes.size();
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      const auto column = graph.AttributeColumn(et, a);
+      WriteRaw<uint64_t>(os, column.size());
+      os.write(reinterpret_cast<const char*>(column.data()),
+               static_cast<std::streamsize>(column.size() *
+                                            sizeof(AttrValue)));
+    }
+  }
+  for (size_t lt = 0; lt < schema.num_link_types(); ++lt) {
+    uint64_t count = 0;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      count += graph.OutDegree(static_cast<LinkTypeId>(lt), v);
+    }
+    WriteRaw<uint64_t>(os, count);
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (const Edge& e : graph.OutEdges(static_cast<LinkTypeId>(lt), v)) {
+        WriteRaw<uint32_t>(os, v);
+        WriteRaw<uint32_t>(os, e.neighbor);
+        WriteRaw<uint32_t>(os, e.strength);
+      }
+    }
+  }
+  if (!os) return util::Status::IoError("write failure (binary graph)");
+  return util::Status::OK();
+}
+
+util::Status SaveGraphBinaryToFile(const Graph& graph,
+                                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  return SaveGraphBinary(graph, out);
+}
+
+util::Result<Graph> LoadGraphBinary(std::istream& is) {
+  char magic[sizeof(kMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::Corruption("bad binary graph magic");
+  }
+  uint32_t version = 0;
+  HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &version));
+  if (version != kVersion) {
+    return util::Status::Corruption("unsupported binary graph version");
+  }
+
+  NetworkSchema schema;
+  uint16_t num_entity_types = 0;
+  HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &num_entity_types));
+  for (uint16_t t = 0; t < num_entity_types; ++t) {
+    std::string name;
+    HINPRIV_RETURN_IF_ERROR(ReadString(is, &name));
+    const EntityTypeId et = schema.AddEntityType(std::move(name));
+    uint16_t num_attrs = 0;
+    HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &num_attrs));
+    for (uint16_t a = 0; a < num_attrs; ++a) {
+      std::string attr_name;
+      HINPRIV_RETURN_IF_ERROR(ReadString(is, &attr_name));
+      uint8_t growable = 0;
+      HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &growable));
+      schema.AddAttribute(et, std::move(attr_name), growable != 0);
+    }
+  }
+  uint16_t num_link_types = 0;
+  HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &num_link_types));
+  for (uint16_t lt = 0; lt < num_link_types; ++lt) {
+    std::string name;
+    HINPRIV_RETURN_IF_ERROR(ReadString(is, &name));
+    uint16_t src = 0;
+    uint16_t dst = 0;
+    uint8_t has_strength = 0;
+    uint8_t growable = 0;
+    uint8_t self_link = 0;
+    HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &src));
+    HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &dst));
+    HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &has_strength));
+    HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &growable));
+    HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &self_link));
+    if (src >= schema.num_entity_types() || dst >= schema.num_entity_types()) {
+      return util::Status::Corruption("link endpoint type out of range");
+    }
+    schema.AddLinkType(std::move(name), src, dst, has_strength != 0,
+                       growable != 0, self_link != 0);
+  }
+  HINPRIV_RETURN_IF_ERROR(schema.Validate());
+
+  uint64_t num_vertices = 0;
+  HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &num_vertices));
+  if (num_vertices > kMaxCount) {
+    return util::Status::Corruption("vertex count out of range");
+  }
+  GraphBuilder builder(schema);
+  std::vector<uint16_t> vertex_types(num_vertices);
+  std::vector<uint64_t> type_counts(schema.num_entity_types(), 0);
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    uint16_t et = 0;
+    HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &et));
+    if (et >= schema.num_entity_types()) {
+      return util::Status::Corruption("vertex entity type out of range");
+    }
+    builder.AddVertex(et);
+    vertex_types[v] = et;
+    ++type_counts[et];
+  }
+
+  // Attribute columns are stored in dense per-type order, which is the
+  // vertex-id order restricted to that type.
+  for (uint16_t t = 0; t < schema.num_entity_types(); ++t) {
+    const size_t num_attrs = schema.entity_type(t).attributes.size();
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      uint64_t column_size = 0;
+      HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &column_size));
+      if (column_size != type_counts[t]) {
+        return util::Status::Corruption("attribute column size mismatch");
+      }
+      std::vector<AttrValue> column(column_size);
+      is.read(reinterpret_cast<char*>(column.data()),
+              static_cast<std::streamsize>(column_size * sizeof(AttrValue)));
+      if (!is) {
+        return util::Status::Corruption("unexpected end of binary graph");
+      }
+      size_t dense = 0;
+      for (uint64_t v = 0; v < num_vertices; ++v) {
+        if (vertex_types[v] != t) continue;
+        HINPRIV_RETURN_IF_ERROR(builder.SetAttribute(
+            static_cast<VertexId>(v), a, column[dense++]));
+      }
+    }
+  }
+
+  for (uint16_t lt = 0; lt < schema.num_link_types(); ++lt) {
+    uint64_t count = 0;
+    HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &count));
+    if (count > kMaxCount) {
+      return util::Status::Corruption("edge count out of range");
+    }
+    for (uint64_t e = 0; e < count; ++e) {
+      uint32_t src = 0;
+      uint32_t dst = 0;
+      uint32_t strength = 0;
+      HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &src));
+      HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &dst));
+      HINPRIV_RETURN_IF_ERROR(ReadRaw(is, &strength));
+      if (src >= num_vertices || dst >= num_vertices) {
+        return util::Status::Corruption("edge endpoint out of range");
+      }
+      HINPRIV_RETURN_IF_ERROR(builder.AddEdge(src, dst, lt, strength));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> LoadGraphBinaryFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  return LoadGraphBinary(in);
+}
+
+}  // namespace hinpriv::hin

@@ -1,0 +1,37 @@
+#ifndef HINPRIV_HIN_BINARY_IO_H_
+#define HINPRIV_HIN_BINARY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "hin/graph.h"
+#include "util/status.h"
+
+namespace hinpriv::hin {
+
+// Binary graph serialization for large networks. The text format (io.h) is
+// human-inspectable but parses at ~1M edges/s; this format writes the
+// attribute columns and CSR edge arrays as raw little-endian blocks and
+// loads the paper-scale 2.3M-user / 60M-link network in seconds.
+//
+// Layout (all integers little-endian):
+//   magic "HINPRIVB"  u32 version
+//   schema: u16 entity type count; per type: string name, u16 attr count,
+//           per attr: string name, u8 growable
+//           u16 link type count; per type: string name, u16 src, u16 dst,
+//           u8 has_strength, u8 growable, u8 self_link
+//   u64 vertex count; vertex entity types (u16 each)
+//   per entity type, per attribute: raw AttrValue column
+//   per link type: u64 edge count, then (u32 dst, u32 strength) pairs in
+//   out-CSR order preceded by the u64 offsets array
+// The loader re-validates every count and id, like the text loader.
+util::Status SaveGraphBinary(const Graph& graph, std::ostream& os);
+util::Status SaveGraphBinaryToFile(const Graph& graph,
+                                   const std::string& path);
+
+util::Result<Graph> LoadGraphBinary(std::istream& is);
+util::Result<Graph> LoadGraphBinaryFromFile(const std::string& path);
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_BINARY_IO_H_

@@ -1,0 +1,33 @@
+#include "hin/density.h"
+
+#include <cmath>
+
+namespace hinpriv::hin {
+
+double DensityFromCounts(size_t num_edges, size_t num_vertices,
+                         size_t num_link_types, size_t num_self_link_types) {
+  if (num_vertices < 2 || num_link_types == 0) return 0.0;
+  const double v = static_cast<double>(num_vertices);
+  const double m = static_cast<double>(num_self_link_types);
+  const double l = static_cast<double>(num_link_types);
+  const double max_edges = m * v * v + (l - m) * v * (v - 1.0);
+  return static_cast<double>(num_edges) / max_edges;
+}
+
+double Density(const Graph& graph) {
+  return DensityFromCounts(graph.num_edges(), graph.num_vertices(),
+                           graph.num_link_types(),
+                           graph.schema().CountSelfLinkTypes());
+}
+
+size_t EdgesForDensity(double density, size_t num_vertices,
+                       size_t num_link_types, size_t num_self_link_types) {
+  if (num_vertices < 2 || num_link_types == 0 || density <= 0.0) return 0;
+  const double v = static_cast<double>(num_vertices);
+  const double m = static_cast<double>(num_self_link_types);
+  const double l = static_cast<double>(num_link_types);
+  const double max_edges = m * v * v + (l - m) * v * (v - 1.0);
+  return static_cast<size_t>(std::llround(density * max_edges));
+}
+
+}  // namespace hinpriv::hin

@@ -1,0 +1,33 @@
+#ifndef HINPRIV_HIN_DENSITY_H_
+#define HINPRIV_HIN_DENSITY_H_
+
+#include <cstddef>
+
+#include "hin/graph.h"
+
+namespace hinpriv::hin {
+
+// Heterogeneous network density (Equation 4 of the paper):
+//
+//   density = |E| / ( m * |V|^2  +  (|L| - m) * |V| * (|V| - 1) )
+//
+// where |E| counts directed edges across all link types, |L| is the number
+// of link types, and m is the number of link types that allow self-links.
+// The denominator is the maximum possible number of edges, so the value is
+// always in [0, 1]. Returns 0.0 for graphs with fewer than 2 vertices or no
+// link types.
+double Density(const Graph& graph);
+
+// Same formula from raw counts, for planning edge budgets before a graph
+// exists (used by the synthetic generators to hit a requested density).
+double DensityFromCounts(size_t num_edges, size_t num_vertices,
+                         size_t num_link_types, size_t num_self_link_types);
+
+// Inverse of DensityFromCounts: the number of directed edges needed to hit
+// `density` with the given vertex/link-type counts (rounded to nearest).
+size_t EdgesForDensity(double density, size_t num_vertices,
+                       size_t num_link_types, size_t num_self_link_types);
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_DENSITY_H_

@@ -1,0 +1,24 @@
+#include "hin/graph.h"
+
+#include <algorithm>
+
+namespace hinpriv::hin {
+
+size_t Graph::TotalOutDegree(VertexId v) const {
+  size_t total = 0;
+  for (const auto& adj : out_) {
+    total += adj.offsets[v + 1] - adj.offsets[v];
+  }
+  return total;
+}
+
+Strength Graph::EdgeStrength(LinkTypeId lt, VertexId src, VertexId dst) const {
+  const auto edges = OutEdges(lt, src);
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), dst,
+      [](const Edge& e, VertexId v) { return e.neighbor < v; });
+  if (it != edges.end() && it->neighbor == dst) return it->strength;
+  return 0;
+}
+
+}  // namespace hinpriv::hin

@@ -1,0 +1,119 @@
+#ifndef HINPRIV_HIN_GRAPH_H_
+#define HINPRIV_HIN_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hin/schema.h"
+#include "hin/types.h"
+#include "util/status.h"
+
+namespace hinpriv::hin {
+
+// One directed adjacency entry: the neighbor and the link strength
+// (1 for unweighted link types such as follow).
+struct Edge {
+  VertexId neighbor = kInvalidVertex;
+  Strength strength = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// An immutable heterogeneous information network instance (Definition 1):
+// a directed graph whose vertices carry an entity type and per-type profile
+// attributes, and whose edges carry a link type and a strength.
+//
+// Storage is per-link-type CSR, with both out- and in-adjacency, entries
+// sorted by neighbor id; attributes are columnar per entity type. Built
+// exclusively by GraphBuilder (graph_builder.h); immutable thereafter, so
+// const access is safe to share across threads.
+class Graph {
+ public:
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  const NetworkSchema& schema() const { return schema_; }
+
+  size_t num_vertices() const { return vtype_.size(); }
+  // Total directed edges across all link types (after duplicate merging).
+  size_t num_edges() const { return num_edges_; }
+  size_t num_link_types() const { return schema_.num_link_types(); }
+
+  EntityTypeId entity_type(VertexId v) const { return vtype_[v]; }
+  size_t NumVerticesOfType(EntityTypeId t) const {
+    return type_counts_[t];
+  }
+
+  // Out-neighbors of v via link type lt, sorted by neighbor id.
+  std::span<const Edge> OutEdges(LinkTypeId lt, VertexId v) const {
+    const auto& adj = out_[lt];
+    return {adj.edges.data() + adj.offsets[v],
+            adj.offsets[v + 1] - adj.offsets[v]};
+  }
+  // In-neighbors of v via link type lt (edge.neighbor is the source vertex),
+  // sorted by neighbor id.
+  std::span<const Edge> InEdges(LinkTypeId lt, VertexId v) const {
+    const auto& adj = in_[lt];
+    return {adj.edges.data() + adj.offsets[v],
+            adj.offsets[v + 1] - adj.offsets[v]};
+  }
+
+  size_t OutDegree(LinkTypeId lt, VertexId v) const {
+    return out_[lt].offsets[v + 1] - out_[lt].offsets[v];
+  }
+  size_t InDegree(LinkTypeId lt, VertexId v) const {
+    return in_[lt].offsets[v + 1] - in_[lt].offsets[v];
+  }
+  // Out-degree summed over all link types.
+  size_t TotalOutDegree(VertexId v) const;
+
+  // Strength of the edge src --lt--> dst, or 0 if absent. O(log deg).
+  Strength EdgeStrength(LinkTypeId lt, VertexId src, VertexId dst) const;
+  bool HasEdge(LinkTypeId lt, VertexId src, VertexId dst) const {
+    return EdgeStrength(lt, src, dst) > 0;
+  }
+
+  // Profile attribute `attr` (an AttributeId within v's entity type) of v.
+  AttrValue attribute(VertexId v, AttributeId attr) const {
+    return attrs_[vtype_[v]][attr][dense_idx_[v]];
+  }
+  size_t num_attributes(EntityTypeId t) const {
+    return schema_.entity_type(t).attributes.size();
+  }
+
+  // The full attribute column for one entity type; index i holds the value
+  // for the i-th vertex of that type in vertex-id order. Used by cardinality
+  // and index-building code paths.
+  std::span<const AttrValue> AttributeColumn(EntityTypeId t,
+                                             AttributeId attr) const {
+    return attrs_[t][attr];
+  }
+  // Position of v inside its entity type's attribute columns.
+  uint32_t dense_index(VertexId v) const { return dense_idx_[v]; }
+
+ private:
+  friend class GraphBuilder;
+  Graph() = default;
+
+  struct Csr {
+    std::vector<uint64_t> offsets;  // size num_vertices + 1
+    std::vector<Edge> edges;
+  };
+
+  NetworkSchema schema_;
+  std::vector<EntityTypeId> vtype_;
+  std::vector<uint32_t> dense_idx_;
+  std::vector<size_t> type_counts_;
+  // attrs_[entity_type][attribute][dense_index]
+  std::vector<std::vector<std::vector<AttrValue>>> attrs_;
+  std::vector<Csr> out_;  // one per link type
+  std::vector<Csr> in_;   // one per link type
+  size_t num_edges_ = 0;
+};
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_GRAPH_H_

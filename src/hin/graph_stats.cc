@@ -1,0 +1,92 @@
+#include "hin/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hinpriv::hin {
+
+namespace {
+
+std::map<size_t, size_t> DegreeHistogram(const Graph& graph,
+                                         LinkTypeId link_type, bool out) {
+  std::map<size_t, size_t> histogram;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    size_t degree = 0;
+    if (link_type == kInvalidLinkType) {
+      for (LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+        degree += out ? graph.OutDegree(lt, v) : graph.InDegree(lt, v);
+      }
+    } else {
+      degree = out ? graph.OutDegree(link_type, v)
+                   : graph.InDegree(link_type, v);
+    }
+    ++histogram[degree];
+  }
+  return histogram;
+}
+
+}  // namespace
+
+std::map<size_t, size_t> OutDegreeHistogram(const Graph& graph,
+                                            LinkTypeId link_type) {
+  return DegreeHistogram(graph, link_type, /*out=*/true);
+}
+
+std::map<size_t, size_t> InDegreeHistogram(const Graph& graph,
+                                           LinkTypeId link_type) {
+  return DegreeHistogram(graph, link_type, /*out=*/false);
+}
+
+double MeanOutDegree(const Graph& graph) {
+  if (graph.num_vertices() == 0) return 0.0;
+  return static_cast<double>(graph.num_edges()) /
+         static_cast<double>(graph.num_vertices());
+}
+
+util::Result<double> EstimatePowerLawAlpha(
+    const std::map<size_t, size_t>& histogram, size_t k_min) {
+  if (k_min == 0) {
+    return util::Status::InvalidArgument("k_min must be >= 1");
+  }
+  double log_sum = 0.0;
+  size_t n = 0;
+  for (const auto& [degree, count] : histogram) {
+    if (degree < k_min) continue;
+    log_sum += static_cast<double>(count) *
+               std::log(static_cast<double>(degree) /
+                        (static_cast<double>(k_min) - 0.5));
+    n += count;
+  }
+  if (n < 2 || log_sum <= 0.0) {
+    return util::Status::InvalidArgument(
+        "not enough tail samples to estimate alpha");
+  }
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+double InDegreeGini(const Graph& graph) {
+  const size_t n = graph.num_vertices();
+  if (n == 0) return 0.0;
+  std::vector<double> degrees;
+  degrees.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    size_t degree = 0;
+    for (LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+      degree += graph.InDegree(lt, v);
+    }
+    degrees.push_back(static_cast<double>(degree));
+  }
+  std::sort(degrees.begin(), degrees.end());
+  double cumulative = 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cumulative += degrees[i];
+    weighted += degrees[i] * static_cast<double>(i + 1);
+  }
+  if (cumulative == 0.0) return 0.0;
+  const double nd = static_cast<double>(n);
+  return (2.0 * weighted) / (nd * cumulative) - (nd + 1.0) / nd;
+}
+
+}  // namespace hinpriv::hin

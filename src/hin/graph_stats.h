@@ -1,0 +1,38 @@
+#ifndef HINPRIV_HIN_GRAPH_STATS_H_
+#define HINPRIV_HIN_GRAPH_STATS_H_
+
+#include <map>
+
+#include "hin/graph.h"
+#include "util/status.h"
+
+namespace hinpriv::hin {
+
+// Descriptive statistics used to validate synthetic networks against the
+// structural assumptions of Section 4.3 (power-law out-degree with alpha
+// in [2, 3], hub-dominated in-degree) and to characterize loaded datasets.
+
+// Histogram of out-degrees (summed over all link types, or one type).
+std::map<size_t, size_t> OutDegreeHistogram(
+    const Graph& graph, LinkTypeId link_type = kInvalidLinkType);
+std::map<size_t, size_t> InDegreeHistogram(
+    const Graph& graph, LinkTypeId link_type = kInvalidLinkType);
+
+// Mean total out-degree.
+double MeanOutDegree(const Graph& graph);
+
+// Discrete maximum-likelihood estimate of the power-law exponent alpha for
+// degrees >= k_min (Clauset-Shalizi-Newman continuous approximation:
+// alpha = 1 + n / sum(ln(k_i / (k_min - 0.5)))). Returns InvalidArgument
+// when fewer than 2 samples reach k_min.
+util::Result<double> EstimatePowerLawAlpha(const std::map<size_t, size_t>& histogram,
+                                           size_t k_min = 1);
+
+// Gini coefficient of the in-degree distribution: 0 = perfectly even,
+// -> 1 = hub-dominated. Used to check the preferential-attachment
+// calibration.
+double InDegreeGini(const Graph& graph);
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_GRAPH_STATS_H_

@@ -1,0 +1,50 @@
+#include "hin/homogenize.h"
+
+#include "hin/graph_builder.h"
+
+namespace hinpriv::hin {
+
+util::Result<Graph> HomogenizeGraph(const Graph& graph) {
+  if (graph.schema().num_entity_types() != 1) {
+    return util::Status::InvalidArgument(
+        "HomogenizeGraph expects a single-entity-type (target-schema) graph");
+  }
+  // Single-entity, single-link schema with the same attribute layout.
+  NetworkSchema schema;
+  const EntityTypeId entity = schema.AddEntityType(
+      graph.schema().entity_type(0).name);
+  for (const auto& attr : graph.schema().entity_type(0).attributes) {
+    schema.AddAttribute(entity, attr.name, attr.growable);
+  }
+  bool any_self_links = false;
+  bool any_growable = false;
+  for (size_t lt = 0; lt < graph.num_link_types(); ++lt) {
+    const auto& def = graph.schema().link_type(static_cast<LinkTypeId>(lt));
+    any_self_links |= def.allows_self_link;
+    any_growable |= def.growable_strength;
+  }
+  const LinkTypeId link = schema.AddLinkType(
+      "link", entity, entity, /*has_strength=*/true,
+      /*growable_strength=*/any_growable, any_self_links);
+
+  GraphBuilder builder(schema);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    builder.AddVertex(entity);
+    const size_t num_attrs = graph.num_attributes(0);
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      HINPRIV_RETURN_IF_ERROR(builder.SetAttribute(v, a, graph.attribute(v, a)));
+    }
+  }
+  for (LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (const Edge& e : graph.OutEdges(lt, v)) {
+        // GraphBuilder folds parallel edges by summing strengths, which is
+        // exactly the desired multi-type merge.
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, e.neighbor, link, e.strength));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace hinpriv::hin

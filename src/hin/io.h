@@ -1,0 +1,39 @@
+#ifndef HINPRIV_HIN_IO_H_
+#define HINPRIV_HIN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "hin/graph.h"
+#include "util/status.h"
+
+namespace hinpriv::hin {
+
+// Text serialization of a Graph (schema + vertices + edges), versioned and
+// self-describing. The format mirrors the layout of the released t.qq
+// files: one profile row per vertex, one interaction row per edge, grouped
+// by link type. The loader validates every count, id, and link-type
+// endpoint so corrupted or truncated files surface as Status errors, never
+// as undefined behaviour.
+//
+//   hinpriv-graph 1
+//   entity_types <count>
+//     <name> <num_attributes>
+//     attr <name> <growable 0|1>         (x num_attributes)
+//   link_types <count>
+//     <name> <src> <dst> <has_strength 0|1> <growable 0|1> <self 0|1>
+//   vertices <count>
+//     <entity_type> <attr_0> ... <attr_k>
+//   edges <link_type> <count>
+//     <src> <dst> <strength>
+//   end
+
+util::Status SaveGraph(const Graph& graph, std::ostream& os);
+util::Status SaveGraphToFile(const Graph& graph, const std::string& path);
+
+util::Result<Graph> LoadGraph(std::istream& is);
+util::Result<Graph> LoadGraphFromFile(const std::string& path);
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_IO_H_

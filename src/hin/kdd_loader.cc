@@ -1,0 +1,273 @@
+#include "hin/kdd_loader.h"
+
+#include <array>
+#include <fstream>
+#include <unordered_map>
+
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+#include "util/string_util.h"
+
+namespace hinpriv::hin {
+
+namespace {
+
+util::Result<std::ifstream> OpenForRead(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  return in;
+}
+
+// Number of tags in a user_profile tags field: ';'-separated ids, where the
+// literal "0" means no tags.
+AttrValue CountTags(std::string_view field) {
+  if (field.empty() || field == "0") return 0;
+  AttrValue count = 1;
+  for (char c : field) {
+    if (c == ';') ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+util::Result<KddLoadReport> LoadKddCupDataset(const KddCupFiles& files,
+                                              const KddLoadOptions& options) {
+  GraphBuilder builder(TqqTargetSchema());
+  std::unordered_map<int64_t, VertexId> id_map;
+
+  // --- user_profile.txt ----------------------------------------------------
+  {
+    auto in = OpenForRead(files.user_profile);
+    if (!in.ok()) return in.status();
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in.value(), line)) {
+      ++line_no;
+      const std::string_view trimmed = util::Trim(line);
+      if (trimmed.empty()) continue;
+      const auto fields = util::Split(trimmed, '\t');
+      if (fields.size() != 5) {
+        return util::Status::Corruption(
+            files.user_profile + ":" + std::to_string(line_no) +
+            ": expected 5 tab-separated fields");
+      }
+      auto user_id = util::ParseInt64(fields[0]);
+      auto yob = util::ParseInt64(fields[1]);
+      auto gender = util::ParseInt64(fields[2]);
+      auto tweets = util::ParseInt64(fields[3]);
+      for (const auto* r : {&user_id, &yob, &gender, &tweets}) {
+        if (!r->ok()) {
+          return util::Status::Corruption(
+              files.user_profile + ":" + std::to_string(line_no) + ": " +
+              r->status().message());
+        }
+      }
+      if (id_map.contains(user_id.value())) {
+        return util::Status::Corruption(
+            files.user_profile + ":" + std::to_string(line_no) +
+            ": duplicate user id " + std::to_string(user_id.value()));
+      }
+      const VertexId v = builder.AddVertex(0);
+      id_map.emplace(user_id.value(), v);
+      HINPRIV_RETURN_IF_ERROR(builder.SetAttribute(
+          v, kGenderAttr, static_cast<AttrValue>(gender.value())));
+      HINPRIV_RETURN_IF_ERROR(builder.SetAttribute(
+          v, kYobAttr, static_cast<AttrValue>(yob.value())));
+      HINPRIV_RETURN_IF_ERROR(builder.SetAttribute(
+          v, kTweetCountAttr, static_cast<AttrValue>(tweets.value())));
+      HINPRIV_RETURN_IF_ERROR(
+          builder.SetAttribute(v, kTagCountAttr, CountTags(fields[4])));
+    }
+  }
+
+  size_t skipped = 0;
+  auto resolve = [&](int64_t id) -> VertexId {
+    auto it = id_map.find(id);
+    return it == id_map.end() ? kInvalidVertex : it->second;
+  };
+
+  // --- user_sns.txt (follow) ----------------------------------------------
+  {
+    auto in = OpenForRead(files.user_sns);
+    if (!in.ok()) return in.status();
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in.value(), line)) {
+      ++line_no;
+      const std::string_view trimmed = util::Trim(line);
+      if (trimmed.empty()) continue;
+      const auto fields = util::Split(trimmed, '\t');
+      if (fields.size() != 2) {
+        return util::Status::Corruption(files.user_sns + ":" +
+                                        std::to_string(line_no) +
+                                        ": expected 2 fields");
+      }
+      auto follower = util::ParseInt64(fields[0]);
+      auto followee = util::ParseInt64(fields[1]);
+      if (!follower.ok() || !followee.ok()) {
+        return util::Status::Corruption(files.user_sns + ":" +
+                                        std::to_string(line_no) +
+                                        ": malformed user id");
+      }
+      const VertexId src = resolve(follower.value());
+      const VertexId dst = resolve(followee.value());
+      if (src == kInvalidVertex || dst == kInvalidVertex) {
+        if (!options.skip_unknown_users) {
+          return util::Status::Corruption(files.user_sns + ":" +
+                                          std::to_string(line_no) +
+                                          ": unknown user id");
+        }
+        ++skipped;
+        continue;
+      }
+      if (src == dst) {
+        ++skipped;  // self-follow rows occur in the wild; drop them
+        continue;
+      }
+      HINPRIV_RETURN_IF_ERROR(builder.AddEdge(src, dst, kFollowLink, 1));
+    }
+  }
+
+  // --- user_action.txt (mention / retweet / comment strengths) -------------
+  {
+    auto in = OpenForRead(files.user_action);
+    if (!in.ok()) return in.status();
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in.value(), line)) {
+      ++line_no;
+      const std::string_view trimmed = util::Trim(line);
+      if (trimmed.empty()) continue;
+      const auto fields = util::Split(trimmed, '\t');
+      if (fields.size() != 5) {
+        return util::Status::Corruption(files.user_action + ":" +
+                                        std::to_string(line_no) +
+                                        ": expected 5 fields");
+      }
+      auto src_id = util::ParseInt64(fields[0]);
+      auto dst_id = util::ParseInt64(fields[1]);
+      auto mentions = util::ParseInt64(fields[2]);
+      auto retweets = util::ParseInt64(fields[3]);
+      auto comments = util::ParseInt64(fields[4]);
+      for (const auto* r : {&src_id, &dst_id, &mentions, &retweets,
+                            &comments}) {
+        if (!r->ok()) {
+          return util::Status::Corruption(files.user_action + ":" +
+                                          std::to_string(line_no) + ": " +
+                                          r->status().message());
+        }
+      }
+      const VertexId src = resolve(src_id.value());
+      const VertexId dst = resolve(dst_id.value());
+      if (src == kInvalidVertex || dst == kInvalidVertex) {
+        if (!options.skip_unknown_users) {
+          return util::Status::Corruption(files.user_action + ":" +
+                                          std::to_string(line_no) +
+                                          ": unknown user id");
+        }
+        ++skipped;
+        continue;
+      }
+      if (src == dst) {
+        ++skipped;
+        continue;
+      }
+      struct {
+        LinkTypeId link;
+        int64_t strength;
+      } channels[] = {{kMentionLink, mentions.value()},
+                      {kRetweetLink, retweets.value()},
+                      {kCommentLink, comments.value()}};
+      for (const auto& channel : channels) {
+        if (channel.strength < 0) {
+          return util::Status::Corruption(files.user_action + ":" +
+                                          std::to_string(line_no) +
+                                          ": negative strength");
+        }
+        if (channel.strength == 0) continue;
+        HINPRIV_RETURN_IF_ERROR(
+            builder.AddEdge(src, dst, channel.link,
+                            static_cast<Strength>(channel.strength)));
+      }
+    }
+  }
+
+  const size_t num_users = builder.num_vertices();
+  auto graph = std::move(builder).Build();
+  if (!graph.ok()) return graph.status();
+  return KddLoadReport{std::move(graph).value(), num_users, skipped};
+}
+
+util::Status WriteKddCupDataset(const Graph& graph, const KddCupFiles& files) {
+  if (graph.schema().num_entity_types() != 1 ||
+      graph.num_link_types() != kNumTqqLinkTypes) {
+    return util::Status::InvalidArgument(
+        "WriteKddCupDataset requires a t.qq target-schema graph");
+  }
+  {
+    std::ofstream out(files.user_profile);
+    if (!out) {
+      return util::Status::IoError("cannot open for write: " +
+                                   files.user_profile);
+    }
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      // Synthesize a tags field with tag_count entries (ids are arbitrary
+      // in the anonymized release anyway); "0" encodes an empty list.
+      const AttrValue tag_count = graph.attribute(v, kTagCountAttr);
+      std::string tags = "0";
+      if (tag_count > 0) {
+        tags.clear();
+        for (AttrValue t = 0; t < tag_count; ++t) {
+          if (t > 0) tags += ';';
+          tags += std::to_string(t + 1);
+        }
+      }
+      out << v << '\t' << graph.attribute(v, kYobAttr) << '\t'
+          << graph.attribute(v, kGenderAttr) << '\t'
+          << graph.attribute(v, kTweetCountAttr) << '\t' << tags << '\n';
+    }
+    if (!out) return util::Status::IoError("write failure (user_profile)");
+  }
+  {
+    std::ofstream out(files.user_sns);
+    if (!out) {
+      return util::Status::IoError("cannot open for write: " + files.user_sns);
+    }
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      for (const Edge& e : graph.OutEdges(kFollowLink, v)) {
+        out << v << '\t' << e.neighbor << '\n';
+      }
+    }
+    if (!out) return util::Status::IoError("write failure (user_sns)");
+  }
+  {
+    std::ofstream out(files.user_action);
+    if (!out) {
+      return util::Status::IoError("cannot open for write: " +
+                                   files.user_action);
+    }
+    // One row per (src, dst) pair with any interaction; merge the three
+    // strength channels like the released log does.
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      std::unordered_map<VertexId, std::array<Strength, 3>> rows;
+      for (const Edge& e : graph.OutEdges(kMentionLink, v)) {
+        rows[e.neighbor][0] = e.strength;
+      }
+      for (const Edge& e : graph.OutEdges(kRetweetLink, v)) {
+        rows[e.neighbor][1] = e.strength;
+      }
+      for (const Edge& e : graph.OutEdges(kCommentLink, v)) {
+        rows[e.neighbor][2] = e.strength;
+      }
+      for (const auto& [dst, strengths] : rows) {
+        out << v << '\t' << dst << '\t' << strengths[0] << '\t'
+            << strengths[1] << '\t' << strengths[2] << '\n';
+      }
+    }
+    if (!out) return util::Status::IoError("write failure (user_action)");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace hinpriv::hin

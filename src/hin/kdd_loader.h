@@ -1,0 +1,56 @@
+#ifndef HINPRIV_HIN_KDD_LOADER_H_
+#define HINPRIV_HIN_KDD_LOADER_H_
+
+#include <string>
+
+#include "hin/graph.h"
+#include "util/status.h"
+
+namespace hinpriv::hin {
+
+// Loader/writer for the file formats of the released KDD Cup 2012 Track 1
+// t.qq dataset the paper evaluates on. The dataset itself is not
+// redistributable, but anyone holding a copy (or data in the same shape)
+// can load it straight into a target-schema Graph and run every attack and
+// metric in this library on the real thing.
+//
+// Formats (tab-separated, one record per line):
+//   user_profile.txt  userid \t yob \t gender \t #tweets \t tags
+//                     (tags: ';'-separated tag ids, or "0" for none;
+//                      tag_count is derived from the list length)
+//   user_sns.txt      follower_userid \t followee_userid
+//   user_action.txt   userid \t dest_userid \t #at \t #retweet \t #comment
+//                     (the short-circuited mention/retweet/comment
+//                      strengths of Section 3)
+struct KddCupFiles {
+  std::string user_profile;
+  std::string user_sns;
+  std::string user_action;
+};
+
+struct KddLoadOptions {
+  // Interaction rows referencing users absent from user_profile.txt are
+  // skipped (and counted) rather than failing the load; the released logs
+  // do contain such rows.
+  bool skip_unknown_users = true;
+};
+
+struct KddLoadReport {
+  Graph graph;
+  size_t num_users = 0;
+  size_t skipped_edges = 0;
+};
+
+// Loads the three files into a graph over hin::TqqTargetSchema(). User ids
+// are remapped to dense vertex ids in file order of user_profile.txt.
+util::Result<KddLoadReport> LoadKddCupDataset(
+    const KddCupFiles& files, const KddLoadOptions& options = {});
+
+// Writes a target-schema graph in the same three-file format (vertex id ==
+// published user id). Useful for exporting synthetic datasets to tools
+// built for the original release, and for round-trip testing.
+util::Status WriteKddCupDataset(const Graph& graph, const KddCupFiles& files);
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_KDD_LOADER_H_

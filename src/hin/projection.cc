@@ -1,0 +1,89 @@
+#include "hin/projection.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hin/graph_builder.h"
+
+namespace hinpriv::hin {
+
+namespace {
+
+// Multiplicity-preserving frontier walk along one meta path starting at
+// `start`: returns end-vertex -> number of path instances. Edge strengths
+// multiply along the path (a folded multi-edge of strength s contributes s
+// parallel instances).
+std::unordered_map<VertexId, uint64_t> WalkMetaPath(const Graph& full,
+                                                    const MetaPath& path,
+                                                    VertexId start) {
+  std::unordered_map<VertexId, uint64_t> frontier;
+  frontier.emplace(start, 1);
+  for (const MetaPathStep& step : path.steps) {
+    std::unordered_map<VertexId, uint64_t> next;
+    for (const auto& [v, count] : frontier) {
+      const auto edges = step.reverse ? full.InEdges(step.link, v)
+                                      : full.OutEdges(step.link, v);
+      for (const Edge& e : edges) {
+        next[e.neighbor] += count * e.strength;
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+}  // namespace
+
+util::Result<ProjectionResult> ProjectGraph(const Graph& full,
+                                            const TargetSchemaSpec& spec) {
+  auto target_schema = ProjectSchema(full.schema(), spec);
+  if (!target_schema.ok()) return target_schema.status();
+
+  // Collect target-entity vertices in id order; they become the projected
+  // graph's vertex set.
+  std::vector<VertexId> to_original;
+  std::vector<VertexId> to_projected(full.num_vertices(), kInvalidVertex);
+  for (VertexId v = 0; v < full.num_vertices(); ++v) {
+    if (full.entity_type(v) == spec.target_entity) {
+      to_projected[v] = static_cast<VertexId>(to_original.size());
+      to_original.push_back(v);
+    }
+  }
+
+  GraphBuilder builder(std::move(target_schema).value());
+  const size_t num_attrs = full.num_attributes(spec.target_entity);
+  for (VertexId orig : to_original) {
+    const VertexId pv = builder.AddVertex(0);
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      HINPRIV_RETURN_IF_ERROR(
+          builder.SetAttribute(pv, a, full.attribute(orig, a)));
+    }
+  }
+
+  for (size_t li = 0; li < spec.links.size(); ++li) {
+    const TargetLinkDef& link = spec.links[li];
+    const LinkTypeId target_lt = static_cast<LinkTypeId>(li);
+    for (VertexId orig : to_original) {
+      const VertexId src = to_projected[orig];
+      for (const MetaPath& path : link.source_paths) {
+        for (const auto& [end, count] : WalkMetaPath(full, path, orig)) {
+          if (count == 0) continue;
+          const VertexId dst = to_projected[end];
+          if (dst == kInvalidVertex) continue;  // defensive; validated paths
+                                                // always end at target type
+          if (src == dst && !link.allows_self_link) continue;
+          HINPRIV_RETURN_IF_ERROR(builder.AddEdge(
+              src, dst, target_lt, static_cast<Strength>(count)));
+        }
+      }
+    }
+  }
+
+  auto built = std::move(builder).Build();
+  if (!built.ok()) return built.status();
+  ProjectionResult result{std::move(built).value(), std::move(to_original)};
+  return result;
+}
+
+}  // namespace hinpriv::hin

@@ -1,0 +1,33 @@
+#ifndef HINPRIV_HIN_PROJECTION_H_
+#define HINPRIV_HIN_PROJECTION_H_
+
+#include <vector>
+
+#include "hin/graph.h"
+#include "hin/schema.h"
+#include "util/status.h"
+
+namespace hinpriv::hin {
+
+// Instance-level projection of a full heterogeneous information network
+// onto its target network schema (Definitions 4-5 and Section 3 of the
+// paper): each target link type is materialized by short-circuiting its
+// meta paths. The strength of a projected edge u -> w is the number of
+// path instances from u to w along any of the link's source meta paths
+// (e.g., mention strength = number of mentions via tweets or comments);
+// multi-edges folded into strengths multiply along a path. Length-1 paths
+// are reproduced, carrying the original edge weight.
+struct ProjectionResult {
+  // Single-entity-type graph over the target schema produced by
+  // ProjectSchema(schema, spec).
+  Graph graph;
+  // to_original[projected-vertex-id] = vertex id in the full graph.
+  std::vector<VertexId> to_original;
+};
+
+util::Result<ProjectionResult> ProjectGraph(const Graph& full,
+                                            const TargetSchemaSpec& spec);
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_PROJECTION_H_

@@ -1,0 +1,189 @@
+#include "hin/schema.h"
+
+#include <set>
+
+namespace hinpriv::hin {
+
+EntityTypeId NetworkSchema::AddEntityType(std::string name) {
+  EntityTypeDef def;
+  def.name = std::move(name);
+  entity_types_.push_back(std::move(def));
+  return static_cast<EntityTypeId>(entity_types_.size() - 1);
+}
+
+AttributeId NetworkSchema::AddAttribute(EntityTypeId entity_type,
+                                        std::string name, bool growable) {
+  auto& attrs = entity_types_[entity_type].attributes;
+  attrs.push_back(AttributeDef{std::move(name), growable});
+  return static_cast<AttributeId>(attrs.size() - 1);
+}
+
+LinkTypeId NetworkSchema::AddLinkType(std::string name, EntityTypeId src,
+                                      EntityTypeId dst, bool has_strength,
+                                      bool growable_strength,
+                                      bool allows_self_link) {
+  LinkTypeDef def;
+  def.name = std::move(name);
+  def.src = src;
+  def.dst = dst;
+  def.has_strength = has_strength;
+  def.growable_strength = growable_strength;
+  def.allows_self_link = allows_self_link;
+  link_types_.push_back(std::move(def));
+  return static_cast<LinkTypeId>(link_types_.size() - 1);
+}
+
+EntityTypeId NetworkSchema::FindEntityType(const std::string& name) const {
+  for (size_t i = 0; i < entity_types_.size(); ++i) {
+    if (entity_types_[i].name == name) return static_cast<EntityTypeId>(i);
+  }
+  return kInvalidEntityType;
+}
+
+LinkTypeId NetworkSchema::FindLinkType(const std::string& name) const {
+  for (size_t i = 0; i < link_types_.size(); ++i) {
+    if (link_types_[i].name == name) return static_cast<LinkTypeId>(i);
+  }
+  return kInvalidLinkType;
+}
+
+util::Result<AttributeId> NetworkSchema::FindAttribute(
+    EntityTypeId entity_type, const std::string& name) const {
+  if (entity_type >= entity_types_.size()) {
+    return util::Status::InvalidArgument("entity type id out of range");
+  }
+  const auto& attrs = entity_types_[entity_type].attributes;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].name == name) return static_cast<AttributeId>(i);
+  }
+  return util::Status::NotFound("no attribute '" + name + "' on entity type '" +
+                                entity_types_[entity_type].name + "'");
+}
+
+size_t NetworkSchema::CountSelfLinkTypes() const {
+  size_t m = 0;
+  for (const auto& lt : link_types_) {
+    if (lt.allows_self_link) ++m;
+  }
+  return m;
+}
+
+util::Status NetworkSchema::Validate() const {
+  std::set<std::string> entity_names;
+  for (const auto& et : entity_types_) {
+    if (et.name.empty()) {
+      return util::Status::InvalidArgument("entity type with empty name");
+    }
+    if (!entity_names.insert(et.name).second) {
+      return util::Status::InvalidArgument("duplicate entity type name: " +
+                                           et.name);
+    }
+    std::set<std::string> attr_names;
+    for (const auto& attr : et.attributes) {
+      if (attr.name.empty()) {
+        return util::Status::InvalidArgument("attribute with empty name on " +
+                                             et.name);
+      }
+      if (!attr_names.insert(attr.name).second) {
+        return util::Status::InvalidArgument("duplicate attribute '" +
+                                             attr.name + "' on " + et.name);
+      }
+    }
+  }
+  std::set<std::string> link_names;
+  for (const auto& lt : link_types_) {
+    if (lt.name.empty()) {
+      return util::Status::InvalidArgument("link type with empty name");
+    }
+    if (!link_names.insert(lt.name).second) {
+      return util::Status::InvalidArgument("duplicate link type name: " +
+                                           lt.name);
+    }
+    if (lt.src >= entity_types_.size() || lt.dst >= entity_types_.size()) {
+      return util::Status::InvalidArgument("link type '" + lt.name +
+                                           "' has out-of-range endpoint type");
+    }
+    if (lt.allows_self_link && lt.src != lt.dst) {
+      return util::Status::InvalidArgument(
+          "link type '" + lt.name +
+          "' allows self-links but connects different entity types");
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status ValidateMetaPath(const NetworkSchema& schema,
+                              EntityTypeId target_entity,
+                              const MetaPath& path) {
+  if (target_entity >= schema.num_entity_types()) {
+    return util::Status::InvalidArgument("target entity type out of range");
+  }
+  if (path.steps.empty()) {
+    return util::Status::InvalidArgument("meta path '" + path.name +
+                                         "' has no steps");
+  }
+  EntityTypeId at = target_entity;
+  for (const auto& step : path.steps) {
+    if (step.link >= schema.num_link_types()) {
+      return util::Status::InvalidArgument("meta path '" + path.name +
+                                           "' uses out-of-range link type");
+    }
+    const LinkTypeDef& lt = schema.link_type(step.link);
+    const EntityTypeId from = step.reverse ? lt.dst : lt.src;
+    const EntityTypeId to = step.reverse ? lt.src : lt.dst;
+    if (from != at) {
+      return util::Status::InvalidArgument(
+          "meta path '" + path.name + "': step over link '" + lt.name +
+          "' does not start at entity type '" + schema.entity_type(at).name +
+          "'");
+    }
+    at = to;
+  }
+  if (at != target_entity) {
+    return util::Status::InvalidArgument(
+        "meta path '" + path.name + "' does not end at the target entity type");
+  }
+  return util::Status::OK();
+}
+
+util::Result<NetworkSchema> ProjectSchema(const NetworkSchema& schema,
+                                          const TargetSchemaSpec& spec) {
+  HINPRIV_RETURN_IF_ERROR(schema.Validate());
+  if (spec.target_entity >= schema.num_entity_types()) {
+    return util::Status::InvalidArgument("target entity type out of range");
+  }
+  if (spec.links.empty()) {
+    return util::Status::InvalidArgument(
+        "target schema spec declares no target links");
+  }
+  NetworkSchema target;
+  const EntityTypeDef& et = schema.entity_type(spec.target_entity);
+  const EntityTypeId user = target.AddEntityType(et.name);
+  for (const auto& attr : et.attributes) {
+    target.AddAttribute(user, attr.name, attr.growable);
+  }
+  std::set<std::string> names;
+  for (const auto& link : spec.links) {
+    if (link.source_paths.empty()) {
+      return util::Status::InvalidArgument("target link '" + link.name +
+                                           "' has no source meta paths");
+    }
+    if (!names.insert(link.name).second) {
+      return util::Status::InvalidArgument("duplicate target link name: " +
+                                           link.name);
+    }
+    for (const auto& path : link.source_paths) {
+      HINPRIV_RETURN_IF_ERROR(
+          ValidateMetaPath(schema, spec.target_entity, path));
+    }
+    // Every short-circuited link carries the path-instance count as its
+    // strength (e.g., mention strength); length-1 reproduced links carry
+    // the original edge weight, which degenerates to 1 for unweighted
+    // links such as follow.
+    target.AddLinkType(link.name, user, user, /*has_strength=*/true,
+                       link.growable_strength, link.allows_self_link);
+  }
+  return target;
+}
+
+}  // namespace hinpriv::hin

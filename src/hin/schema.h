@@ -1,0 +1,147 @@
+#ifndef HINPRIV_HIN_SCHEMA_H_
+#define HINPRIV_HIN_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "hin/types.h"
+#include "util/status.h"
+
+namespace hinpriv::hin {
+
+// One profile attribute of an entity type. `growable` marks attributes whose
+// value can only increase between the target snapshot and a later auxiliary
+// crawl (e.g., tweet count) — DeHIN's matchers use `>=` for these
+// (Section 5.1 of the paper).
+struct AttributeDef {
+  std::string name;
+  bool growable = false;
+};
+
+// One entity type (node type) of the network schema (Definition 3).
+struct EntityTypeDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+};
+
+// One link type (edge type). Per Definition 1, all edges of a link type
+// share the same starting and ending entity types. `has_strength` marks
+// weighted links (mention/retweet/comment strengths); `growable_strength`
+// marks weights that can only grow over time. `allows_self_link` feeds the
+// density denominator (Equation 4).
+struct LinkTypeDef {
+  std::string name;
+  EntityTypeId src = kInvalidEntityType;
+  EntityTypeId dst = kInvalidEntityType;
+  bool has_strength = false;
+  bool growable_strength = false;
+  bool allows_self_link = false;
+};
+
+// The network schema T_G = (E, L) (Definition 3): a meta template listing
+// entity types with their attributes and directed link types over them.
+class NetworkSchema {
+ public:
+  NetworkSchema() = default;
+
+  NetworkSchema(const NetworkSchema&) = default;
+  NetworkSchema& operator=(const NetworkSchema&) = default;
+  NetworkSchema(NetworkSchema&&) = default;
+  NetworkSchema& operator=(NetworkSchema&&) = default;
+
+  EntityTypeId AddEntityType(std::string name);
+
+  // Adds an attribute to an existing entity type; returns its AttributeId
+  // within that type.
+  AttributeId AddAttribute(EntityTypeId entity_type, std::string name,
+                           bool growable);
+
+  LinkTypeId AddLinkType(std::string name, EntityTypeId src, EntityTypeId dst,
+                         bool has_strength, bool growable_strength,
+                         bool allows_self_link);
+
+  size_t num_entity_types() const { return entity_types_.size(); }
+  size_t num_link_types() const { return link_types_.size(); }
+
+  const EntityTypeDef& entity_type(EntityTypeId id) const {
+    return entity_types_[id];
+  }
+  const LinkTypeDef& link_type(LinkTypeId id) const { return link_types_[id]; }
+
+  // Name lookups; return the kInvalid* sentinel when absent.
+  EntityTypeId FindEntityType(const std::string& name) const;
+  LinkTypeId FindLinkType(const std::string& name) const;
+  // Attribute lookup within an entity type; returns num-attributes sentinel
+  // via found=false when absent.
+  util::Result<AttributeId> FindAttribute(EntityTypeId entity_type,
+                                          const std::string& name) const;
+
+  // Whether this is a heterogeneous information network schema
+  // (Definition 2: more than one entity type or more than one link type).
+  bool IsHeterogeneous() const {
+    return entity_types_.size() > 1 || link_types_.size() > 1;
+  }
+
+  // Number of link types that allow self-links (the `m` of Equation 4).
+  size_t CountSelfLinkTypes() const;
+
+  // Structural validation: link endpoints in range, names unique.
+  util::Status Validate() const;
+
+ private:
+  std::vector<EntityTypeDef> entity_types_;
+  std::vector<LinkTypeDef> link_types_;
+};
+
+// One step of a meta path: traverse a link type, forward (src -> dst) or
+// reverse (dst -> src, e.g., "posted by" is the reverse of "post").
+struct MetaPathStep {
+  LinkTypeId link = kInvalidLinkType;
+  bool reverse = false;
+};
+
+// A target meta path (Definition 4): a walk over the network schema that
+// starts and ends at the target entity type,
+//   E* --L1--> E1 --L2--> ... --Ln--> E*.
+struct MetaPath {
+  std::string name;
+  std::vector<MetaPathStep> steps;
+};
+
+// Checks that `path` is well-formed over `schema` and both starts and ends
+// at `target_entity` (Definition 4).
+util::Status ValidateMetaPath(const NetworkSchema& schema,
+                              EntityTypeId target_entity,
+                              const MetaPath& path);
+
+// One link type of the target network schema (Definition 5), produced by
+// short-circuiting one or more meta paths (e.g., the user mention path runs
+// through either a Tweet or a Comment; both variants collapse into the
+// single target link "mention" whose strength counts path instances), or by
+// reproducing a length-1 path (follow).
+struct TargetLinkDef {
+  std::string name;
+  std::vector<MetaPath> source_paths;
+  bool allows_self_link = false;
+  // Whether the short-circuited strength can grow between the target
+  // snapshot and the auxiliary crawl.
+  bool growable_strength = true;
+};
+
+// Specification of the projection T_G -> T_G* (Definition 5): which entity
+// type is the adversary's target, and which meta paths become target links.
+struct TargetSchemaSpec {
+  EntityTypeId target_entity = kInvalidEntityType;
+  std::vector<TargetLinkDef> links;
+};
+
+// The projected target network schema T_G* = (E*, L*): a single-entity-type
+// schema whose link types are the short-circuited target links. Produced by
+// ProjectSchema below; the projected *instance* graph is produced by
+// hin::ProjectGraph (projection.h).
+util::Result<NetworkSchema> ProjectSchema(const NetworkSchema& schema,
+                                          const TargetSchemaSpec& spec);
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_SCHEMA_H_

@@ -1,0 +1,128 @@
+#include "hin/tqq_schema.h"
+
+#include <cassert>
+
+namespace hinpriv::hin {
+
+NetworkSchema TqqFullSchema() {
+  NetworkSchema schema;
+  const EntityTypeId user = schema.AddEntityType(kUserType);
+  const EntityTypeId tweet = schema.AddEntityType(kTweetType);
+  const EntityTypeId comment = schema.AddEntityType(kCommentType);
+  const EntityTypeId item = schema.AddEntityType(kItemType);
+
+  schema.AddAttribute(user, kAttrGender, /*growable=*/false);
+  schema.AddAttribute(user, kAttrYob, /*growable=*/false);
+  schema.AddAttribute(user, kAttrTweetCount, /*growable=*/true);
+  schema.AddAttribute(user, kAttrTagCount, /*growable=*/false);
+
+  // Authorship.
+  schema.AddLinkType("post_tweet", user, tweet, /*has_strength=*/false,
+                     /*growable_strength=*/false, /*allows_self_link=*/false);
+  schema.AddLinkType("post_comment", user, comment, false, false, false);
+  // Mentions inside tweets and inside comments (Figure 1).
+  schema.AddLinkType("mention_in_tweet", tweet, user, false, false, false);
+  schema.AddLinkType("mention_in_comment", comment, user, false, false,
+                     false);
+  // A tweet retweeting another tweet.
+  schema.AddLinkType("retweet_of", tweet, tweet, false, false, false);
+  // A comment on a tweet or on another comment.
+  schema.AddLinkType("comment_on_tweet", comment, tweet, false, false, false);
+  schema.AddLinkType("comment_on_comment", comment, comment, false, false,
+                     false);
+  // Direct user-user follow.
+  schema.AddLinkType(kLinkFollow, user, user, false, false, false);
+  // Recommendation preference log (accept / reject); the sensitive payload
+  // of the motivating example, not used for matching.
+  schema.AddLinkType("rec_accept", user, item, false, false, false);
+  schema.AddLinkType("rec_reject", user, item, false, false, false);
+  return schema;
+}
+
+TargetSchemaSpec TqqTargetSpec(const NetworkSchema& full) {
+  const EntityTypeId user = full.FindEntityType(kUserType);
+  assert(user != kInvalidEntityType);
+  const LinkTypeId post_tweet = full.FindLinkType("post_tweet");
+  const LinkTypeId post_comment = full.FindLinkType("post_comment");
+  const LinkTypeId mention_in_tweet = full.FindLinkType("mention_in_tweet");
+  const LinkTypeId mention_in_comment =
+      full.FindLinkType("mention_in_comment");
+  const LinkTypeId retweet_of = full.FindLinkType("retweet_of");
+  const LinkTypeId comment_on_tweet = full.FindLinkType("comment_on_tweet");
+  const LinkTypeId comment_on_comment =
+      full.FindLinkType("comment_on_comment");
+  const LinkTypeId follow = full.FindLinkType(kLinkFollow);
+  assert(post_tweet != kInvalidLinkType && follow != kInvalidLinkType);
+
+  TargetSchemaSpec spec;
+  spec.target_entity = user;
+
+  // user follow path: User --follow--> User (reproduced). The follow link
+  // itself is unweighted and treated as non-growable edge-wise; newly
+  // *formed* follow links are handled by the link matchers instead.
+  TargetLinkDef follow_link;
+  follow_link.name = kLinkFollow;
+  follow_link.growable_strength = false;
+  follow_link.source_paths.push_back(
+      MetaPath{"follow", {MetaPathStep{follow, false}}});
+  spec.links.push_back(std::move(follow_link));
+
+  // user mention path: User -post-> Tweet -mention-> User, or
+  //                    User -post-> Comment -mention-> User.
+  // Short-circuited feature: mention strength.
+  TargetLinkDef mention_link;
+  mention_link.name = kLinkMention;
+  mention_link.growable_strength = true;
+  mention_link.source_paths.push_back(
+      MetaPath{"mention_via_tweet",
+               {MetaPathStep{post_tweet, false},
+                MetaPathStep{mention_in_tweet, false}}});
+  mention_link.source_paths.push_back(
+      MetaPath{"mention_via_comment",
+               {MetaPathStep{post_comment, false},
+                MetaPathStep{mention_in_comment, false}}});
+  spec.links.push_back(std::move(mention_link));
+
+  // user retweet path:
+  //   User -post-> Tweet -retweet-> Tweet -posted_by-> User
+  // ("posted_by" is the reverse traversal of post_tweet).
+  // Short-circuited feature: retweet strength.
+  TargetLinkDef retweet_link;
+  retweet_link.name = kLinkRetweet;
+  retweet_link.growable_strength = true;
+  retweet_link.source_paths.push_back(
+      MetaPath{"retweet",
+               {MetaPathStep{post_tweet, false},
+                MetaPathStep{retweet_of, false},
+                MetaPathStep{post_tweet, true}}});
+  spec.links.push_back(std::move(retweet_link));
+
+  // user comment path:
+  //   User -post-> Comment -comment-> Tweet -posted_by-> User, or
+  //   User -post-> Comment -comment-> Comment -posted_by-> User.
+  // Short-circuited feature: comment strength.
+  TargetLinkDef comment_link;
+  comment_link.name = kLinkComment;
+  comment_link.growable_strength = true;
+  comment_link.source_paths.push_back(
+      MetaPath{"comment_on_tweet",
+               {MetaPathStep{post_comment, false},
+                MetaPathStep{comment_on_tweet, false},
+                MetaPathStep{post_tweet, true}}});
+  comment_link.source_paths.push_back(
+      MetaPath{"comment_on_comment",
+               {MetaPathStep{post_comment, false},
+                MetaPathStep{comment_on_comment, false},
+                MetaPathStep{post_comment, true}}});
+  spec.links.push_back(std::move(comment_link));
+  return spec;
+}
+
+NetworkSchema TqqTargetSchema() {
+  const NetworkSchema full = TqqFullSchema();
+  auto projected = ProjectSchema(full, TqqTargetSpec(full));
+  assert(projected.ok());
+  return std::move(projected).value();
+}
+
+}  // namespace hinpriv::hin

@@ -1,0 +1,59 @@
+#ifndef HINPRIV_HIN_TQQ_SCHEMA_H_
+#define HINPRIV_HIN_TQQ_SCHEMA_H_
+
+#include "hin/schema.h"
+
+namespace hinpriv::hin {
+
+// Factories for the t.qq (KDD Cup 2012) schemas used throughout the paper.
+
+// Entity-type / link-type / attribute name constants for the t.qq schemas.
+// Using named constants keeps experiment code free of typo-prone literals.
+inline constexpr char kUserType[] = "User";
+inline constexpr char kTweetType[] = "Tweet";
+inline constexpr char kCommentType[] = "Comment";
+inline constexpr char kItemType[] = "Item";
+
+inline constexpr char kAttrGender[] = "gender";
+inline constexpr char kAttrYob[] = "yob";
+inline constexpr char kAttrTweetCount[] = "tweet_count";
+inline constexpr char kAttrTagCount[] = "tag_count";
+
+inline constexpr char kLinkFollow[] = "follow";
+inline constexpr char kLinkMention[] = "mention";
+inline constexpr char kLinkRetweet[] = "retweet";
+inline constexpr char kLinkComment[] = "comment";
+
+// Link-type ids in the *target* t.qq schema, fixed by construction.
+inline constexpr LinkTypeId kFollowLink = 0;
+inline constexpr LinkTypeId kMentionLink = 1;
+inline constexpr LinkTypeId kRetweetLink = 2;
+inline constexpr LinkTypeId kCommentLink = 3;
+inline constexpr size_t kNumTqqLinkTypes = 4;
+
+// Attribute ids of the User entity type, fixed by construction.
+inline constexpr AttributeId kGenderAttr = 0;
+inline constexpr AttributeId kYobAttr = 1;
+inline constexpr AttributeId kTweetCountAttr = 2;
+inline constexpr AttributeId kTagCountAttr = 3;
+
+// The full t.qq network schema of the paper's Figure 2: entity types User,
+// Tweet, Comment, Item; link types post/mention/retweet/comment-on/follow/
+// recommendation. Users carry gender, yob, tweet_count (growable) and
+// tag_count profile attributes.
+NetworkSchema TqqFullSchema();
+
+// The target meta paths of Section 3 over TqqFullSchema() — follow
+// (reproduced), mention, retweet, and comment (short-circuited) — bundled
+// as a projection spec. `full` must be TqqFullSchema().
+TargetSchemaSpec TqqTargetSpec(const NetworkSchema& full);
+
+// The projected target network schema of Figure 3: a single User entity
+// type with follow/mention/retweet/comment strength links, in that order
+// (kFollowLink..kCommentLink). This is the schema every experiment graph in
+// this repository uses.
+NetworkSchema TqqTargetSchema();
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_TQQ_SCHEMA_H_

@@ -1,0 +1,38 @@
+#ifndef HINPRIV_HIN_TYPES_H_
+#define HINPRIV_HIN_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hinpriv::hin {
+
+// Vertex (entity) identifier within one Graph. 32 bits comfortably covers
+// the paper's 2.3M-user network and the multi-entity full network.
+using VertexId = uint32_t;
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+// Entity type (User, Tweet, Comment, ...) and link type (follow, mention,
+// retweet, comment, post, ...) identifiers within one NetworkSchema.
+using EntityTypeId = uint16_t;
+using LinkTypeId = uint16_t;
+inline constexpr EntityTypeId kInvalidEntityType =
+    std::numeric_limits<EntityTypeId>::max();
+inline constexpr LinkTypeId kInvalidLinkType =
+    std::numeric_limits<LinkTypeId>::max();
+
+// Link strength (e.g., "A mentioned B 5 times"). The paper's short-circuited
+// features are non-negative counts.
+using Strength = uint32_t;
+
+// Entity attribute value (yob, gender code, tweet count, tag count, ...).
+// Signed so sentinel/missing encodings are possible; 32 bits suffices for
+// every attribute in the t.qq schema.
+using AttrValue = int32_t;
+
+// Index of an attribute within its entity type's attribute list.
+using AttributeId = uint16_t;
+
+}  // namespace hinpriv::hin
+
+#endif  // HINPRIV_HIN_TYPES_H_

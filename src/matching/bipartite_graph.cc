@@ -1,0 +1,14 @@
+#include "matching/bipartite_graph.h"
+
+#include <cassert>
+
+namespace hinpriv::matching {
+
+void BipartiteGraph::AddEdge(uint32_t left, uint32_t right) {
+  assert(left < adjacency_.size());
+  assert(right < num_right_);
+  adjacency_[left].push_back(right);
+  ++num_edges_;
+}
+
+}  // namespace hinpriv::matching

@@ -1,0 +1,39 @@
+#ifndef HINPRIV_MATCHING_BIPARTITE_GRAPH_H_
+#define HINPRIV_MATCHING_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hinpriv::matching {
+
+// A bipartite graph with left vertices [0, num_left) and right vertices
+// [0, num_right), stored as left-side adjacency lists. In DeHIN's
+// link_match (Algorithm 2), the left side holds the target entity's
+// neighbors and the right side the auxiliary entity's neighbors; an edge
+// means "this auxiliary neighbor is a candidate for this target neighbor".
+class BipartiteGraph {
+ public:
+  BipartiteGraph(size_t num_left, size_t num_right)
+      : num_right_(num_right), adjacency_(num_left) {}
+
+  // Adds an edge; ids must be in range (asserted in debug builds).
+  void AddEdge(uint32_t left, uint32_t right);
+
+  size_t num_left() const { return adjacency_.size(); }
+  size_t num_right() const { return num_right_; }
+  size_t num_edges() const { return num_edges_; }
+
+  std::span<const uint32_t> Neighbors(uint32_t left) const {
+    return adjacency_[left];
+  }
+
+ private:
+  size_t num_right_;
+  size_t num_edges_ = 0;
+  std::vector<std::vector<uint32_t>> adjacency_;
+};
+
+}  // namespace hinpriv::matching
+
+#endif  // HINPRIV_MATCHING_BIPARTITE_GRAPH_H_

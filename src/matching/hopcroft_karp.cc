@@ -1,0 +1,135 @@
+#include "matching/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+namespace hinpriv::matching {
+
+namespace {
+
+constexpr uint32_t kInfDistance = std::numeric_limits<uint32_t>::max();
+
+// Hopcroft-Karp working state: match arrays for both sides and the BFS
+// layering over left vertices.
+struct HkState {
+  std::vector<int32_t> match_left;
+  std::vector<int32_t> match_right;
+  std::vector<uint32_t> dist;
+
+  explicit HkState(const BipartiteGraph& g)
+      : match_left(g.num_left(), kUnmatched),
+        match_right(g.num_right(), kUnmatched),
+        dist(g.num_left(), kInfDistance) {}
+};
+
+// Builds alternating BFS layers from free left vertices; returns true if
+// some free right vertex is reachable (i.e., an augmenting path exists).
+bool Bfs(const BipartiteGraph& g, HkState* s) {
+  std::queue<uint32_t> queue;
+  for (uint32_t u = 0; u < g.num_left(); ++u) {
+    if (s->match_left[u] == kUnmatched) {
+      s->dist[u] = 0;
+      queue.push(u);
+    } else {
+      s->dist[u] = kInfDistance;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    const uint32_t u = queue.front();
+    queue.pop();
+    for (uint32_t v : g.Neighbors(u)) {
+      const int32_t w = s->match_right[v];
+      if (w == kUnmatched) {
+        found_augmenting = true;
+      } else if (s->dist[static_cast<uint32_t>(w)] == kInfDistance) {
+        s->dist[static_cast<uint32_t>(w)] = s->dist[u] + 1;
+        queue.push(static_cast<uint32_t>(w));
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+// DFS along the BFS layering; augments if a free right vertex is reached.
+bool Dfs(const BipartiteGraph& g, uint32_t u, HkState* s) {
+  for (uint32_t v : g.Neighbors(u)) {
+    const int32_t w = s->match_right[v];
+    if (w == kUnmatched ||
+        (s->dist[static_cast<uint32_t>(w)] == s->dist[u] + 1 &&
+         Dfs(g, static_cast<uint32_t>(w), s))) {
+      s->match_left[u] = static_cast<int32_t>(v);
+      s->match_right[v] = static_cast<int32_t>(u);
+      return true;
+    }
+  }
+  s->dist[u] = kInfDistance;  // dead end; prune for this phase
+  return false;
+}
+
+}  // namespace
+
+size_t HopcroftKarpMaximumMatching(const BipartiteGraph& graph,
+                                   std::vector<int32_t>* match_left) {
+  HkState state(graph);
+  size_t matching = 0;
+  while (Bfs(graph, &state)) {
+    for (uint32_t u = 0; u < graph.num_left(); ++u) {
+      if (state.match_left[u] == kUnmatched && Dfs(graph, u, &state)) {
+        ++matching;
+      }
+    }
+  }
+  if (match_left != nullptr) *match_left = std::move(state.match_left);
+  return matching;
+}
+
+namespace {
+
+bool KuhnTryAugment(const BipartiteGraph& g, uint32_t u,
+                    std::vector<int32_t>* match_right,
+                    std::vector<bool>* visited) {
+  for (uint32_t v : g.Neighbors(u)) {
+    if ((*visited)[v]) continue;
+    (*visited)[v] = true;
+    const int32_t w = (*match_right)[v];
+    if (w == kUnmatched ||
+        KuhnTryAugment(g, static_cast<uint32_t>(w), match_right, visited)) {
+      (*match_right)[v] = static_cast<int32_t>(u);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+size_t KuhnMaximumMatching(const BipartiteGraph& graph,
+                           std::vector<int32_t>* match_left) {
+  std::vector<int32_t> match_right(graph.num_right(), kUnmatched);
+  size_t matching = 0;
+  for (uint32_t u = 0; u < graph.num_left(); ++u) {
+    std::vector<bool> visited(graph.num_right(), false);
+    if (KuhnTryAugment(graph, u, &match_right, &visited)) ++matching;
+  }
+  if (match_left != nullptr) {
+    match_left->assign(graph.num_left(), kUnmatched);
+    for (uint32_t v = 0; v < graph.num_right(); ++v) {
+      if (match_right[v] != kUnmatched) {
+        (*match_left)[static_cast<uint32_t>(match_right[v])] =
+            static_cast<int32_t>(v);
+      }
+    }
+  }
+  return matching;
+}
+
+bool HasPerfectLeftMatching(const BipartiteGraph& graph) {
+  if (graph.num_left() > graph.num_right()) return false;
+  for (uint32_t u = 0; u < graph.num_left(); ++u) {
+    if (graph.Neighbors(u).empty()) return false;
+  }
+  return HopcroftKarpMaximumMatching(graph) == graph.num_left();
+}
+
+}  // namespace hinpriv::matching

@@ -1,0 +1,36 @@
+#ifndef HINPRIV_MATCHING_HOPCROFT_KARP_H_
+#define HINPRIV_MATCHING_HOPCROFT_KARP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/bipartite_graph.h"
+
+namespace hinpriv::matching {
+
+// Sentinel for "unmatched" in the matching arrays below.
+inline constexpr int32_t kUnmatched = -1;
+
+// Maximum bipartite matching via Hopcroft-Karp (O(E * sqrt(V))), the
+// algorithm the paper employs inside DeHIN's link_match ([6] in the paper).
+// Returns the matching size. When `match_left` is non-null it receives, for
+// each left vertex, the matched right vertex or kUnmatched.
+size_t HopcroftKarpMaximumMatching(const BipartiteGraph& graph,
+                                   std::vector<int32_t>* match_left = nullptr);
+
+// Reference implementation (Kuhn's augmenting-path algorithm, O(V * E)).
+// Exists for differential testing of Hopcroft-Karp and for the
+// ablation benchmark comparing matcher costs.
+size_t KuhnMaximumMatching(const BipartiteGraph& graph,
+                           std::vector<int32_t>* match_left = nullptr);
+
+// True iff every left vertex can be matched (maximum matching saturates the
+// left side) — the acceptance test of Algorithm 2:
+//   max_bipartite_match(G_B) == |N_b(v', L_i*)|.
+// Short-circuits on the trivial necessary condition num_left <= num_right
+// and on any isolated left vertex before running Hopcroft-Karp.
+bool HasPerfectLeftMatching(const BipartiteGraph& graph);
+
+}  // namespace hinpriv::matching
+
+#endif  // HINPRIV_MATCHING_HOPCROFT_KARP_H_

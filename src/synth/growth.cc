@@ -1,0 +1,103 @@
+#include "synth/growth.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "hin/graph_builder.h"
+#include "synth/profile.h"
+
+namespace hinpriv::synth {
+
+namespace {
+
+using hin::AttrValue;
+using hin::AttributeId;
+using hin::Graph;
+using hin::GraphBuilder;
+using hin::LinkTypeId;
+using hin::Strength;
+using hin::VertexId;
+
+}  // namespace
+
+util::Result<Graph> GrowNetwork(const Graph& base, const GrowthConfig& growth,
+                                const TqqConfig& profile_config,
+                                util::Rng* rng) {
+  const hin::NetworkSchema& schema = base.schema();
+  if (schema.num_entity_types() != 1) {
+    return util::Status::InvalidArgument(
+        "GrowNetwork supports single-entity-type target-schema graphs");
+  }
+  GraphBuilder builder(schema);
+  const size_t base_n = base.num_vertices();
+  const size_t num_attrs = base.num_attributes(0);
+  builder.AddVertices(0, base_n);
+
+  // Preserve base users; grow growable attributes only.
+  for (VertexId v = 0; v < base_n; ++v) {
+    for (AttributeId a = 0; a < num_attrs; ++a) {
+      AttrValue value = base.attribute(v, a);
+      if (schema.entity_type(0).attributes[a].growable &&
+          rng->Bernoulli(growth.attr_growth_prob)) {
+        value += static_cast<AttrValue>(
+            rng->UniformInt(1, std::max(1, growth.attr_growth_max)));
+      }
+      HINPRIV_RETURN_IF_ERROR(builder.SetAttribute(v, a, value));
+    }
+  }
+
+  // New users appended after the base ids, keeping ground truth stable.
+  const size_t new_users = static_cast<size_t>(
+      static_cast<double>(base_n) * growth.new_user_fraction);
+  if (new_users > 0) {
+    const VertexId first_new = builder.AddVertices(0, new_users);
+    ProfileSampler sampler(profile_config);
+    for (size_t i = 0; i < new_users; ++i) {
+      HINPRIV_RETURN_IF_ERROR(ApplyProfile(
+          &builder, first_new + static_cast<VertexId>(i), sampler.Sample(rng)));
+    }
+  }
+  const size_t grown_n = base_n + new_users;
+
+  // Preserve base edges; strengths of growable-strength link types may grow.
+  for (LinkTypeId lt = 0; lt < schema.num_link_types(); ++lt) {
+    const bool growable = schema.link_type(lt).growable_strength;
+    for (VertexId v = 0; v < base_n; ++v) {
+      for (const hin::Edge& e : base.OutEdges(lt, v)) {
+        Strength strength = e.strength;
+        if (growable && rng->Bernoulli(growth.strength_growth_prob)) {
+          strength += static_cast<Strength>(rng->UniformInt(
+              1, std::max<int64_t>(1, growth.strength_growth_max)));
+        }
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, e.neighbor, lt, strength));
+      }
+    }
+  }
+
+  // Newly formed links during the time gap: uniformly typed, random
+  // endpoints across the grown user set. Duplicates against base edges fold
+  // into strength increases, which is also growth-consistent.
+  const size_t new_edges = static_cast<size_t>(
+      static_cast<double>(base.num_edges()) * growth.new_edge_fraction);
+  const util::ZipfSampler popularity(grown_n, profile_config.popularity_zipf);
+  std::unordered_set<uint64_t> added;  // dedup for non-growable strengths
+  for (size_t i = 0; i < new_edges; ++i) {
+    const LinkTypeId lt =
+        static_cast<LinkTypeId>(rng->UniformU64(schema.num_link_types()));
+    const VertexId src = static_cast<VertexId>(rng->UniformU64(grown_n));
+    const VertexId dst = static_cast<VertexId>(popularity.Sample(rng));
+    if (src == dst && !schema.link_type(lt).allows_self_link) continue;
+    if (!schema.link_type(lt).growable_strength) {
+      // A follow either exists or not: never fold a "new" follow onto an
+      // existing one (that would inflate a non-growable strength).
+      if (src < base_n && base.HasEdge(lt, src, dst)) continue;
+      const uint64_t key = (static_cast<uint64_t>(lt) << 56) ^
+                           (static_cast<uint64_t>(src) << 28) ^ dst;
+      if (!added.insert(key).second) continue;
+    }
+    HINPRIV_RETURN_IF_ERROR(builder.AddEdge(src, dst, lt, 1));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace hinpriv::synth

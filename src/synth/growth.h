@@ -1,0 +1,31 @@
+#ifndef HINPRIV_SYNTH_GROWTH_H_
+#define HINPRIV_SYNTH_GROWTH_H_
+
+#include "hin/graph.h"
+#include "synth/tqq_config.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hinpriv::synth {
+
+// Applies the Section 5.1 threat-model growth to a base network, producing
+// the auxiliary dataset an adversary crawls after a time gap:
+//
+//   * the first base.num_vertices() vertices are preserved with their ids,
+//     so ground-truth mappings into the base remain valid;
+//   * new users are appended; new links are added (possibly touching base
+//     users); nothing is ever removed;
+//   * growable profile attributes (per the schema's AttributeDef.growable)
+//     only increase;
+//   * strengths of growable-strength link types only increase.
+//
+// Only single-entity-type target-schema graphs are supported (the growth
+// semantics of tweets/comments are induced via projection instead).
+util::Result<hin::Graph> GrowNetwork(const hin::Graph& base,
+                                     const GrowthConfig& growth,
+                                     const TqqConfig& profile_config,
+                                     util::Rng* rng);
+
+}  // namespace hinpriv::synth
+
+#endif  // HINPRIV_SYNTH_GROWTH_H_

@@ -1,0 +1,170 @@
+#include "synth/planted_target.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "hin/density.h"
+#include "hin/graph_builder.h"
+#include "hin/subgraph.h"
+#include "synth/growth.h"
+#include "synth/tqq_generator.h"
+
+namespace hinpriv::synth {
+
+namespace {
+
+using hin::Graph;
+using hin::LinkTypeId;
+using hin::Strength;
+using hin::VertexId;
+
+// Packs (link type, src index, dst index) into one key for duplicate
+// detection among planted edges; indices are positions within the target
+// subset (< 2^24 users, < 2^8 link types — far beyond experiment scale).
+uint64_t PairKey(LinkTypeId lt, uint32_t src_idx, uint32_t dst_idx) {
+  return (static_cast<uint64_t>(lt) << 48) |
+         (static_cast<uint64_t>(src_idx) << 24) | dst_idx;
+}
+
+}  // namespace
+
+util::Result<PlantedDataset> BuildPlantedDataset(const TqqConfig& config,
+                                                 const PlantedTargetSpec& spec,
+                                                 const GrowthConfig& growth,
+                                                 util::Rng* rng) {
+  if (spec.target_size < 2 || spec.target_size > config.num_users) {
+    return util::Status::InvalidArgument(
+        "target size must be in [2, num_users]");
+  }
+  if (spec.density < 0.0 || spec.density > 1.0) {
+    return util::Status::InvalidArgument("density must be in [0, 1]");
+  }
+  auto base = GenerateTqqNetwork(config, rng);
+  if (!base.ok()) return base.status();
+
+  // Pick the target users and index them.
+  const auto picks =
+      rng->SampleWithoutReplacement(config.num_users, spec.target_size);
+  std::vector<VertexId> target_vertices(picks.begin(), picks.end());
+  std::vector<uint32_t> to_idx(config.num_users, UINT32_MAX);
+  for (uint32_t i = 0; i < target_vertices.size(); ++i) {
+    to_idx[target_vertices[i]] = i;
+  }
+
+  // Existing background edges among the target users, per link type.
+  const size_t num_links = base.value().num_link_types();
+  std::vector<size_t> existing(num_links, 0);
+  std::unordered_set<uint64_t> taken;
+  for (uint32_t i = 0; i < target_vertices.size(); ++i) {
+    const VertexId v = target_vertices[i];
+    for (LinkTypeId lt = 0; lt < num_links; ++lt) {
+      for (const hin::Edge& e : base.value().OutEdges(lt, v)) {
+        const uint32_t j = to_idx[e.neighbor];
+        if (j == UINT32_MAX) continue;
+        ++existing[lt];
+        taken.insert(PairKey(lt, i, j));
+      }
+    }
+  }
+
+  // Edge budget to reach the requested density (Equation 4 inverted),
+  // distributed across link types by the configured shares, minus what the
+  // background already provides.
+  const size_t total_needed = hin::EdgesForDensity(
+      spec.density, spec.target_size, num_links,
+      base.value().schema().CountSelfLinkTypes());
+  hin::GraphBuilder builder(base.value().schema());
+  HINPRIV_RETURN_IF_ERROR(
+      hin::CopyVerticesWithAttributes(base.value(), &builder));
+  HINPRIV_RETURN_IF_ERROR(hin::CopyEdges(base.value(), &builder));
+
+  // Planted destinations follow the same global popularity order as the
+  // background network (low vertex id = hub): edges inside the target
+  // sample concentrate on the sample's own most-popular members.
+  std::vector<uint32_t> by_popularity(spec.target_size);
+  for (uint32_t i = 0; i < spec.target_size; ++i) by_popularity[i] = i;
+  std::sort(by_popularity.begin(), by_popularity.end(),
+            [&](uint32_t a, uint32_t b) {
+              return target_vertices[a] < target_vertices[b];
+            });
+  const util::ZipfSampler popularity(spec.target_size,
+                                     config.popularity_zipf);
+
+  // Per-link-type budgets still to plant.
+  const size_t max_pairs = spec.target_size * (spec.target_size - 1);
+  std::vector<size_t> remaining(num_links, 0);
+  size_t total_remaining = 0;
+  for (LinkTypeId lt = 0; lt < num_links; ++lt) {
+    size_t want = static_cast<size_t>(static_cast<double>(total_needed) *
+                                      spec.link_type_shares[lt]);
+    want = std::min(want, max_pairs);
+    remaining[lt] = want > existing[lt] ? want - existing[lt] : 0;
+    total_remaining += remaining[lt];
+  }
+
+  // Burst activation: users become active one by one in a random order,
+  // each emitting ~edges_per_active_user planted edges split across the
+  // link-type budgets, destinations popularity-skewed. If the budget
+  // outlasts one full activation round (high density), further rounds give
+  // everyone additional bursts.
+  std::vector<uint32_t> activity_order(spec.target_size);
+  for (uint32_t i = 0; i < spec.target_size; ++i) activity_order[i] = i;
+  rng->Shuffle(&activity_order);
+  const int64_t burst_mean =
+      std::max<int64_t>(1, static_cast<int64_t>(spec.edges_per_active_user));
+  size_t next_active = 0;
+  size_t stagnant = 0;
+  const size_t stagnant_limit = 64 * spec.target_size;
+  while (total_remaining > 0 && stagnant < stagnant_limit) {
+    const uint32_t i = activity_order[next_active];
+    next_active = (next_active + 1) % spec.target_size;
+    // Power-law burst sizes (alpha 1.2 over [1, 10*mean] has mean ~= the
+    // configured value): most active users contribute a handful of edges —
+    // and may stay ambiguous — while a few heavy users dominate the budget,
+    // matching the skewed in-sample degree distributions of real networks.
+    const int64_t burst = static_cast<int64_t>(
+        rng->PowerLaw(1, static_cast<uint64_t>(10 * burst_mean), 1.2));
+    for (int64_t b = 0; b < burst && total_remaining > 0; ++b) {
+      // Link type weighted by remaining budget.
+      uint64_t pick = rng->UniformU64(total_remaining);
+      LinkTypeId lt = 0;
+      while (pick >= remaining[lt]) {
+        pick -= remaining[lt];
+        ++lt;
+      }
+      const uint32_t j = by_popularity[popularity.Sample(rng)];
+      if (i == j || !taken.insert(PairKey(lt, i, j)).second) {
+        ++stagnant;
+        continue;
+      }
+      stagnant = 0;
+      const bool weighted =
+          base.value().schema().link_type(lt).growable_strength;
+      const Strength strength =
+          weighted ? static_cast<Strength>(rng->PowerLaw(
+                         1, config.strength_max, config.strength_alpha))
+                   : 1;
+      HINPRIV_RETURN_IF_ERROR(builder.AddEdge(target_vertices[i],
+                                              target_vertices[j], lt,
+                                              strength));
+      --remaining[lt];
+      --total_remaining;
+    }
+  }
+
+  auto planted_base = std::move(builder).Build();
+  if (!planted_base.ok()) return planted_base.status();
+
+  auto target = hin::InducedSubgraph(planted_base.value(), target_vertices);
+  if (!target.ok()) return target.status();
+
+  auto auxiliary = GrowNetwork(planted_base.value(), growth, config, rng);
+  if (!auxiliary.ok()) return auxiliary.status();
+
+  const double achieved_density = hin::Density(target.value().graph);
+  return PlantedDataset{std::move(auxiliary).value(),
+                        std::move(target.value().graph),
+                        std::move(target_vertices), achieved_density};
+}
+
+}  // namespace hinpriv::synth

@@ -1,0 +1,41 @@
+#include "synth/profile.h"
+
+#include "hin/tqq_schema.h"
+
+namespace hinpriv::synth {
+
+ProfileSampler::ProfileSampler(const TqqConfig& config)
+    : config_(config),
+      gender_(static_cast<uint64_t>(config.num_genders), 0.3),
+      yob_(static_cast<uint64_t>(config.yob_max - config.yob_min + 1),
+           config.yob_zipf),
+      tweet_count_(static_cast<uint64_t>(config.tweet_count_max + 1),
+                   config.tweet_count_zipf),
+      tags_(static_cast<uint64_t>(config.tag_count_max + 1),
+            config.tag_zipf) {}
+
+Profile ProfileSampler::Sample(util::Rng* rng) const {
+  Profile p;
+  p.gender = static_cast<hin::AttrValue>(gender_.Sample(rng));
+  // Zipf rank 0 is the most common year; anchor it at the top of the year
+  // span so recent cohorts dominate, as on a real microblogging site.
+  p.yob = static_cast<hin::AttrValue>(
+      config_.yob_max - static_cast<int>(yob_.Sample(rng)));
+  p.tweet_count = static_cast<hin::AttrValue>(tweet_count_.Sample(rng));
+  p.tag_count = static_cast<hin::AttrValue>(tags_.Sample(rng));
+  return p;
+}
+
+util::Status ApplyProfile(hin::GraphBuilder* builder, hin::VertexId v,
+                          const Profile& profile) {
+  HINPRIV_RETURN_IF_ERROR(
+      builder->SetAttribute(v, hin::kGenderAttr, profile.gender));
+  HINPRIV_RETURN_IF_ERROR(builder->SetAttribute(v, hin::kYobAttr, profile.yob));
+  HINPRIV_RETURN_IF_ERROR(
+      builder->SetAttribute(v, hin::kTweetCountAttr, profile.tweet_count));
+  HINPRIV_RETURN_IF_ERROR(
+      builder->SetAttribute(v, hin::kTagCountAttr, profile.tag_count));
+  return util::Status::OK();
+}
+
+}  // namespace hinpriv::synth

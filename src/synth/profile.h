@@ -1,0 +1,44 @@
+#ifndef HINPRIV_SYNTH_PROFILE_H_
+#define HINPRIV_SYNTH_PROFILE_H_
+
+#include "hin/graph_builder.h"
+#include "hin/types.h"
+#include "synth/tqq_config.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hinpriv::synth {
+
+// One sampled t.qq user profile.
+struct Profile {
+  hin::AttrValue gender = 0;
+  hin::AttrValue yob = 0;
+  hin::AttrValue tweet_count = 0;
+  hin::AttrValue tag_count = 0;
+};
+
+// Draws user profiles from the TqqConfig attribute distributions.
+// Constructing the sampler precomputes the Zipf CDFs once; Sample() is
+// O(log n).
+class ProfileSampler {
+ public:
+  explicit ProfileSampler(const TqqConfig& config);
+
+  Profile Sample(util::Rng* rng) const;
+
+ private:
+  TqqConfig config_;
+  util::ZipfSampler gender_;
+  util::ZipfSampler yob_;
+  util::ZipfSampler tweet_count_;
+  util::ZipfSampler tags_;
+};
+
+// Writes a profile onto a vertex whose entity type follows the t.qq
+// attribute layout (kGenderAttr..kTagCountAttr).
+util::Status ApplyProfile(hin::GraphBuilder* builder, hin::VertexId v,
+                          const Profile& profile);
+
+}  // namespace hinpriv::synth
+
+#endif  // HINPRIV_SYNTH_PROFILE_H_

@@ -1,0 +1,80 @@
+#ifndef HINPRIV_SYNTH_TQQ_CONFIG_H_
+#define HINPRIV_SYNTH_TQQ_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hinpriv::synth {
+
+// Configuration of the synthetic t.qq-like network generator.
+//
+// The paper evaluates on the (non-redistributable) KDD Cup 2012 t.qq
+// dataset; this generator is the substitution documented in DESIGN.md.
+// Defaults are calibrated to the attribute cardinalities the paper reports
+// for its density-0.01 samples (gender 3, yob 87, tweet count 643, tags 11)
+// and to a power-law out-degree with alpha in [2, 3] (Section 4.3).
+struct TqqConfig {
+  // Number of user entities in the base (time-T0) network. The paper's
+  // auxiliary network has 2,320,895 users; benches default lower for
+  // wall-clock and scale up via flags.
+  size_t num_users = 100'000;
+
+  // --- Profile attribute distributions -----------------------------------
+  // gender in [0, num_genders); t.qq exposes male/female/unknown.
+  int num_genders = 3;
+  // Year of birth uniformly Zipf-skewed over [yob_min, yob_max]; the span
+  // matches the cardinality 87 the paper observed.
+  int yob_min = 1925;
+  int yob_max = 2011;  // 87 distinct values
+  double yob_zipf = 1.0;
+  // Tweet count: Zipf rank scaled into a long-tailed count so that a few
+  // users have very large counts (observed cardinality ~643).
+  int tweet_count_max = 20'000;
+  double tweet_count_zipf = 1.3;
+  // Number of profile tags in [0, tag_count_max] (cardinality 11).
+  int tag_count_max = 10;
+  double tag_zipf = 1.2;
+
+  // --- Popularity (preferential attachment) -------------------------------
+  // Link destinations are drawn Zipf(popularity_zipf) over vertex ids, so
+  // low ids are global hubs (celebrities everyone follows/mentions). Hub
+  // sharing between users is what keeps low-density de-anonymization hard:
+  // a spurious candidate often links to the *same* popular neighbors as the
+  // target, exactly as in real microblogging graphs.
+  double popularity_zipf = 0.9;
+
+  // --- Background interaction graph ---------------------------------------
+  // Per link type, each user draws out-degree 0 with probability
+  // zero_degree_prob, otherwise PowerLaw(1, out_degree_max, out_degree_alpha).
+  double out_degree_alpha = 2.3;
+  uint64_t out_degree_max = 500;
+  double zero_degree_prob = 0.25;
+  // Strengths of weighted links: PowerLaw(1, strength_max, strength_alpha),
+  // so most interactions happen once and a few are heavy.
+  uint64_t strength_max = 30;
+  double strength_alpha = 2.2;
+};
+
+// Growth applied to the base network to produce the adversary's
+// later-crawled auxiliary dataset (Section 5.1 threat model): the auxiliary
+// is a superset of the target-time network — users and links are only
+// added, growable attributes and strengths only increase.
+struct GrowthConfig {
+  // New users appended, as a fraction of the base user count.
+  double new_user_fraction = 0.05;
+  // New directed links added, as a fraction of the base edge count; sources
+  // and destinations are drawn from the grown user set.
+  double new_edge_fraction = 0.03;
+  // Per user, probability that a growable attribute (tweet count) grows,
+  // and the maximum increment.
+  double attr_growth_prob = 0.3;
+  int attr_growth_max = 50;
+  // Per edge of a growable-strength link type, probability the strength
+  // grows, and the maximum increment.
+  double strength_growth_prob = 0.1;
+  uint32_t strength_growth_max = 3;
+};
+
+}  // namespace hinpriv::synth
+
+#endif  // HINPRIV_SYNTH_TQQ_CONFIG_H_

@@ -1,0 +1,226 @@
+#include "synth/tqq_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+#include "synth/profile.h"
+
+namespace hinpriv::synth {
+
+namespace {
+
+using hin::AttrValue;
+using hin::EntityTypeId;
+using hin::Graph;
+using hin::GraphBuilder;
+using hin::LinkTypeId;
+using hin::Strength;
+using hin::VertexId;
+
+// Number of events for a user given a mean; cheap integer spread in
+// [0, 2*mean] keeping the expectation at `mean`.
+size_t CountAroundMean(double mean, util::Rng* rng) {
+  if (mean <= 0.0) return 0;
+  const uint64_t hi = static_cast<uint64_t>(std::llround(2.0 * mean));
+  if (hi == 0) return rng->Bernoulli(mean) ? 1 : 0;
+  return static_cast<size_t>(rng->UniformU64(hi + 1));
+}
+
+}  // namespace
+
+namespace {
+
+// Shared validation of the profile/degree distribution parameters.
+util::Status ValidateTqqConfig(const TqqConfig& config) {
+  if (config.num_users < 2) {
+    return util::Status::InvalidArgument("need at least 2 users");
+  }
+  if (config.num_genders < 1) {
+    return util::Status::InvalidArgument("num_genders must be >= 1");
+  }
+  if (config.yob_min > config.yob_max) {
+    return util::Status::InvalidArgument("yob_min must be <= yob_max");
+  }
+  if (config.tweet_count_max < 0 || config.tag_count_max < 0) {
+    return util::Status::InvalidArgument("attribute maxima must be >= 0");
+  }
+  if (config.out_degree_alpha <= 1.0 || config.strength_alpha <= 1.0) {
+    return util::Status::InvalidArgument("power-law exponents must be > 1");
+  }
+  if (config.out_degree_max < 1 || config.strength_max < 1) {
+    return util::Status::InvalidArgument("degree/strength caps must be >= 1");
+  }
+  if (config.zero_degree_prob < 0.0 || config.zero_degree_prob > 1.0) {
+    return util::Status::InvalidArgument("zero_degree_prob must be in [0, 1]");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<Graph> GenerateTqqNetwork(const TqqConfig& config,
+                                       util::Rng* rng) {
+  HINPRIV_RETURN_IF_ERROR(ValidateTqqConfig(config));
+  const hin::NetworkSchema schema = hin::TqqTargetSchema();
+  GraphBuilder builder(schema);
+  const EntityTypeId user = 0;
+  builder.AddVertices(user, config.num_users);
+
+  ProfileSampler sampler(config);
+  for (VertexId v = 0; v < config.num_users; ++v) {
+    HINPRIV_RETURN_IF_ERROR(
+        ApplyProfile(&builder, v, sampler.Sample(rng)));
+  }
+
+  const uint64_t degree_cap =
+      std::min<uint64_t>(config.out_degree_max, config.num_users - 1);
+  // Preferential attachment: destinations are Zipf-distributed over vertex
+  // ids, making low ids global hubs (see TqqConfig::popularity_zipf).
+  const util::ZipfSampler popularity(config.num_users, config.popularity_zipf);
+  std::unordered_set<VertexId> dedup;  // reused per vertex
+  for (LinkTypeId lt = 0; lt < hin::kNumTqqLinkTypes; ++lt) {
+    const bool weighted = schema.link_type(lt).growable_strength;
+    for (VertexId v = 0; v < config.num_users; ++v) {
+      if (rng->Bernoulli(config.zero_degree_prob)) continue;
+      const uint64_t degree =
+          rng->PowerLaw(1, degree_cap, config.out_degree_alpha);
+      dedup.clear();
+      for (uint64_t d = 0; d < degree; ++d) {
+        VertexId dst = static_cast<VertexId>(popularity.Sample(rng));
+        if (dst == v) continue;  // no self-links in the t.qq target schema
+        // Duplicate draws fold into the strength for weighted links
+        // (repeat interactions), but an unweighted follow link must stay
+        // at strength 1, so duplicates are dropped there.
+        if (!weighted && !dedup.insert(dst).second) continue;
+        const Strength strength =
+            weighted ? static_cast<Strength>(rng->PowerLaw(
+                           1, config.strength_max, config.strength_alpha))
+                     : 1;
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, dst, lt, strength));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> GenerateTqqFullNetwork(const TqqFullConfig& config,
+                                           util::Rng* rng) {
+  if (config.num_users < 2) {
+    return util::Status::InvalidArgument("need at least 2 users");
+  }
+  const hin::NetworkSchema schema = hin::TqqFullSchema();
+  const EntityTypeId user = schema.FindEntityType(hin::kUserType);
+  const EntityTypeId tweet = schema.FindEntityType(hin::kTweetType);
+  const EntityTypeId comment = schema.FindEntityType(hin::kCommentType);
+  const EntityTypeId item = schema.FindEntityType(hin::kItemType);
+  const LinkTypeId post_tweet = schema.FindLinkType("post_tweet");
+  const LinkTypeId post_comment = schema.FindLinkType("post_comment");
+  const LinkTypeId mention_in_tweet = schema.FindLinkType("mention_in_tweet");
+  const LinkTypeId mention_in_comment =
+      schema.FindLinkType("mention_in_comment");
+  const LinkTypeId retweet_of = schema.FindLinkType("retweet_of");
+  const LinkTypeId comment_on_tweet = schema.FindLinkType("comment_on_tweet");
+  const LinkTypeId comment_on_comment =
+      schema.FindLinkType("comment_on_comment");
+  const LinkTypeId follow = schema.FindLinkType(hin::kLinkFollow);
+  const LinkTypeId rec_accept = schema.FindLinkType("rec_accept");
+  const LinkTypeId rec_reject = schema.FindLinkType("rec_reject");
+
+  GraphBuilder builder(schema);
+  const VertexId first_user = builder.AddVertices(user, config.num_users);
+
+  ProfileSampler sampler(config.profiles);
+  for (size_t i = 0; i < config.num_users; ++i) {
+    HINPRIV_RETURN_IF_ERROR(
+        ApplyProfile(&builder, first_user + static_cast<VertexId>(i),
+                     sampler.Sample(rng)));
+  }
+  auto random_user = [&] {
+    return first_user + static_cast<VertexId>(rng->UniformU64(config.num_users));
+  };
+
+  // Tweets: authorship, mentions, retweets. tweet_count is kept consistent
+  // with the actual number of posted tweets.
+  std::vector<VertexId> tweets;
+  for (size_t i = 0; i < config.num_users; ++i) {
+    const VertexId author = first_user + static_cast<VertexId>(i);
+    const size_t count = CountAroundMean(config.tweets_per_user, rng);
+    HINPRIV_RETURN_IF_ERROR(builder.SetAttribute(
+        author, hin::kTweetCountAttr, static_cast<AttrValue>(count)));
+    for (size_t t = 0; t < count; ++t) {
+      const VertexId tw = builder.AddVertex(tweet);
+      HINPRIV_RETURN_IF_ERROR(builder.AddEdge(author, tw, post_tweet));
+      if (rng->Bernoulli(config.mentions_per_post)) {
+        HINPRIV_RETURN_IF_ERROR(
+            builder.AddEdge(tw, random_user(), mention_in_tweet));
+      }
+      if (!tweets.empty() && rng->Bernoulli(config.retweet_prob)) {
+        const VertexId earlier =
+            tweets[rng->UniformU64(tweets.size())];
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(tw, earlier, retweet_of));
+      }
+      tweets.push_back(tw);
+    }
+  }
+
+  // Comments: authorship, what they comment on, mentions.
+  std::vector<VertexId> comments;
+  for (size_t i = 0; i < config.num_users; ++i) {
+    const VertexId author = first_user + static_cast<VertexId>(i);
+    const size_t count = CountAroundMean(config.comments_per_user, rng);
+    for (size_t c = 0; c < count; ++c) {
+      const VertexId cm = builder.AddVertex(comment);
+      HINPRIV_RETURN_IF_ERROR(builder.AddEdge(author, cm, post_comment));
+      const bool on_tweet = comments.empty() ||
+                            rng->Bernoulli(config.comment_on_tweet_prob);
+      if (on_tweet && !tweets.empty()) {
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(
+            cm, tweets[rng->UniformU64(tweets.size())], comment_on_tweet));
+      } else if (!comments.empty()) {
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(
+            cm, comments[rng->UniformU64(comments.size())],
+            comment_on_comment));
+      }
+      if (rng->Bernoulli(config.mentions_per_post)) {
+        HINPRIV_RETURN_IF_ERROR(
+            builder.AddEdge(cm, random_user(), mention_in_comment));
+      }
+      comments.push_back(cm);
+    }
+  }
+
+  // Follow links (deduplicated: following is binary, not a count).
+  for (size_t i = 0; i < config.num_users; ++i) {
+    const VertexId src = first_user + static_cast<VertexId>(i);
+    const size_t count = CountAroundMean(config.follows_per_user, rng);
+    std::unordered_set<VertexId> followees;
+    for (size_t f = 0; f < count; ++f) {
+      const VertexId dst = random_user();
+      if (dst == src || !followees.insert(dst).second) continue;
+      HINPRIV_RETURN_IF_ERROR(builder.AddEdge(src, dst, follow));
+    }
+  }
+
+  // Recommendation preference log (the sensitive payload).
+  std::vector<VertexId> items;
+  for (size_t i = 0; i < config.num_items; ++i) {
+    items.push_back(builder.AddVertex(item));
+  }
+  if (!items.empty()) {
+    for (size_t i = 0; i < config.num_users; ++i) {
+      const VertexId u = first_user + static_cast<VertexId>(i);
+      const size_t count = CountAroundMean(config.recommendations_per_user, rng);
+      for (size_t r = 0; r < count; ++r) {
+        const VertexId it = items[rng->UniformU64(items.size())];
+        const LinkTypeId lt = rng->Bernoulli(0.5) ? rec_accept : rec_reject;
+        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(u, it, lt));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace hinpriv::synth

@@ -1,0 +1,40 @@
+#ifndef HINPRIV_SYNTH_TQQ_GENERATOR_H_
+#define HINPRIV_SYNTH_TQQ_GENERATOR_H_
+
+#include "hin/graph.h"
+#include "synth/tqq_config.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace hinpriv::synth {
+
+// Generates a synthetic t.qq-like *target-schema* network (single User
+// entity type; follow/mention/retweet/comment strength links — see
+// hin::TqqTargetSchema). Profiles and degrees follow TqqConfig.
+util::Result<hin::Graph> GenerateTqqNetwork(const TqqConfig& config,
+                                            util::Rng* rng);
+
+// Generates a small *full-schema* t.qq network (Users, Tweets, Comments,
+// Items with post/mention/retweet/comment-on/follow/recommendation links —
+// see hin::TqqFullSchema). Used to exercise the meta-path projection
+// pipeline end to end; `tweets_per_user` and friends control the content
+// volume. Intended for demonstration/test scale, not 2.3M users.
+struct TqqFullConfig {
+  size_t num_users = 200;
+  double tweets_per_user = 3.0;
+  double comments_per_user = 2.0;
+  double mentions_per_post = 0.5;
+  double retweet_prob = 0.3;   // a tweet retweets some earlier tweet
+  double comment_on_tweet_prob = 0.7;  // vs. comment on another comment
+  double follows_per_user = 4.0;
+  size_t num_items = 20;
+  double recommendations_per_user = 1.0;
+  TqqConfig profiles;  // attribute distributions reused
+};
+
+util::Result<hin::Graph> GenerateTqqFullNetwork(const TqqFullConfig& config,
+                                                util::Rng* rng);
+
+}  // namespace hinpriv::synth
+
+#endif  // HINPRIV_SYNTH_TQQ_GENERATOR_H_

@@ -1,0 +1,48 @@
+#ifndef HINPRIV_UTIL_FLAGS_H_
+#define HINPRIV_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hinpriv::util {
+
+// Minimal command-line flag parser for the bench and example binaries.
+// Accepts "--name=value" and "--name value"; bare "--name" sets "true".
+// Unknown flags are an error so typos in sweep scripts fail loudly.
+class FlagParser {
+ public:
+  // Registers a flag with its default value and a help line.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  // Parses argv; returns InvalidArgument for unknown or malformed flags.
+  // "--help" sets help_requested().
+  Status Parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+  std::string Usage(const std::string& program) const;
+
+  // Typed getters; the flag must have been Define()d (asserts otherwise),
+  // and parse failures fall back to the default.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace hinpriv::util
+
+#endif  // HINPRIV_UTIL_FLAGS_H_

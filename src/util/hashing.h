@@ -1,0 +1,39 @@
+#ifndef HINPRIV_UTIL_HASHING_H_
+#define HINPRIV_UTIL_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hinpriv::util {
+
+// 64-bit hashing primitives used for attribute-metapath-combined value
+// signatures (core/signature.h). Collision probability must be negligible
+// at network scale (millions of entities), so everything is 64-bit and
+// values are finalized through a strong avalanche mixer.
+
+// SplitMix64 finalizer: full-avalanche mix of one 64-bit word.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Order-dependent combiner (boost-style, widened to 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+// FNV-1a over raw bytes.
+inline uint64_t FnV1a(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hinpriv::util
+
+#endif  // HINPRIV_UTIL_HASHING_H_

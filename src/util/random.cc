@@ -1,0 +1,126 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hinpriv::util {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<int64_t>(NextU64());
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::PowerLaw(uint64_t k_min, uint64_t k_max, double alpha) {
+  assert(k_min >= 1 && k_min <= k_max && alpha > 1.0);
+  if (k_min == k_max) return k_min;
+  // Inverse CDF of the continuous power law on [k_min, k_max + 1):
+  //   x = ((hi^(1-a) - lo^(1-a)) * u + lo^(1-a))^(1/(1-a))
+  const double one_minus_a = 1.0 - alpha;
+  const double lo_pow = std::pow(static_cast<double>(k_min), one_minus_a);
+  const double hi_pow = std::pow(static_cast<double>(k_max) + 1.0, one_minus_a);
+  const double u = UniformDouble();
+  const double x = std::pow((hi_pow - lo_pow) * u + lo_pow, 1.0 / one_minus_a);
+  uint64_t k = static_cast<uint64_t>(x);
+  return std::clamp(k, k_min, k_max);
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  std::vector<uint64_t> result;
+  result.reserve(k);
+  if (k == 0) return result;
+  // For small k relative to n, Floyd's algorithm would avoid materializing
+  // [0, n); the library only draws samples where n fits in memory, so the
+  // simple partial Fisher-Yates keeps the sampling distribution obvious.
+  std::vector<uint64_t> idx(n);
+  for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t j = i + UniformU64(n - i);
+    std::swap(idx[i], idx[j]);
+    result.push_back(idx[i]);
+  }
+  return result;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace hinpriv::util

@@ -1,0 +1,83 @@
+#ifndef HINPRIV_UTIL_RANDOM_H_
+#define HINPRIV_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hinpriv::util {
+
+// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+// SplitMix64. All randomness in the library flows through an explicitly
+// seeded Rng so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64 uniform bits.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's unbiased
+  // multiply-shift rejection method.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Discrete power-law sample: integer k in [k_min, k_max] with
+  // P(k) proportional to k^-alpha. Uses inverse-CDF on the continuous
+  // approximation, then clamps. Requires 1 <= k_min <= k_max, alpha > 1.
+  uint64_t PowerLaw(uint64_t k_min, uint64_t k_max, double alpha);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // k distinct values sampled uniformly from [0, n) via partial
+  // Fisher-Yates on an index vector. Requires k <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  // Derives an independent child generator; handy for giving each
+  // subsystem its own deterministic stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipf-distributed sampler over ranks {1, ..., n} with exponent s:
+// P(rank) proportional to rank^-s. Precomputes the CDF once (O(n)) and
+// samples by binary search (O(log n)). Used for attribute popularity
+// (tags, yob) so that some values are common and some rare, as in real
+// profile data.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  // Returns a rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace hinpriv::util
+
+#endif  // HINPRIV_UTIL_RANDOM_H_

@@ -1,0 +1,42 @@
+#ifndef HINPRIV_UTIL_STATS_H_
+#define HINPRIV_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hinpriv::util {
+
+// Small descriptive-statistics helpers for the evaluation harness.
+
+// Arithmetic mean; 0.0 for an empty range.
+double Mean(const std::vector<double>& xs);
+
+// Sample standard deviation (n-1 denominator); 0.0 for fewer than 2 values.
+double StdDev(const std::vector<double>& xs);
+
+// Linear-interpolated percentile, p in [0, 100]. 0.0 for an empty range.
+double Percentile(std::vector<double> xs, double p);
+
+// Online accumulator (Welford) for mean/variance without storing samples.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hinpriv::util
+
+#endif  // HINPRIV_UTIL_STATS_H_

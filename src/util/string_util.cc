@@ -1,0 +1,112 @@
+#include "util/string_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hinpriv::util {
+
+std::vector<std::string_view> Split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+// strtoll/strtod skip leading whitespace; strict field parsing must not.
+bool HasLeadingSpace(std::string_view s) {
+  return !s.empty() && (s[0] == ' ' || s[0] == '\t' || s[0] == '\n' ||
+                        s[0] == '\r' || s[0] == '\v' || s[0] == '\f');
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty integer field");
+  if (HasLeadingSpace(s)) {
+    return Status::InvalidArgument("leading whitespace in integer field");
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer overflow: '" + buf + "'");
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("malformed integer: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> ParseUint64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty integer field");
+  if (HasLeadingSpace(s)) {
+    return Status::InvalidArgument("leading whitespace in integer field");
+  }
+  if (s[0] == '-') {
+    return Status::InvalidArgument("negative value for unsigned field: '" +
+                                   std::string(s) + "'");
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer overflow: '" + buf + "'");
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("malformed integer: '" + buf + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty numeric field");
+  if (HasLeadingSpace(s)) {
+    return Status::InvalidArgument("leading whitespace in numeric field");
+  }
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double overflow: '" + buf + "'");
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("malformed double: '" + buf + "'");
+  }
+  return v;
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return std::string(buf);
+}
+
+}  // namespace hinpriv::util

@@ -1,0 +1,34 @@
+#ifndef HINPRIV_UTIL_STRING_UTIL_H_
+#define HINPRIV_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hinpriv::util {
+
+// Splits on a single delimiter character; keeps empty fields so that
+// tab-separated dataset rows with missing columns are detected rather
+// than silently collapsed.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Strict parse of a signed/unsigned decimal integer occupying the whole
+// string. Returns InvalidArgument on junk, overflow, or empty input.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<uint64_t> ParseUint64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+// Formats a double with the given number of decimal places (printf "%.*f").
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace hinpriv::util
+
+#endif  // HINPRIV_UTIL_STRING_UTIL_H_

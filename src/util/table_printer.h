@@ -1,0 +1,34 @@
+#ifndef HINPRIV_UTIL_TABLE_PRINTER_H_
+#define HINPRIV_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hinpriv::util {
+
+// Renders the paper-style result tables: fixed-width aligned console output
+// plus optional tab-separated dump for downstream plotting. Cells are
+// strings; numeric formatting is the caller's concern (FormatDouble).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Pretty-prints with column alignment and a header rule.
+  void Print(std::ostream& os) const;
+
+  // Tab-separated (header first); loss-free for machine consumption.
+  void PrintTsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hinpriv::util
+
+#endif  // HINPRIV_UTIL_TABLE_PRINTER_H_

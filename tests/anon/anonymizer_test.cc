@@ -1,0 +1,101 @@
+#include "anon/anonymizer.h"
+
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "anon/kdd_anonymizer.h"
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::anon {
+namespace {
+
+hin::Graph MakeGraph(size_t users, uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = users;
+  util::Rng rng(seed);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(PermuteVerticesTest, ToOriginalIsAPermutation) {
+  const hin::Graph graph = MakeGraph(500, 1);
+  util::Rng rng(2);
+  auto result = PermuteVertices(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  std::set<hin::VertexId> seen(result.value().to_original.begin(),
+                               result.value().to_original.end());
+  EXPECT_EQ(seen.size(), 500u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 499u);
+}
+
+TEST(PermuteVerticesTest, GraphIsIsomorphicUnderMapping) {
+  const hin::Graph graph = MakeGraph(400, 3);
+  util::Rng rng(4);
+  auto result = PermuteVertices(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const hin::Graph& anon = result.value().graph;
+  const auto& to_original = result.value().to_original;
+
+  EXPECT_EQ(anon.num_vertices(), graph.num_vertices());
+  EXPECT_EQ(anon.num_edges(), graph.num_edges());
+  std::vector<hin::VertexId> to_new(graph.num_vertices());
+  for (hin::VertexId v = 0; v < anon.num_vertices(); ++v) {
+    to_new[to_original[v]] = v;
+  }
+  for (hin::VertexId v = 0; v < anon.num_vertices(); ++v) {
+    const hin::VertexId orig = to_original[v];
+    for (hin::AttributeId a = 0; a < 4; ++a) {
+      ASSERT_EQ(anon.attribute(v, a), graph.attribute(orig, a));
+    }
+    for (hin::LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+      ASSERT_EQ(anon.OutDegree(lt, v), graph.OutDegree(lt, orig));
+      for (const hin::Edge& e : graph.OutEdges(lt, orig)) {
+        ASSERT_EQ(anon.EdgeStrength(lt, v, to_new[e.neighbor]), e.strength);
+      }
+    }
+  }
+}
+
+TEST(PermuteVerticesTest, ActuallyShufflesIds) {
+  const hin::Graph graph = MakeGraph(300, 5);
+  util::Rng rng(6);
+  auto result = PermuteVertices(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  size_t fixed_points = 0;
+  for (hin::VertexId v = 0; v < 300; ++v) {
+    if (result.value().to_original[v] == v) ++fixed_points;
+  }
+  // A uniform permutation has ~1 expected fixed point.
+  EXPECT_LT(fixed_points, 20u);
+}
+
+TEST(KddAnonymizerTest, NameAndBehaviour) {
+  KddAnonymizer anonymizer;
+  EXPECT_EQ(anonymizer.name(), "KDDA");
+  const hin::Graph graph = MakeGraph(200, 7);
+  util::Rng rng(8);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  // KDDA adds no fake links.
+  EXPECT_EQ(result.value().graph.num_edges(), graph.num_edges());
+}
+
+TEST(PermuteVerticesTest, EmptyGraph) {
+  hin::GraphBuilder builder(hin::TqqTargetSchema());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  util::Rng rng(9);
+  auto result = PermuteVertices(graph.value(), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().graph.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace hinpriv::anon

@@ -1,0 +1,145 @@
+#include "anon/complete_graph_anonymizer.h"
+
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hin/tqq_schema.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::anon {
+namespace {
+
+hin::Graph MakeGraph(size_t users, uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = users;
+  util::Rng rng(seed);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(CompleteGraphAnonymizerTest, EveryLinkTypeBecomesComplete) {
+  const hin::Graph graph = MakeGraph(60, 1);
+  CompleteGraphAnonymizer anonymizer;
+  util::Rng rng(2);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const hin::Graph& anon = result.value().graph;
+  const size_t n = anon.num_vertices();
+  // n*(n-1) directed edges per link type.
+  EXPECT_EQ(anon.num_edges(), 4 * n * (n - 1));
+  for (hin::LinkTypeId lt = 0; lt < anon.num_link_types(); ++lt) {
+    for (hin::VertexId v = 0; v < n; ++v) {
+      ASSERT_EQ(anon.OutDegree(lt, v), n - 1);
+    }
+  }
+}
+
+TEST(CompleteGraphAnonymizerTest, RealStrengthsPreservedFakesConstant) {
+  const hin::Graph graph = MakeGraph(50, 3);
+  CompleteGraphAnonymizer anonymizer(/*fake_strength=*/1);
+  util::Rng rng(4);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const hin::Graph& anon = result.value().graph;
+  const auto& to_original = result.value().to_original;
+  std::vector<hin::VertexId> to_new(graph.num_vertices());
+  for (hin::VertexId v = 0; v < anon.num_vertices(); ++v) {
+    to_new[to_original[v]] = v;
+  }
+  // Every real mention edge keeps its strength in the anonymized copy.
+  for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const hin::Edge& e : graph.OutEdges(hin::kMentionLink, v)) {
+      ASSERT_EQ(anon.EdgeStrength(hin::kMentionLink, to_new[v],
+                                  to_new[e.neighbor]),
+                e.strength);
+    }
+  }
+  // Non-real pairs carry the constant fake strength.
+  size_t checked = 0;
+  for (hin::VertexId v = 0; v < anon.num_vertices() && checked < 50; ++v) {
+    for (const hin::Edge& e : anon.OutEdges(hin::kMentionLink, v)) {
+      if (graph.HasEdge(hin::kMentionLink, to_original[v],
+                        to_original[e.neighbor])) {
+        continue;
+      }
+      ASSERT_EQ(e.strength, 1u);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(CompleteGraphAnonymizerTest, KAnonymityReachesGraphSize) {
+  // With a complete graph every vertex has identical degree: the k of
+  // k-degree anonymity equals the vertex count (the paper's "best case").
+  const hin::Graph graph = MakeGraph(40, 5);
+  CompleteGraphAnonymizer anonymizer;
+  util::Rng rng(6);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const hin::Graph& anon = result.value().graph;
+  for (hin::LinkTypeId lt = 0; lt < anon.num_link_types(); ++lt) {
+    std::map<size_t, size_t> degree_counts;
+    for (hin::VertexId v = 0; v < anon.num_vertices(); ++v) {
+      ++degree_counts[anon.OutDegree(lt, v)];
+    }
+    ASSERT_EQ(degree_counts.size(), 1u);
+    EXPECT_EQ(degree_counts.begin()->second, anon.num_vertices());
+  }
+}
+
+TEST(VaryingWeightCgaTest, FakeWeightsVary) {
+  const hin::Graph graph = MakeGraph(50, 7);
+  VaryingWeightCgaAnonymizer anonymizer(/*max_fake_strength=*/30);
+  util::Rng rng(8);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const hin::Graph& anon = result.value().graph;
+  // Fake follow strengths range over [1, 30]; the real ones are all 1, so
+  // observing many distinct strengths proves the fakes vary.
+  std::set<hin::Strength> strengths;
+  for (hin::VertexId v = 0; v < anon.num_vertices(); ++v) {
+    for (const hin::Edge& e : anon.OutEdges(hin::kFollowLink, v)) {
+      strengths.insert(e.strength);
+    }
+  }
+  EXPECT_GT(strengths.size(), 10u);
+  EXPECT_EQ(anon.num_edges(),
+            4 * anon.num_vertices() * (anon.num_vertices() - 1));
+}
+
+TEST(VaryingWeightCgaTest, NoMajorityValueDominatesFakes) {
+  const hin::Graph graph = MakeGraph(40, 9);
+  VaryingWeightCgaAnonymizer anonymizer(30);
+  util::Rng rng(10);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const hin::Graph& anon = result.value().graph;
+  std::map<hin::Strength, size_t> counts;
+  size_t total = 0;
+  for (hin::VertexId v = 0; v < anon.num_vertices(); ++v) {
+    for (const hin::Edge& e : anon.OutEdges(hin::kMentionLink, v)) {
+      ++counts[e.strength];
+      ++total;
+    }
+  }
+  size_t max_count = 0;
+  for (const auto& [s, c] : counts) max_count = std::max(max_count, c);
+  // The most common strength covers well under half the links, so majority
+  // stripping cannot isolate the fakes (Section 6.3's defense mechanism).
+  EXPECT_LT(max_count * 2, total);
+}
+
+TEST(CompleteGraphAnonymizerTest, Names) {
+  EXPECT_EQ(CompleteGraphAnonymizer().name(), "CGA");
+  EXPECT_EQ(VaryingWeightCgaAnonymizer().name(), "VW-CGA");
+}
+
+}  // namespace
+}  // namespace hinpriv::anon

@@ -1,0 +1,138 @@
+#include "anon/k_degree_anonymizer.h"
+
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "hin/tqq_schema.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::anon {
+namespace {
+
+hin::Graph MakeGraph(size_t users, uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = users;
+  util::Rng rng(seed);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+// Checks the k-degree-anonymity property: per link type, every out-degree
+// value is shared by at least k vertices.
+void ExpectKDegreeAnonymous(const hin::Graph& graph, size_t k) {
+  for (hin::LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+    std::map<size_t, size_t> counts;
+    for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+      ++counts[graph.OutDegree(lt, v)];
+    }
+    for (const auto& [degree, count] : counts) {
+      EXPECT_GE(count, k) << "link type " << lt << " degree " << degree;
+    }
+  }
+}
+
+TEST(KDegreeAnonymizerTest, EnforcesKDegreeAnonymity) {
+  const hin::Graph graph = MakeGraph(200, 1);
+  for (size_t k : {2, 5, 10}) {
+    KDegreeAnonymizer anonymizer(k);
+    util::Rng rng(k);
+    auto result = anonymizer.Anonymize(graph, &rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectKDegreeAnonymous(result.value().graph, k);
+  }
+}
+
+TEST(KDegreeAnonymizerTest, OnlyAddsEdges) {
+  const hin::Graph graph = MakeGraph(150, 2);
+  KDegreeAnonymizer anonymizer(5);
+  util::Rng rng(3);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().graph.num_edges(), graph.num_edges());
+  // All real edges survive with their strengths.
+  const auto& to_original = result.value().to_original;
+  std::vector<hin::VertexId> to_new(graph.num_vertices());
+  for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    to_new[to_original[v]] = v;
+  }
+  for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (hin::LinkTypeId lt = 0; lt < graph.num_link_types(); ++lt) {
+      for (const hin::Edge& e : graph.OutEdges(lt, v)) {
+        ASSERT_GE(result.value().graph.EdgeStrength(lt, to_new[v],
+                                                    to_new[e.neighbor]),
+                  e.strength);
+      }
+    }
+  }
+}
+
+TEST(KDegreeAnonymizerTest, RejectsBadParameters) {
+  const hin::Graph graph = MakeGraph(50, 4);
+  util::Rng rng(5);
+  EXPECT_FALSE(KDegreeAnonymizer(1).Anonymize(graph, &rng).ok());
+  EXPECT_FALSE(KDegreeAnonymizer(100).Anonymize(graph, &rng).ok());
+}
+
+TEST(KDegreeAnonymizerTest, Name) {
+  EXPECT_EQ(KDegreeAnonymizer(10).name(), "K10-DEGREE");
+}
+
+TEST(EdgePerturbationTest, PreservesApproximateEdgeCount) {
+  const hin::Graph graph = MakeGraph(300, 6);
+  EdgePerturbationAnonymizer anonymizer(0.2);
+  util::Rng rng(7);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const double ratio = static_cast<double>(result.value().graph.num_edges()) /
+                       static_cast<double>(graph.num_edges());
+  EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+TEST(EdgePerturbationTest, ZeroProbabilityIsIsomorphicIdentity) {
+  const hin::Graph graph = MakeGraph(100, 8);
+  EdgePerturbationAnonymizer anonymizer(0.0);
+  util::Rng rng(9);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().graph.num_edges(), graph.num_edges());
+}
+
+TEST(EdgePerturbationTest, RemovalActuallyRemovesRealEdges) {
+  const hin::Graph graph = MakeGraph(150, 10);
+  EdgePerturbationAnonymizer anonymizer(0.5);
+  util::Rng rng(11);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const auto& to_original = result.value().to_original;
+  std::vector<hin::VertexId> to_new(graph.num_vertices());
+  for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    to_new[to_original[v]] = v;
+  }
+  size_t missing = 0;
+  size_t total = 0;
+  for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const hin::Edge& e : graph.OutEdges(hin::kMentionLink, v)) {
+      ++total;
+      if (!result.value().graph.HasEdge(hin::kMentionLink, to_new[v],
+                                        to_new[e.neighbor])) {
+        ++missing;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(missing, total / 4);  // about half should be gone
+}
+
+TEST(EdgePerturbationTest, RejectsInvalidProbability) {
+  const hin::Graph graph = MakeGraph(50, 12);
+  util::Rng rng(13);
+  EXPECT_FALSE(EdgePerturbationAnonymizer(-0.1).Anonymize(graph, &rng).ok());
+  EXPECT_FALSE(EdgePerturbationAnonymizer(1.1).Anonymize(graph, &rng).ok());
+}
+
+}  // namespace
+}  // namespace hinpriv::anon

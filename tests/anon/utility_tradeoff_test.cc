@@ -1,0 +1,130 @@
+#include "anon/utility_tradeoff_anonymizers.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hin/tqq_schema.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::anon {
+namespace {
+
+hin::Graph MakeGraph(size_t users, uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = users;
+  util::Rng rng(seed);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(StrengthBucketingTest, BucketsGrowableStrengths) {
+  const hin::Graph graph = MakeGraph(400, 1);
+  StrengthBucketingAnonymizer anonymizer(/*bucket=*/5);
+  util::Rng rng(2);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const hin::Graph& anon = result.value().graph;
+  EXPECT_EQ(anon.num_edges(), graph.num_edges());  // no links lost
+  for (hin::VertexId v = 0; v < anon.num_vertices(); ++v) {
+    for (const hin::Edge& e : anon.OutEdges(hin::kMentionLink, v)) {
+      // Published strengths sit on bucket boundaries 1, 6, 11, ...
+      ASSERT_EQ((e.strength - 1) % 5, 0u);
+    }
+    for (const hin::Edge& e : anon.OutEdges(hin::kFollowLink, v)) {
+      ASSERT_EQ(e.strength, 1u);  // non-growable types untouched
+    }
+  }
+}
+
+TEST(StrengthBucketingTest, IsGrowthConsistentLowerBound) {
+  // Bucketed strength <= original, so the growth-aware matchers stay sound
+  // when the auxiliary carries the raw strengths.
+  const hin::Graph graph = MakeGraph(300, 3);
+  StrengthBucketingAnonymizer anonymizer(10);
+  util::Rng rng(4);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const auto& to_original = result.value().to_original;
+  std::vector<hin::VertexId> to_new(graph.num_vertices());
+  for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    to_new[to_original[v]] = v;
+  }
+  for (hin::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const hin::Edge& e : graph.OutEdges(hin::kCommentLink, v)) {
+      const hin::Strength published = result.value().graph.EdgeStrength(
+          hin::kCommentLink, to_new[v], to_new[e.neighbor]);
+      ASSERT_GE(published, 1u);
+      ASSERT_LE(published, e.strength);
+    }
+  }
+}
+
+TEST(StrengthBucketingTest, ReducesStrengthCardinality) {
+  const hin::Graph graph = MakeGraph(2000, 5);
+  StrengthBucketingAnonymizer anonymizer(10);
+  util::Rng rng(6);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  auto distinct_strengths = [](const hin::Graph& g, hin::LinkTypeId lt) {
+    std::set<hin::Strength> values;
+    for (hin::VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const hin::Edge& e : g.OutEdges(lt, v)) values.insert(e.strength);
+    }
+    return values.size();
+  };
+  EXPECT_LT(distinct_strengths(result.value().graph, hin::kMentionLink),
+            distinct_strengths(graph, hin::kMentionLink));
+}
+
+TEST(StrengthBucketingTest, RejectsZeroBucket) {
+  const hin::Graph graph = MakeGraph(50, 7);
+  util::Rng rng(8);
+  EXPECT_FALSE(StrengthBucketingAnonymizer(0).Anonymize(graph, &rng).ok());
+}
+
+TEST(LinkTypeDroppingTest, PublishesOnlyKeptTypes) {
+  const hin::Graph graph = MakeGraph(400, 9);
+  LinkTypeDroppingAnonymizer anonymizer({hin::kFollowLink});
+  util::Rng rng(10);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  const hin::Graph& anon = result.value().graph;
+  size_t follow_edges = 0;
+  for (hin::VertexId v = 0; v < anon.num_vertices(); ++v) {
+    follow_edges += anon.OutDegree(hin::kFollowLink, v);
+    EXPECT_EQ(anon.OutDegree(hin::kMentionLink, v), 0u);
+    EXPECT_EQ(anon.OutDegree(hin::kRetweetLink, v), 0u);
+    EXPECT_EQ(anon.OutDegree(hin::kCommentLink, v), 0u);
+  }
+  EXPECT_EQ(anon.num_edges(), follow_edges);
+  EXPECT_GT(follow_edges, 0u);
+}
+
+TEST(LinkTypeDroppingTest, EmptyKeptSetPublishesProfilesOnly) {
+  const hin::Graph graph = MakeGraph(100, 11);
+  LinkTypeDroppingAnonymizer anonymizer({});
+  util::Rng rng(12);
+  auto result = anonymizer.Anonymize(graph, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().graph.num_edges(), 0u);
+  EXPECT_EQ(result.value().graph.num_vertices(), graph.num_vertices());
+}
+
+TEST(LinkTypeDroppingTest, RejectsOutOfRangeTypes) {
+  const hin::Graph graph = MakeGraph(50, 13);
+  util::Rng rng(14);
+  LinkTypeDroppingAnonymizer anonymizer({static_cast<hin::LinkTypeId>(9)});
+  EXPECT_FALSE(anonymizer.Anonymize(graph, &rng).ok());
+}
+
+TEST(UtilityTradeoffTest, Names) {
+  EXPECT_EQ(StrengthBucketingAnonymizer(5).name(), "BUCKET5");
+  EXPECT_EQ(LinkTypeDroppingAnonymizer({hin::kFollowLink}).name(),
+            "DROP-TO-0");
+}
+
+}  // namespace
+}  // namespace hinpriv::anon

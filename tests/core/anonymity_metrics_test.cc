@@ -1,0 +1,70 @@
+#include "core/anonymity_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/privacy_risk.h"
+
+namespace hinpriv::core {
+namespace {
+
+TEST(KAnonymityTest, Basics) {
+  EXPECT_EQ(KAnonymity(std::vector<uint64_t>{}), 0u);
+  EXPECT_EQ(KAnonymity(std::vector<uint64_t>{1, 1, 1}), 3u);
+  EXPECT_EQ(KAnonymity(std::vector<uint64_t>{1, 1, 2, 2, 2}), 2u);
+  EXPECT_EQ(KAnonymity(std::vector<uint64_t>{1, 2, 3}), 1u);
+}
+
+TEST(AnonymitySetHistogramTest, CountsTuplesPerClassSize) {
+  // {a,a,b,b,b,c}: class sizes 2, 3, 1 -> histogram {1:1, 2:2, 3:3}.
+  const std::vector<uint64_t> values = {1, 1, 2, 2, 2, 3};
+  const auto histogram = AnonymitySetHistogram(values);
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram.at(1), 1u);
+  EXPECT_EQ(histogram.at(2), 2u);
+  EXPECT_EQ(histogram.at(3), 3u);
+}
+
+TEST(LDiversityTest, MinimumDistinctSensitivePerClass) {
+  // Classes: q=1 -> sensitive {7, 8} (l=2); q=2 -> sensitive {9} (l=1).
+  const std::vector<uint64_t> quasi = {1, 1, 2, 2};
+  const std::vector<uint64_t> sensitive = {7, 8, 9, 9};
+  auto l = LDiversity(quasi, sensitive);
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l.value(), 1u);
+}
+
+TEST(LDiversityTest, ValidatesInput) {
+  EXPECT_FALSE(LDiversity(std::vector<uint64_t>{1},
+                          std::vector<uint64_t>{})
+                   .ok());
+  EXPECT_FALSE(
+      LDiversity(std::vector<uint64_t>{}, std::vector<uint64_t>{}).ok());
+}
+
+// Section 1.2's argument, numerically: injecting one unique tuple t*
+// collapses k-anonymity of BOTH T1000 and T2 to 1 — the metric can no
+// longer tell them apart — while the privacy risk R(T) still separates
+// them by a factor of ~250.
+TEST(AnonymityVsRiskTest, PaperSection12Limitation) {
+  std::vector<uint64_t> t1000(1000, 42);
+  std::vector<uint64_t> t2;
+  for (uint64_t p = 0; p < 500; ++p) {
+    t2.push_back(p);
+    t2.push_back(p);
+  }
+  EXPECT_EQ(KAnonymity(t1000), 1000u);
+  EXPECT_EQ(KAnonymity(t2), 2u);
+
+  t1000.push_back(4242);
+  t2.push_back(4242);
+  EXPECT_EQ(KAnonymity(t1000), 1u);  // both collapse...
+  EXPECT_EQ(KAnonymity(t2), 1u);
+  const double risk_t1000 = DatasetRisk(t1000);
+  const double risk_t2 = DatasetRisk(t2);
+  EXPECT_NEAR(risk_t1000, 2.0 / 1001.0, 1e-12);  // ...risk does not
+  EXPECT_NEAR(risk_t2, 501.0 / 1001.0, 1e-12);
+  EXPECT_GT(risk_t2 / risk_t1000, 200.0);
+}
+
+}  // namespace
+}  // namespace hinpriv::core

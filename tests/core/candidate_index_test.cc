@@ -1,0 +1,103 @@
+#include "core/candidate_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::core {
+namespace {
+
+hin::Graph MakeNetwork(size_t users, uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = users;
+  util::Rng rng(seed);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+std::vector<hin::VertexId> IndexCandidates(const CandidateIndex& index,
+                                           const hin::Graph& target,
+                                           hin::VertexId vt) {
+  std::vector<hin::VertexId> out;
+  index.ForEachCandidate(target, vt, [&](hin::VertexId va) {
+    out.push_back(va);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<hin::VertexId> ScanCandidates(const hin::Graph& aux,
+                                          const hin::Graph& target,
+                                          hin::VertexId vt,
+                                          const MatchOptions& options) {
+  std::vector<hin::VertexId> out;
+  for (hin::VertexId va = 0; va < aux.num_vertices(); ++va) {
+    if (EntityAttributesMatch(target, vt, aux, va, options)) out.push_back(va);
+  }
+  return out;
+}
+
+// The index is a pure optimization: it must enumerate exactly the vertices
+// the paper's literal "foreach v in V" profile scan accepts.
+TEST(CandidateIndexTest, MatchesLinearScanExactly) {
+  const hin::Graph aux = MakeNetwork(3000, 1);
+  const hin::Graph target = MakeNetwork(200, 2);
+  const MatchOptions options = DefaultTqqMatchOptions();
+  CandidateIndex index(aux, options);
+  for (hin::VertexId vt = 0; vt < target.num_vertices(); ++vt) {
+    ASSERT_EQ(IndexCandidates(index, target, vt),
+              ScanCandidates(aux, target, vt, options))
+        << "target " << vt;
+  }
+}
+
+TEST(CandidateIndexTest, MatchesScanWithoutGrowthAwareness) {
+  const hin::Graph aux = MakeNetwork(2000, 3);
+  const hin::Graph target = MakeNetwork(100, 4);
+  MatchOptions options = DefaultTqqMatchOptions();
+  options.growth_aware = false;
+  CandidateIndex index(aux, options);
+  for (hin::VertexId vt = 0; vt < target.num_vertices(); ++vt) {
+    ASSERT_EQ(IndexCandidates(index, target, vt),
+              ScanCandidates(aux, target, vt, options));
+  }
+}
+
+TEST(CandidateIndexTest, MatchesScanWithNoGrowableAttributes) {
+  const hin::Graph aux = MakeNetwork(1500, 5);
+  const hin::Graph target = MakeNetwork(80, 6);
+  MatchOptions options = DefaultTqqMatchOptions();
+  options.growable_attributes.clear();
+  CandidateIndex index(aux, options);
+  for (hin::VertexId vt = 0; vt < target.num_vertices(); ++vt) {
+    ASSERT_EQ(IndexCandidates(index, target, vt),
+              ScanCandidates(aux, target, vt, options));
+  }
+}
+
+TEST(CandidateIndexTest, SelfLookupFindsSelf) {
+  const hin::Graph aux = MakeNetwork(1000, 7);
+  const MatchOptions options = DefaultTqqMatchOptions();
+  CandidateIndex index(aux, options);
+  for (hin::VertexId v = 0; v < 50; ++v) {
+    const auto candidates = IndexCandidates(index, aux, v);
+    EXPECT_TRUE(
+        std::binary_search(candidates.begin(), candidates.end(), v));
+  }
+}
+
+TEST(CandidateIndexTest, BucketCountReflectsExactAttributeCells) {
+  const hin::Graph aux = MakeNetwork(5000, 8);
+  CandidateIndex index(aux, DefaultTqqMatchOptions());
+  // gender x yob x tags <= 3 * 87 * 11 distinct cells.
+  EXPECT_LE(index.num_buckets(), 3u * 87u * 11u);
+  EXPECT_GT(index.num_buckets(), 50u);
+}
+
+}  // namespace
+}  // namespace hinpriv::core

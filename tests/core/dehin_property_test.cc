@@ -1,0 +1,194 @@
+// Property tests over DeHIN's soundness guarantee: for growth-consistent
+// publication pipelines (no real-edge deletion), the true counterpart must
+// remain in every candidate set — across anonymizers, reconfiguration,
+// homogenization and bucketing, at every distance.
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "anon/complete_graph_anonymizer.h"
+#include "anon/k_degree_anonymizer.h"
+#include "anon/kdd_anonymizer.h"
+#include "anon/utility_tradeoff_anonymizers.h"
+#include "core/dehin.h"
+#include "eval/experiment.h"
+#include "hin/homogenize.h"
+#include "util/random.h"
+
+namespace hinpriv::core {
+namespace {
+
+enum class Defense { kKdda, kCga, kVwCga, kKDegree, kBucketing };
+
+struct PropertyParams {
+  Defense defense;
+  bool reconfigured;  // strip + saturation fallback
+  uint64_t seed;
+};
+
+std::unique_ptr<anon::Anonymizer> MakeAnonymizer(Defense defense) {
+  switch (defense) {
+    case Defense::kKdda:
+      return std::make_unique<anon::KddAnonymizer>();
+    case Defense::kCga:
+      return std::make_unique<anon::CompleteGraphAnonymizer>();
+    case Defense::kVwCga:
+      return std::make_unique<anon::VaryingWeightCgaAnonymizer>();
+    case Defense::kKDegree:
+      return std::make_unique<anon::KDegreeAnonymizer>(10);
+    case Defense::kBucketing:
+      return std::make_unique<anon::StrengthBucketingAnonymizer>(7);
+  }
+  return nullptr;
+}
+
+class DehinDefenseSoundnessTest
+    : public testing::TestWithParam<PropertyParams> {};
+
+TEST_P(DehinDefenseSoundnessTest, TruthSurvivesEveryPipeline) {
+  const PropertyParams p = GetParam();
+  synth::TqqConfig config;
+  config.num_users = 3000;
+  synth::PlantedTargetSpec spec;
+  spec.target_size = 120;
+  spec.density = 0.015;
+  util::Rng rng(p.seed);
+  auto anonymizer = MakeAnonymizer(p.defense);
+  auto dataset = eval::BuildExperimentDataset(
+      config, spec, synth::GrowthConfig{}, *anonymizer, p.reconfigured, &rng);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+
+  DehinConfig attack;
+  attack.match = DefaultTqqMatchOptions();
+  if (p.reconfigured) attack.saturation_fraction = 0.5;
+  Dehin dehin(&dataset.value().auxiliary, attack);
+  for (hin::VertexId vt = 0; vt < dataset.value().target.num_vertices();
+       ++vt) {
+    for (int n : {0, 1, 2}) {
+      const auto candidates =
+          dehin.Deanonymize(dataset.value().target, vt, n);
+      ASSERT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                     dataset.value().ground_truth[vt]))
+          << "defense=" << static_cast<int>(p.defense) << " vt=" << vt
+          << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelines, DehinDefenseSoundnessTest,
+    testing::Values(
+        PropertyParams{Defense::kKdda, false, 1},
+        PropertyParams{Defense::kKdda, true, 2},  // blanket reconfiguration
+        PropertyParams{Defense::kCga, true, 3},
+        PropertyParams{Defense::kVwCga, true, 4},
+        PropertyParams{Defense::kKDegree, true, 5},
+        PropertyParams{Defense::kBucketing, false, 6}));
+
+// Homogenized pipeline: collapsing link types on BOTH sides preserves
+// soundness (merged target strengths are dominated by merged auxiliary
+// strengths under growth).
+TEST(DehinHomogeneousSoundnessTest, TruthSurvivesHomogenization) {
+  synth::TqqConfig config;
+  config.num_users = 3000;
+  synth::PlantedTargetSpec spec;
+  spec.target_size = 120;
+  spec.density = 0.015;
+  util::Rng rng(7);
+  anon::KddAnonymizer anonymizer;
+  auto dataset = eval::BuildExperimentDataset(
+      config, spec, synth::GrowthConfig{}, anonymizer, false, &rng);
+  ASSERT_TRUE(dataset.ok());
+  auto homo_target = hin::HomogenizeGraph(dataset.value().target);
+  auto homo_aux = hin::HomogenizeGraph(dataset.value().auxiliary);
+  ASSERT_TRUE(homo_target.ok());
+  ASSERT_TRUE(homo_aux.ok());
+
+  DehinConfig attack;
+  attack.match = DefaultTqqMatchOptions();
+  attack.match.link_types = {0};
+  Dehin dehin(&homo_aux.value(), attack);
+  for (hin::VertexId vt = 0; vt < homo_target.value().num_vertices(); ++vt) {
+    const auto candidates = dehin.Deanonymize(homo_target.value(), vt, 2);
+    ASSERT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                   dataset.value().ground_truth[vt]));
+  }
+}
+
+// Dropping link types from the published target only removes constraints:
+// candidate sets grow (weakly) relative to the full publication, and the
+// truth stays inside.
+TEST(DehinLinkDropMonotonicityTest, DroppingTypesWeakensButStaysSound) {
+  synth::TqqConfig config;
+  config.num_users = 3000;
+  synth::PlantedTargetSpec spec;
+  spec.target_size = 100;
+  spec.density = 0.015;
+  util::Rng rng(8);
+  auto planted =
+      synth::BuildPlantedDataset(config, spec, synth::GrowthConfig{}, &rng);
+  ASSERT_TRUE(planted.ok());
+
+  // Publish twice with the same permutation stream: full vs follow-only.
+  util::Rng full_rng(11);
+  util::Rng drop_rng(11);
+  anon::KddAnonymizer full_publisher;
+  anon::LinkTypeDroppingAnonymizer drop_publisher({hin::kFollowLink});
+  auto full = full_publisher.Anonymize(planted.value().target, &full_rng);
+  auto dropped = drop_publisher.Anonymize(planted.value().target, &drop_rng);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(dropped.ok());
+  ASSERT_EQ(full.value().to_original, dropped.value().to_original);
+
+  DehinConfig attack;
+  attack.match = DefaultTqqMatchOptions();
+  Dehin dehin(&planted.value().auxiliary, attack);
+  for (hin::VertexId vt = 0; vt < 100; ++vt) {
+    const auto with_all = dehin.Deanonymize(full.value().graph, vt, 1);
+    const auto with_drop = dehin.Deanonymize(dropped.value().graph, vt, 1);
+    ASSERT_GE(with_drop.size(), with_all.size());
+    const hin::VertexId truth =
+        planted.value().target_to_aux[full.value().to_original[vt]];
+    ASSERT_TRUE(
+        std::binary_search(with_drop.begin(), with_drop.end(), truth));
+  }
+}
+
+// Candidate sets are monotone in the enabled link-type set: enabling more
+// heterogeneity can only eliminate candidates (Table 3's mechanism).
+TEST(DehinLinkTypeMonotonicityTest, MoreLinkTypesNeverGrowCandidateSets) {
+  synth::TqqConfig config;
+  config.num_users = 3000;
+  synth::PlantedTargetSpec spec;
+  spec.target_size = 100;
+  spec.density = 0.015;
+  util::Rng rng(9);
+  anon::KddAnonymizer anonymizer;
+  auto dataset = eval::BuildExperimentDataset(
+      config, spec, synth::GrowthConfig{}, anonymizer, false, &rng);
+  ASSERT_TRUE(dataset.ok());
+
+  DehinConfig follow_only;
+  follow_only.match = DefaultTqqMatchOptions();
+  follow_only.match.link_types = {hin::kFollowLink};
+  DehinConfig all;
+  all.match = DefaultTqqMatchOptions();
+  Dehin weak(&dataset.value().auxiliary, follow_only);
+  Dehin strong(&dataset.value().auxiliary, all);
+  for (hin::VertexId vt = 0; vt < 100; ++vt) {
+    const auto weak_candidates =
+        weak.Deanonymize(dataset.value().target, vt, 1);
+    const auto strong_candidates =
+        strong.Deanonymize(dataset.value().target, vt, 1);
+    ASSERT_LE(strong_candidates.size(), weak_candidates.size());
+    // And the strong set is a subset of the weak set.
+    ASSERT_TRUE(std::includes(weak_candidates.begin(), weak_candidates.end(),
+                              strong_candidates.begin(),
+                              strong_candidates.end()));
+  }
+}
+
+}  // namespace
+}  // namespace hinpriv::core

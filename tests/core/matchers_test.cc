@@ -1,0 +1,109 @@
+#include "core/matchers.h"
+
+#include <gtest/gtest.h>
+
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+
+namespace hinpriv::core {
+namespace {
+
+// Two-graph fixture: a "target" user and several "auxiliary" users with
+// controlled profiles.
+class MatchersTest : public testing::Test {
+ protected:
+  static hin::Graph MakeUsers(
+      const std::vector<std::array<hin::AttrValue, 4>>& profiles) {
+    hin::GraphBuilder builder(hin::TqqTargetSchema());
+    for (const auto& p : profiles) {
+      const hin::VertexId v = builder.AddVertex(0);
+      EXPECT_TRUE(builder.SetAttribute(v, hin::kGenderAttr, p[0]).ok());
+      EXPECT_TRUE(builder.SetAttribute(v, hin::kYobAttr, p[1]).ok());
+      EXPECT_TRUE(builder.SetAttribute(v, hin::kTweetCountAttr, p[2]).ok());
+      EXPECT_TRUE(builder.SetAttribute(v, hin::kTagCountAttr, p[3]).ok());
+    }
+    auto graph = std::move(builder).Build();
+    EXPECT_TRUE(graph.ok());
+    return std::move(graph).value();
+  }
+};
+
+TEST_F(MatchersTest, DefaultOptionsMatchPaperConfiguration) {
+  const MatchOptions options = DefaultTqqMatchOptions();
+  EXPECT_EQ(options.exact_attributes,
+            (std::vector<hin::AttributeId>{hin::kGenderAttr, hin::kYobAttr,
+                                           hin::kTagCountAttr}));
+  EXPECT_EQ(options.growable_attributes,
+            (std::vector<hin::AttributeId>{hin::kTweetCountAttr}));
+  EXPECT_EQ(options.link_types.size(), hin::kNumTqqLinkTypes);
+  EXPECT_TRUE(options.growth_aware);
+  EXPECT_FALSE(options.use_in_edges);
+}
+
+TEST_F(MatchersTest, ExactAttributesMustBeEqual) {
+  // target: male 1980, 100 tweets, 3 tags.
+  const hin::Graph target = MakeUsers({{1, 1980, 100, 3}});
+  const hin::Graph aux = MakeUsers({
+      {1, 1980, 100, 3},  // identical
+      {0, 1980, 100, 3},  // wrong gender
+      {1, 1981, 100, 3},  // wrong yob
+      {1, 1980, 100, 4},  // wrong tag count
+  });
+  const MatchOptions options = DefaultTqqMatchOptions();
+  EXPECT_TRUE(EntityAttributesMatch(target, 0, aux, 0, options));
+  EXPECT_FALSE(EntityAttributesMatch(target, 0, aux, 1, options));
+  EXPECT_FALSE(EntityAttributesMatch(target, 0, aux, 2, options));
+  EXPECT_FALSE(EntityAttributesMatch(target, 0, aux, 3, options));
+}
+
+TEST_F(MatchersTest, GrowableAttributeUsesGreaterOrEqual) {
+  const hin::Graph target = MakeUsers({{1, 1980, 100, 3}});
+  const hin::Graph aux = MakeUsers({
+      {1, 1980, 150, 3},  // grew: still a candidate
+      {1, 1980, 100, 3},  // equal: candidate
+      {1, 1980, 99, 3},   // shrank: impossible under growth, rejected
+  });
+  const MatchOptions options = DefaultTqqMatchOptions();
+  EXPECT_TRUE(EntityAttributesMatch(target, 0, aux, 0, options));
+  EXPECT_TRUE(EntityAttributesMatch(target, 0, aux, 1, options));
+  EXPECT_FALSE(EntityAttributesMatch(target, 0, aux, 2, options));
+}
+
+TEST_F(MatchersTest, TimeSynchronizedModeRequiresEquality) {
+  const hin::Graph target = MakeUsers({{1, 1980, 100, 3}});
+  const hin::Graph aux = MakeUsers({{1, 1980, 150, 3}, {1, 1980, 100, 3}});
+  MatchOptions options = DefaultTqqMatchOptions();
+  options.growth_aware = false;
+  EXPECT_FALSE(EntityAttributesMatch(target, 0, aux, 0, options));
+  EXPECT_TRUE(EntityAttributesMatch(target, 0, aux, 1, options));
+}
+
+TEST_F(MatchersTest, EmptyAttributeListsMatchEverything) {
+  const hin::Graph target = MakeUsers({{1, 1980, 100, 3}});
+  const hin::Graph aux = MakeUsers({{0, 1800, 0, 0}});
+  MatchOptions options;
+  EXPECT_TRUE(EntityAttributesMatch(target, 0, aux, 0, options));
+}
+
+TEST_F(MatchersTest, LinkStrengthMatchSemantics) {
+  // Growth-aware: auxiliary strength must dominate.
+  EXPECT_TRUE(LinkStrengthMatch(5, 5, /*growth_aware=*/true));
+  EXPECT_TRUE(LinkStrengthMatch(5, 9, true));
+  EXPECT_FALSE(LinkStrengthMatch(5, 4, true));
+  // Time-synchronized: strict equality.
+  EXPECT_TRUE(LinkStrengthMatch(5, 5, false));
+  EXPECT_FALSE(LinkStrengthMatch(5, 9, false));
+  EXPECT_FALSE(LinkStrengthMatch(5, 4, false));
+}
+
+TEST_F(MatchersTest, AllLinkTypesListsWholeSchema) {
+  const hin::Graph graph = MakeUsers({{0, 0, 0, 0}});
+  const auto types = AllLinkTypes(graph);
+  ASSERT_EQ(types.size(), hin::kNumTqqLinkTypes);
+  for (size_t i = 0; i < types.size(); ++i) {
+    EXPECT_EQ(types[i], static_cast<hin::LinkTypeId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace hinpriv::core

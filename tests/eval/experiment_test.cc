@@ -1,0 +1,128 @@
+#include "eval/experiment.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "anon/complete_graph_anonymizer.h"
+#include "anon/kdd_anonymizer.h"
+#include "hin/density.h"
+#include "util/random.h"
+
+namespace hinpriv::eval {
+namespace {
+
+synth::TqqConfig SmallConfig() {
+  synth::TqqConfig config;
+  config.num_users = 3000;
+  return config;
+}
+
+synth::PlantedTargetSpec SmallSpec(double density) {
+  synth::PlantedTargetSpec spec;
+  spec.target_size = 150;
+  spec.density = density;
+  return spec;
+}
+
+TEST(BuildExperimentDatasetTest, KddaPipelineIsConsistent) {
+  util::Rng rng(1);
+  anon::KddAnonymizer anonymizer;
+  auto dataset =
+      BuildExperimentDataset(SmallConfig(), SmallSpec(0.01),
+                             synth::GrowthConfig{}, anonymizer,
+                             /*strip_majority=*/false, &rng);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  const auto& d = dataset.value();
+  EXPECT_EQ(d.target.num_vertices(), 150u);
+  EXPECT_GT(d.auxiliary.num_vertices(), 3000u);  // grown
+  EXPECT_NEAR(d.target_density, 0.01, 0.005);
+
+  // Ground truth is a valid injective mapping into the auxiliary whose
+  // profiles dominate the target's.
+  std::set<hin::VertexId> seen;
+  for (hin::VertexId v = 0; v < d.target.num_vertices(); ++v) {
+    const hin::VertexId aux = d.ground_truth[v];
+    ASSERT_LT(aux, d.auxiliary.num_vertices());
+    EXPECT_TRUE(seen.insert(aux).second);
+    EXPECT_EQ(d.target.attribute(v, hin::kGenderAttr),
+              d.auxiliary.attribute(aux, hin::kGenderAttr));
+    EXPECT_EQ(d.target.attribute(v, hin::kYobAttr),
+              d.auxiliary.attribute(aux, hin::kYobAttr));
+    EXPECT_LE(d.target.attribute(v, hin::kTweetCountAttr),
+              d.auxiliary.attribute(aux, hin::kTweetCountAttr));
+  }
+}
+
+TEST(BuildExperimentDatasetTest, GroundTruthEdgesDominate) {
+  util::Rng rng(2);
+  anon::KddAnonymizer anonymizer;
+  auto dataset = BuildExperimentDataset(SmallConfig(), SmallSpec(0.01),
+                                        synth::GrowthConfig{}, anonymizer,
+                                        false, &rng);
+  ASSERT_TRUE(dataset.ok());
+  const auto& d = dataset.value();
+  for (hin::VertexId v = 0; v < d.target.num_vertices(); ++v) {
+    for (hin::LinkTypeId lt = 0; lt < d.target.num_link_types(); ++lt) {
+      for (const hin::Edge& e : d.target.OutEdges(lt, v)) {
+        ASSERT_GE(d.auxiliary.EdgeStrength(lt, d.ground_truth[v],
+                                           d.ground_truth[e.neighbor]),
+                  e.strength);
+      }
+    }
+  }
+}
+
+TEST(BuildExperimentDatasetTest, CgaPublishesCompleteGraph) {
+  util::Rng rng(3);
+  anon::CompleteGraphAnonymizer anonymizer;
+  auto dataset = BuildExperimentDataset(SmallConfig(), SmallSpec(0.005),
+                                        synth::GrowthConfig{}, anonymizer,
+                                        /*strip_majority=*/false, &rng);
+  ASSERT_TRUE(dataset.ok());
+  const size_t n = dataset.value().target.num_vertices();
+  EXPECT_EQ(dataset.value().target.num_edges(), 4 * n * (n - 1));
+  EXPECT_DOUBLE_EQ(hin::Density(dataset.value().target), 1.0);
+}
+
+TEST(BuildExperimentDatasetTest, StripRemovesFakeLinks) {
+  util::Rng rng(4);
+  anon::CompleteGraphAnonymizer anonymizer;  // fake strength 1
+  auto dataset = BuildExperimentDataset(SmallConfig(), SmallSpec(0.005),
+                                        synth::GrowthConfig{}, anonymizer,
+                                        /*strip_majority=*/true, &rng);
+  ASSERT_TRUE(dataset.ok());
+  const size_t n = dataset.value().target.num_vertices();
+  // Far below complete: only real links with non-majority strengths remain.
+  EXPECT_LT(dataset.value().target.num_edges(), 4 * n * (n - 1) / 10);
+}
+
+TEST(TqqLinkTypeSubsetsTest, MatchesPaperRowOrder) {
+  const auto subsets = TqqLinkTypeSubsets();
+  ASSERT_EQ(subsets.size(), 15u);
+  EXPECT_EQ(subsets[0].label, "f");
+  EXPECT_EQ(subsets[4].label, "f-m");
+  EXPECT_EQ(subsets[14].label, "f-m-c-r");
+  // Sizes follow the paper's grouping: 4 singles, 6 pairs, 4 triples, 1
+  // quad.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(subsets[i].link_types.size(), 1u) << i;
+  }
+  for (size_t i = 4; i < 10; ++i) {
+    EXPECT_EQ(subsets[i].link_types.size(), 2u) << i;
+  }
+  for (size_t i = 10; i < 14; ++i) {
+    EXPECT_EQ(subsets[i].link_types.size(), 3u) << i;
+  }
+  EXPECT_EQ(subsets[14].link_types.size(), 4u);
+  // All subsets are distinct.
+  std::set<std::vector<hin::LinkTypeId>> distinct;
+  for (const auto& s : subsets) {
+    auto sorted = s.link_types;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(distinct.insert(sorted).second) << s.label;
+  }
+}
+
+}  // namespace
+}  // namespace hinpriv::eval

@@ -1,0 +1,91 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+
+namespace hinpriv::eval {
+namespace {
+
+using hin::VertexId;
+
+// Auxiliary with controlled profiles: vertices 0/1 share profile A,
+// vertex 2 has unique profile B, vertex 3 unique profile C.
+hin::Graph MakeAux() {
+  hin::GraphBuilder builder(hin::TqqTargetSchema());
+  builder.AddVertices(0, 4);
+  EXPECT_TRUE(builder.SetAttribute(0, hin::kYobAttr, 1980).ok());
+  EXPECT_TRUE(builder.SetAttribute(1, hin::kYobAttr, 1980).ok());
+  EXPECT_TRUE(builder.SetAttribute(2, hin::kYobAttr, 1990).ok());
+  EXPECT_TRUE(builder.SetAttribute(3, hin::kYobAttr, 2000).ok());
+  auto graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+// Target of 3 users matching aux 0 (ambiguous with 1), aux 2 (unique), and
+// aux 3 (unique).
+hin::Graph MakeTarget() {
+  hin::GraphBuilder builder(hin::TqqTargetSchema());
+  builder.AddVertices(0, 3);
+  EXPECT_TRUE(builder.SetAttribute(0, hin::kYobAttr, 1980).ok());
+  EXPECT_TRUE(builder.SetAttribute(1, hin::kYobAttr, 1990).ok());
+  EXPECT_TRUE(builder.SetAttribute(2, hin::kYobAttr, 2000).ok());
+  auto graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(EvaluateAttackTest, ScoresPrecisionAndReduction) {
+  const hin::Graph aux = MakeAux();
+  const hin::Graph target = MakeTarget();
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&aux, config);
+
+  const std::vector<VertexId> ground_truth = {0, 2, 3};
+  const AttackMetrics metrics =
+      EvaluateAttack(dehin, target, ground_truth, /*max_distance=*/0);
+  EXPECT_EQ(metrics.num_targets, 3u);
+  // Targets 1 and 2 are unique and correct; target 0 is ambiguous (2
+  // candidates).
+  EXPECT_EQ(metrics.num_unique_correct, 2u);
+  EXPECT_NEAR(metrics.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(metrics.num_containing_truth, 3u);
+  // Candidate sizes 2, 1, 1 over |V| = 4:
+  // reduction = mean(1 - 2/4, 1 - 1/4, 1 - 1/4) = (0.5 + 0.75 + 0.75)/3.
+  EXPECT_NEAR(metrics.reduction_rate, (0.5 + 0.75 + 0.75) / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.mean_candidate_count, (2.0 + 1.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(EvaluateAttackTest, WrongGroundTruthYieldsZeroPrecision) {
+  const hin::Graph aux = MakeAux();
+  const hin::Graph target = MakeTarget();
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&aux, config);
+  // Deliberately wrong mapping: unique candidate sets no longer match.
+  const std::vector<VertexId> ground_truth = {3, 0, 1};
+  const AttackMetrics metrics = EvaluateAttack(dehin, target, ground_truth, 0);
+  EXPECT_EQ(metrics.num_unique_correct, 0u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);
+  EXPECT_EQ(metrics.num_containing_truth, 0u);
+}
+
+TEST(EvaluateAttackTest, EmptyTargetGraph) {
+  const hin::Graph aux = MakeAux();
+  hin::GraphBuilder builder(hin::TqqTargetSchema());
+  auto target = std::move(builder).Build();
+  ASSERT_TRUE(target.ok());
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&aux, config);
+  const AttackMetrics metrics =
+      EvaluateAttack(dehin, target.value(), {}, 0);
+  EXPECT_EQ(metrics.num_targets, 0u);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);
+}
+
+}  // namespace
+}  // namespace hinpriv::eval

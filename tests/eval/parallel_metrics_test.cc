@@ -1,0 +1,66 @@
+#include "eval/parallel_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "anon/kdd_anonymizer.h"
+#include "hin/graph_builder.h"
+#include "eval/experiment.h"
+#include "util/random.h"
+
+namespace hinpriv::eval {
+namespace {
+
+ExperimentDataset MakeDataset(uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = 6000;
+  synth::PlantedTargetSpec spec;
+  spec.target_size = 400;
+  spec.density = 0.01;
+  util::Rng rng(seed);
+  anon::KddAnonymizer anonymizer;
+  auto dataset = BuildExperimentDataset(config, spec, synth::GrowthConfig{},
+                                        anonymizer, false, &rng);
+  EXPECT_TRUE(dataset.ok());
+  return std::move(dataset).value();
+}
+
+class ParallelMetricsTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelMetricsTest, MatchesSerialExactly) {
+  const ExperimentDataset dataset = MakeDataset(1);
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&dataset.auxiliary, config);
+  for (int n = 0; n <= 2; ++n) {
+    const AttackMetrics serial =
+        EvaluateAttack(dehin, dataset.target, dataset.ground_truth, n);
+    const AttackMetrics parallel = EvaluateAttackParallel(
+        dehin, dataset.target, dataset.ground_truth, n, GetParam());
+    EXPECT_EQ(parallel.num_targets, serial.num_targets);
+    EXPECT_EQ(parallel.num_unique_correct, serial.num_unique_correct);
+    EXPECT_EQ(parallel.num_containing_truth, serial.num_containing_truth);
+    EXPECT_DOUBLE_EQ(parallel.precision, serial.precision);
+    EXPECT_NEAR(parallel.reduction_rate, serial.reduction_rate, 1e-9);
+    EXPECT_NEAR(parallel.mean_candidate_count, serial.mean_candidate_count,
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelMetricsTest,
+                         testing::Values(1, 2, 4, 8, 0 /* hardware */));
+
+TEST(ParallelMetricsTest, EmptyTarget) {
+  const ExperimentDataset dataset = MakeDataset(2);
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&dataset.auxiliary, config);
+  hin::GraphBuilder builder(dataset.target.schema());
+  auto empty = std::move(builder).Build();
+  ASSERT_TRUE(empty.ok());
+  const AttackMetrics metrics =
+      EvaluateAttackParallel(dehin, empty.value(), {}, 1, 4);
+  EXPECT_EQ(metrics.num_targets, 0u);
+}
+
+}  // namespace
+}  // namespace hinpriv::eval

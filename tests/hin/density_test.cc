@@ -1,0 +1,83 @@
+#include "hin/density.h"
+
+#include <gtest/gtest.h>
+
+#include "hin/graph_builder.h"
+
+namespace hinpriv::hin {
+namespace {
+
+NetworkSchema FourLinkSchema(size_t self_link_types) {
+  NetworkSchema schema;
+  const EntityTypeId user = schema.AddEntityType("User");
+  for (int i = 0; i < 4; ++i) {
+    schema.AddLinkType("l" + std::to_string(i), user, user, true, true,
+                       static_cast<size_t>(i) < self_link_types);
+  }
+  return schema;
+}
+
+TEST(DensityTest, FormulaWithoutSelfLinks) {
+  // Equation 4 with m = 0: denominator = |L| * |V| * (|V| - 1).
+  EXPECT_DOUBLE_EQ(DensityFromCounts(3996, 1000, 4, 0),
+                   3996.0 / (4.0 * 1000.0 * 999.0));
+}
+
+TEST(DensityTest, FormulaWithSelfLinks) {
+  // Equation 4 with m = 1 of 2 link types and |V| = 10:
+  // denominator = 1*100 + 1*90 = 190.
+  EXPECT_DOUBLE_EQ(DensityFromCounts(19, 10, 2, 1), 0.1);
+}
+
+TEST(DensityTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(DensityFromCounts(0, 1000, 4, 0), 0.0);
+  EXPECT_DOUBLE_EQ(DensityFromCounts(10, 1, 4, 0), 0.0);   // < 2 vertices
+  EXPECT_DOUBLE_EQ(DensityFromCounts(10, 1000, 0, 0), 0.0);  // no link types
+}
+
+TEST(DensityTest, CompleteGraphHasDensityOne) {
+  // 3 vertices, 1 link type, no self links: 6 directed edges max.
+  EXPECT_DOUBLE_EQ(DensityFromCounts(6, 3, 1, 0), 1.0);
+}
+
+TEST(DensityTest, GraphDensityMatchesCounts) {
+  GraphBuilder builder(FourLinkSchema(0));
+  builder.AddVertices(0, 10);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 1, 5).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3, 2).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(Density(graph.value()),
+                   DensityFromCounts(3, 10, 4, 0));
+}
+
+TEST(DensityTest, GraphDensityCountsSelfLinkTypes) {
+  GraphBuilder builder(FourLinkSchema(2));
+  builder.AddVertices(0, 5);
+  ASSERT_TRUE(builder.AddEdge(0, 0, 0).ok());  // self link on type 0
+  ASSERT_TRUE(builder.AddEdge(0, 1, 3).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(Density(graph.value()), DensityFromCounts(2, 5, 4, 2));
+}
+
+TEST(DensityTest, EdgesForDensityInvertsFormula) {
+  for (double d : {0.001, 0.005, 0.01, 0.5}) {
+    const size_t edges = EdgesForDensity(d, 1000, 4, 0);
+    EXPECT_NEAR(DensityFromCounts(edges, 1000, 4, 0), d, 1e-6) << d;
+  }
+  EXPECT_EQ(EdgesForDensity(0.0, 1000, 4, 0), 0u);
+  EXPECT_EQ(EdgesForDensity(0.5, 1, 4, 0), 0u);
+}
+
+TEST(DensityTest, DensityIsAlwaysInUnitInterval) {
+  for (size_t e : {0u, 10u, 100u, 3996000u}) {
+    const double d = DensityFromCounts(e, 1000, 4, 0);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

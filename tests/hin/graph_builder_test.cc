@@ -1,0 +1,205 @@
+#include "hin/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "hin/graph.h"
+#include "hin/schema.h"
+
+namespace hinpriv::hin {
+namespace {
+
+NetworkSchema SimpleSchema() {
+  NetworkSchema schema;
+  const EntityTypeId user = schema.AddEntityType("User");
+  schema.AddAttribute(user, "yob", false);
+  schema.AddAttribute(user, "count", true);
+  schema.AddLinkType("follow", user, user, false, false, false);
+  schema.AddLinkType("mention", user, user, true, true, false);
+  return schema;
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(SimpleSchema());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_vertices(), 0u);
+  EXPECT_EQ(graph.value().num_edges(), 0u);
+  EXPECT_EQ(graph.value().num_link_types(), 2u);
+}
+
+TEST(GraphBuilderTest, VerticesAndAttributes) {
+  GraphBuilder builder(SimpleSchema());
+  const VertexId a = builder.AddVertex(0);
+  const VertexId b = builder.AddVertex(0);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  ASSERT_TRUE(builder.SetAttribute(a, 0, 1980).ok());
+  ASSERT_TRUE(builder.SetAttribute(a, 1, 42).ok());
+  ASSERT_TRUE(builder.SetAttribute(b, 0, 1990).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().attribute(a, 0), 1980);
+  EXPECT_EQ(graph.value().attribute(a, 1), 42);
+  EXPECT_EQ(graph.value().attribute(b, 0), 1990);
+  EXPECT_EQ(graph.value().attribute(b, 1), 0);  // default
+  EXPECT_EQ(graph.value().NumVerticesOfType(0), 2u);
+}
+
+TEST(GraphBuilderTest, AddVerticesBulk) {
+  GraphBuilder builder(SimpleSchema());
+  const VertexId first = builder.AddVertices(0, 5);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(builder.num_vertices(), 5u);
+  const VertexId next = builder.AddVertices(0, 3);
+  EXPECT_EQ(next, 5u);
+  EXPECT_EQ(builder.num_vertices(), 8u);
+}
+
+TEST(GraphBuilderTest, InvalidEntityTypeRejected) {
+  GraphBuilder builder(SimpleSchema());
+  EXPECT_EQ(builder.AddVertex(5), kInvalidVertex);
+  EXPECT_EQ(builder.AddVertices(5, 3), kInvalidVertex);
+}
+
+TEST(GraphBuilderTest, SetAttributeValidation) {
+  GraphBuilder builder(SimpleSchema());
+  const VertexId v = builder.AddVertex(0);
+  EXPECT_FALSE(builder.SetAttribute(99, 0, 1).ok());
+  EXPECT_FALSE(builder.SetAttribute(v, 7, 1).ok());
+}
+
+TEST(GraphBuilderTest, EdgesSortedAndQueryable) {
+  GraphBuilder builder(SimpleSchema());
+  builder.AddVertices(0, 4);
+  ASSERT_TRUE(builder.AddEdge(0, 3, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 0).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  const auto edges = graph.value().OutEdges(0, 0);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].neighbor, 1u);
+  EXPECT_EQ(edges[1].neighbor, 2u);
+  EXPECT_EQ(edges[2].neighbor, 3u);
+  EXPECT_TRUE(graph.value().HasEdge(0, 0, 2));
+  EXPECT_FALSE(graph.value().HasEdge(0, 2, 0));
+  EXPECT_EQ(graph.value().OutDegree(0, 0), 3u);
+  EXPECT_EQ(graph.value().InDegree(0, 3), 1u);
+}
+
+TEST(GraphBuilderTest, InEdgesMirrorOutEdges) {
+  GraphBuilder builder(SimpleSchema());
+  builder.AddVertices(0, 3);
+  ASSERT_TRUE(builder.AddEdge(0, 2, 1, 5).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 2, 1, 7).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  const auto in = graph.value().InEdges(1, 2);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(in[0].neighbor, 0u);
+  EXPECT_EQ(in[0].strength, 5u);
+  EXPECT_EQ(in[1].neighbor, 1u);
+  EXPECT_EQ(in[1].strength, 7u);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesMergeBySummingStrength) {
+  GraphBuilder builder(SimpleSchema());
+  builder.AddVertices(0, 2);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1, 4).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().num_edges(), 1u);
+  EXPECT_EQ(graph.value().EdgeStrength(1, 0, 1), 7u);
+}
+
+TEST(GraphBuilderTest, EdgeValidation) {
+  GraphBuilder builder(SimpleSchema());
+  builder.AddVertices(0, 2);
+  EXPECT_FALSE(builder.AddEdge(0, 9, 0).ok());   // endpoint out of range
+  EXPECT_FALSE(builder.AddEdge(0, 1, 9).ok());   // link type out of range
+  EXPECT_FALSE(builder.AddEdge(0, 1, 0, 0).ok());  // zero strength
+  EXPECT_FALSE(builder.AddEdge(0, 0, 0).ok());   // self-link not allowed
+}
+
+TEST(GraphBuilderTest, SelfLinkAllowedWhenSchemaSaysSo) {
+  NetworkSchema schema;
+  const EntityTypeId node = schema.AddEntityType("N");
+  schema.AddLinkType("self", node, node, false, false, true);
+  GraphBuilder builder(schema);
+  builder.AddVertex(0);
+  EXPECT_TRUE(builder.AddEdge(0, 0, 0).ok());
+}
+
+TEST(GraphBuilderTest, EndpointEntityTypesEnforced) {
+  NetworkSchema schema;
+  const EntityTypeId user = schema.AddEntityType("User");
+  const EntityTypeId tweet = schema.AddEntityType("Tweet");
+  schema.AddLinkType("post", user, tweet, false, false, false);
+  GraphBuilder builder(schema);
+  const VertexId u = builder.AddVertex(user);
+  const VertexId t = builder.AddVertex(tweet);
+  EXPECT_TRUE(builder.AddEdge(u, t, 0).ok());
+  EXPECT_FALSE(builder.AddEdge(t, u, 0).ok());
+  EXPECT_FALSE(builder.AddEdge(u, u, 0).ok());
+}
+
+TEST(GraphBuilderTest, MixedEntityTypeAttributeColumns) {
+  NetworkSchema schema;
+  const EntityTypeId a = schema.AddEntityType("A");
+  const EntityTypeId b = schema.AddEntityType("B");
+  schema.AddAttribute(a, "x", false);
+  schema.AddAttribute(b, "y", false);
+  schema.AddAttribute(b, "z", false);
+  GraphBuilder builder(schema);
+  const VertexId v0 = builder.AddVertex(a);
+  const VertexId v1 = builder.AddVertex(b);
+  const VertexId v2 = builder.AddVertex(a);
+  ASSERT_TRUE(builder.SetAttribute(v0, 0, 10).ok());
+  ASSERT_TRUE(builder.SetAttribute(v1, 1, 20).ok());
+  ASSERT_TRUE(builder.SetAttribute(v2, 0, 30).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().entity_type(v1), b);
+  EXPECT_EQ(graph.value().attribute(v0, 0), 10);
+  EXPECT_EQ(graph.value().attribute(v1, 1), 20);
+  EXPECT_EQ(graph.value().attribute(v2, 0), 30);
+  EXPECT_EQ(graph.value().dense_index(v2), 1u);
+  const auto column = graph.value().AttributeColumn(a, 0);
+  ASSERT_EQ(column.size(), 2u);
+  EXPECT_EQ(column[0], 10);
+  EXPECT_EQ(column[1], 30);
+}
+
+TEST(GraphBuilderTest, TotalOutDegreeSumsLinkTypes) {
+  GraphBuilder builder(SimpleSchema());
+  builder.AddVertices(0, 3);
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1, 2).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().TotalOutDegree(0), 3u);
+  EXPECT_EQ(graph.value().TotalOutDegree(1), 0u);
+}
+
+TEST(GraphBuilderTest, CopyHelpersPreserveEverything) {
+  GraphBuilder builder(SimpleSchema());
+  builder.AddVertices(0, 3);
+  ASSERT_TRUE(builder.SetAttribute(1, 0, 77).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, 1, 9).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+
+  GraphBuilder copy_builder(graph.value().schema());
+  ASSERT_TRUE(CopyVerticesWithAttributes(graph.value(), &copy_builder).ok());
+  ASSERT_TRUE(CopyEdges(graph.value(), &copy_builder).ok());
+  auto copy = std::move(copy_builder).Build();
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value().num_vertices(), 3u);
+  EXPECT_EQ(copy.value().attribute(1, 0), 77);
+  EXPECT_EQ(copy.value().EdgeStrength(1, 0, 1), 9u);
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

@@ -1,0 +1,116 @@
+#include "hin/graph_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::hin {
+namespace {
+
+Graph StarGraph(size_t leaves) {
+  GraphBuilder builder(TqqTargetSchema());
+  builder.AddVertices(0, leaves + 1);
+  for (VertexId leaf = 1; leaf <= leaves; ++leaf) {
+    EXPECT_TRUE(builder.AddEdge(leaf, 0, kFollowLink).ok());
+  }
+  auto graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(GraphStatsTest, DegreeHistograms) {
+  const Graph star = StarGraph(4);
+  const auto out = OutDegreeHistogram(star);
+  // Center has out-degree 0; four leaves have out-degree 1.
+  EXPECT_EQ(out.at(0), 1u);
+  EXPECT_EQ(out.at(1), 4u);
+  const auto in = InDegreeHistogram(star);
+  EXPECT_EQ(in.at(4), 1u);
+  EXPECT_EQ(in.at(0), 4u);
+  // Per-type histograms: the mention type is empty.
+  const auto mention = OutDegreeHistogram(star, kMentionLink);
+  EXPECT_EQ(mention.at(0), 5u);
+}
+
+TEST(GraphStatsTest, MeanOutDegree) {
+  EXPECT_DOUBLE_EQ(MeanOutDegree(StarGraph(4)), 4.0 / 5.0);
+}
+
+TEST(GraphStatsTest, PowerLawAlphaRecoversGeneratorExponent) {
+  // Degrees sampled from PowerLaw(1, 500, alpha) must yield an MLE close
+  // to the true alpha.
+  util::Rng rng(3);
+  std::map<size_t, size_t> histogram;
+  for (int i = 0; i < 50000; ++i) {
+    ++histogram[rng.PowerLaw(1, 500, 2.3)];
+  }
+  // The Clauset-Shalizi-Newman discrete approximation is only reliable for
+  // k_min >= ~5, so estimate on the tail.
+  auto alpha = EstimatePowerLawAlpha(histogram, 5);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_NEAR(alpha.value(), 2.3, 0.3);
+}
+
+TEST(GraphStatsTest, SyntheticNetworkOutDegreeIsPowerLaw) {
+  // The Section 4.3 assumption on the generator itself: alpha in [2, 3].
+  synth::TqqConfig config;
+  config.num_users = 20000;
+  util::Rng rng(4);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto histogram = OutDegreeHistogram(graph.value(), kMentionLink);
+  histogram.erase(0);  // zero-degree users are outside the power law
+  auto alpha = EstimatePowerLawAlpha(histogram, 3);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_GT(alpha.value(), 1.8);
+  EXPECT_LT(alpha.value(), 3.2);
+}
+
+TEST(GraphStatsTest, AlphaEstimateValidation) {
+  EXPECT_FALSE(EstimatePowerLawAlpha({}, 1).ok());
+  EXPECT_FALSE(EstimatePowerLawAlpha({{5, 1}}, 1).ok());
+  EXPECT_FALSE(EstimatePowerLawAlpha({{5, 10}}, 0).ok());
+}
+
+TEST(GraphStatsTest, GiniOfUniformInDegreesIsNearZero) {
+  // A directed cycle: every vertex has in-degree exactly 1.
+  GraphBuilder builder(TqqTargetSchema());
+  builder.AddVertices(0, 10);
+  for (VertexId v = 0; v < 10; ++v) {
+    ASSERT_TRUE(builder.AddEdge(v, (v + 1) % 10, kFollowLink).ok());
+  }
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NEAR(InDegreeGini(graph.value()), 0.0, 1e-9);
+}
+
+TEST(GraphStatsTest, GiniOfStarIsHigh) {
+  EXPECT_GT(InDegreeGini(StarGraph(20)), 0.9);
+}
+
+TEST(GraphStatsTest, SyntheticNetworkIsHubDominated) {
+  // Preferential attachment produces a clearly unequal in-degree spread.
+  synth::TqqConfig config;
+  config.num_users = 5000;
+  util::Rng rng(5);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_GT(InDegreeGini(graph.value()), 0.5);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphBuilder builder(TqqTargetSchema());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(MeanOutDegree(graph.value()), 0.0);
+  EXPECT_DOUBLE_EQ(InDegreeGini(graph.value()), 0.0);
+  EXPECT_TRUE(OutDegreeHistogram(graph.value()).empty());
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

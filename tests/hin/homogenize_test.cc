@@ -1,0 +1,82 @@
+#include "hin/homogenize.h"
+
+#include <gtest/gtest.h>
+
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::hin {
+namespace {
+
+TEST(HomogenizeTest, MergesLinkTypesSummingStrengths) {
+  GraphBuilder builder(TqqTargetSchema());
+  builder.AddVertices(0, 3);
+  ASSERT_TRUE(builder.SetAttribute(0, kYobAttr, 1980).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, kFollowLink).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 1, kMentionLink, 5).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, kRetweetLink, 2).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+
+  auto homogeneous = HomogenizeGraph(graph.value());
+  ASSERT_TRUE(homogeneous.ok()) << homogeneous.status().ToString();
+  const Graph& g = homogeneous.value();
+  EXPECT_EQ(g.num_link_types(), 1u);
+  EXPECT_FALSE(g.schema().IsHeterogeneous());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.attribute(0, kYobAttr), 1980);
+  // follow(1) + mention(5) collapse onto one edge of strength 6.
+  EXPECT_EQ(g.EdgeStrength(0, 0, 1), 6u);
+  EXPECT_EQ(g.EdgeStrength(0, 0, 2), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(HomogenizeTest, PreservesVertexCountAndAttributes) {
+  synth::TqqConfig config;
+  config.num_users = 500;
+  util::Rng rng(1);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok());
+  auto homogeneous = HomogenizeGraph(graph.value());
+  ASSERT_TRUE(homogeneous.ok());
+  ASSERT_EQ(homogeneous.value().num_vertices(), 500u);
+  for (VertexId v = 0; v < 500; ++v) {
+    for (AttributeId a = 0; a < 4; ++a) {
+      ASSERT_EQ(homogeneous.value().attribute(v, a),
+                graph.value().attribute(v, a));
+    }
+  }
+  // Edge count can only shrink (parallel typed edges merge).
+  EXPECT_LE(homogeneous.value().num_edges(), graph.value().num_edges());
+  EXPECT_GT(homogeneous.value().num_edges(), 0u);
+}
+
+TEST(HomogenizeTest, RejectsMultiEntityGraphs) {
+  synth::TqqFullConfig config;
+  config.num_users = 40;
+  util::Rng rng(2);
+  auto full = synth::GenerateTqqFullNetwork(config, &rng);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(HomogenizeGraph(full.value()).ok());
+}
+
+TEST(HomogenizeTest, GrowableFlagSurvivesIfAnySourceGrowable) {
+  auto graph = [] {
+    GraphBuilder builder(TqqTargetSchema());
+    builder.AddVertices(0, 2);
+    EXPECT_TRUE(builder.AddEdge(0, 1, kFollowLink).ok());
+    auto built = std::move(builder).Build();
+    EXPECT_TRUE(built.ok());
+    return std::move(built).value();
+  }();
+  auto homogeneous = HomogenizeGraph(graph);
+  ASSERT_TRUE(homogeneous.ok());
+  // t.qq has growable mention/retweet/comment strengths, so the merged
+  // link type must be growable.
+  EXPECT_TRUE(homogeneous.value().schema().link_type(0).growable_strength);
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

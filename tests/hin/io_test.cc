@@ -1,0 +1,160 @@
+#include "hin/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+
+namespace hinpriv::hin {
+namespace {
+
+Graph MakeGraph() {
+  GraphBuilder builder(TqqTargetSchema());
+  builder.AddVertices(0, 4);
+  EXPECT_TRUE(builder.SetAttribute(0, kGenderAttr, 1).ok());
+  EXPECT_TRUE(builder.SetAttribute(0, kYobAttr, 1980).ok());
+  EXPECT_TRUE(builder.SetAttribute(1, kTweetCountAttr, 123).ok());
+  EXPECT_TRUE(builder.SetAttribute(3, kTagCountAttr, -2).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 1, kFollowLink).ok());
+  EXPECT_TRUE(builder.AddEdge(1, 2, kMentionLink, 5).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 0, kCommentLink, 9).ok());
+  auto graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  const Graph original = MakeGraph();
+  std::stringstream stream;
+  ASSERT_TRUE(SaveGraph(original, stream).ok());
+  auto loaded = LoadGraph(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& g = loaded.value();
+
+  EXPECT_EQ(g.num_vertices(), original.num_vertices());
+  EXPECT_EQ(g.num_edges(), original.num_edges());
+  EXPECT_EQ(g.num_link_types(), original.num_link_types());
+  EXPECT_EQ(g.schema().entity_type(0).name, kUserType);
+  EXPECT_TRUE(g.schema().entity_type(0).attributes[kTweetCountAttr].growable);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (AttributeId a = 0; a < 4; ++a) {
+      EXPECT_EQ(g.attribute(v, a), original.attribute(v, a));
+    }
+  }
+  EXPECT_EQ(g.EdgeStrength(kMentionLink, 1, 2), 5u);
+  EXPECT_EQ(g.EdgeStrength(kCommentLink, 2, 0), 9u);
+  EXPECT_TRUE(g.HasEdge(kFollowLink, 0, 1));
+}
+
+TEST(GraphIoTest, RoundTripMultiEntityGraph) {
+  NetworkSchema schema = TqqFullSchema();
+  GraphBuilder builder(schema);
+  const EntityTypeId user = schema.FindEntityType(kUserType);
+  const EntityTypeId tweet = schema.FindEntityType(kTweetType);
+  const VertexId u = builder.AddVertex(user);
+  const VertexId t = builder.AddVertex(tweet);
+  EXPECT_TRUE(builder.AddEdge(u, t, schema.FindLinkType("post_tweet")).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveGraph(graph.value(), stream).ok());
+  auto loaded = LoadGraph(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().entity_type(0), user);
+  EXPECT_EQ(loaded.value().entity_type(1), tweet);
+  EXPECT_EQ(loaded.value().num_edges(), 1u);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  const Graph original = MakeGraph();
+  const std::string path = testing::TempDir() + "/hinpriv_io_test.graph";
+  ASSERT_TRUE(SaveGraphToFile(original, path).ok());
+  auto loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded.value().num_edges(), original.num_edges());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  auto loaded = LoadGraphFromFile("/nonexistent/path/to.graph");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::Status::Code::kIoError);
+}
+
+// --- Failure injection: every corruption must surface as a Status. --------
+
+std::string Serialize(const Graph& g) {
+  std::stringstream stream;
+  EXPECT_TRUE(SaveGraph(g, stream).ok());
+  return stream.str();
+}
+
+util::Status LoadFrom(const std::string& text) {
+  std::stringstream stream(text);
+  return LoadGraph(stream).status();
+}
+
+TEST(GraphIoFailureTest, BadMagic) {
+  std::string text = Serialize(MakeGraph());
+  text.replace(0, 7, "corrupt");
+  EXPECT_EQ(LoadFrom(text).code(), util::Status::Code::kCorruption);
+}
+
+TEST(GraphIoFailureTest, BadVersion) {
+  std::string text = Serialize(MakeGraph());
+  const size_t pos = text.find(" 1\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, " 9\n");
+  EXPECT_FALSE(LoadFrom(text).ok());
+}
+
+TEST(GraphIoFailureTest, TruncatedStream) {
+  const std::string text = Serialize(MakeGraph());
+  for (size_t keep :
+       {text.size() / 8, text.size() / 3, text.size() / 2, text.size() - 5}) {
+    EXPECT_FALSE(LoadFrom(text.substr(0, keep)).ok()) << keep;
+  }
+}
+
+TEST(GraphIoFailureTest, EmptyStream) {
+  EXPECT_EQ(LoadFrom("").code(), util::Status::Code::kIoError);
+}
+
+TEST(GraphIoFailureTest, EdgeEndpointOutOfRange) {
+  std::string text = Serialize(MakeGraph());
+  // Edge rows are "src dst strength"; corrupt the mention edge 1->2.
+  const size_t pos = text.find("1 2 5");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "1 9 5");
+  EXPECT_EQ(LoadFrom(text).code(), util::Status::Code::kCorruption);
+}
+
+TEST(GraphIoFailureTest, NonNumericField) {
+  std::string text = Serialize(MakeGraph());
+  const size_t pos = text.find("1 2 5");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "1 x 5");
+  EXPECT_FALSE(LoadFrom(text).ok());
+}
+
+TEST(GraphIoFailureTest, MissingEndMarker) {
+  std::string text = Serialize(MakeGraph());
+  const size_t pos = text.rfind("end");
+  text.replace(pos, 3, "eh?");
+  EXPECT_FALSE(LoadFrom(text).ok());
+}
+
+TEST(GraphIoFailureTest, WrongAttributeCount) {
+  std::string text = Serialize(MakeGraph());
+  // The first vertex row is "0 1 1980 0 0": drop a field.
+  const size_t pos = text.find("0 1 1980 0 0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "0 1 1980 0");
+  EXPECT_EQ(LoadFrom(text).code(), util::Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

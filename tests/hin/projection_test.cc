@@ -1,0 +1,175 @@
+#include "hin/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+
+namespace hinpriv::hin {
+namespace {
+
+// Builds a miniature full t.qq network by hand:
+//   users: ada, bob, eve
+//   ada posts tweets T1, T2; bob posts tweet T3; ada posts comment C1
+//   T1 mentions bob; T2 mentions bob; C1 mentions eve
+//   T2 retweets T3 (=> ada retweet-strength-1 toward bob)
+//   C1 comments on T3 (=> ada comment-strength-1 toward bob)
+//   ada follows bob; eve follows ada
+struct MiniTqq {
+  Graph graph;
+  VertexId ada, bob, eve;
+};
+
+MiniTqq BuildMiniTqq() {
+  const NetworkSchema schema = TqqFullSchema();
+  GraphBuilder builder(schema);
+  const EntityTypeId user = schema.FindEntityType(kUserType);
+  const EntityTypeId tweet = schema.FindEntityType(kTweetType);
+  const EntityTypeId comment = schema.FindEntityType(kCommentType);
+  const LinkTypeId post_tweet = schema.FindLinkType("post_tweet");
+  const LinkTypeId post_comment = schema.FindLinkType("post_comment");
+  const LinkTypeId mention_t = schema.FindLinkType("mention_in_tweet");
+  const LinkTypeId mention_c = schema.FindLinkType("mention_in_comment");
+  const LinkTypeId retweet_of = schema.FindLinkType("retweet_of");
+  const LinkTypeId comment_on_t = schema.FindLinkType("comment_on_tweet");
+  const LinkTypeId follow = schema.FindLinkType(kLinkFollow);
+
+  const VertexId ada = builder.AddVertex(user);
+  const VertexId bob = builder.AddVertex(user);
+  const VertexId eve = builder.AddVertex(user);
+  EXPECT_TRUE(builder.SetAttribute(ada, kYobAttr, 1980).ok());
+  EXPECT_TRUE(builder.SetAttribute(bob, kYobAttr, 1970).ok());
+  EXPECT_TRUE(builder.SetAttribute(eve, kYobAttr, 1990).ok());
+
+  const VertexId t1 = builder.AddVertex(tweet);
+  const VertexId t2 = builder.AddVertex(tweet);
+  const VertexId t3 = builder.AddVertex(tweet);
+  const VertexId c1 = builder.AddVertex(comment);
+
+  EXPECT_TRUE(builder.AddEdge(ada, t1, post_tweet).ok());
+  EXPECT_TRUE(builder.AddEdge(ada, t2, post_tweet).ok());
+  EXPECT_TRUE(builder.AddEdge(bob, t3, post_tweet).ok());
+  EXPECT_TRUE(builder.AddEdge(ada, c1, post_comment).ok());
+  EXPECT_TRUE(builder.AddEdge(t1, bob, mention_t).ok());
+  EXPECT_TRUE(builder.AddEdge(t2, bob, mention_t).ok());
+  EXPECT_TRUE(builder.AddEdge(c1, eve, mention_c).ok());
+  EXPECT_TRUE(builder.AddEdge(t2, t3, retweet_of).ok());
+  EXPECT_TRUE(builder.AddEdge(c1, t3, comment_on_t).ok());
+  EXPECT_TRUE(builder.AddEdge(ada, bob, follow).ok());
+  EXPECT_TRUE(builder.AddEdge(eve, ada, follow).ok());
+
+  auto graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.ok());
+  return MiniTqq{std::move(graph).value(), ada, bob, eve};
+}
+
+TEST(ProjectionTest, ShortCircuitedStrengthsMatchHandCount) {
+  MiniTqq mini = BuildMiniTqq();
+  const TargetSchemaSpec spec = TqqTargetSpec(mini.graph.schema());
+  auto projected = ProjectGraph(mini.graph, spec);
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+  const Graph& g = projected.value().graph;
+
+  EXPECT_EQ(g.num_vertices(), 3u);  // only users survive projection
+  // The users keep their ids in order (ada=0, bob=1, eve=2 here since they
+  // were added first) and their attributes.
+  EXPECT_EQ(g.attribute(0, kYobAttr), 1980);
+  EXPECT_EQ(g.attribute(1, kYobAttr), 1970);
+
+  // mention strength ada->bob = 2 (via T1 and T2); ada->eve = 1 (via C1).
+  EXPECT_EQ(g.EdgeStrength(kMentionLink, 0, 1), 2u);
+  EXPECT_EQ(g.EdgeStrength(kMentionLink, 0, 2), 1u);
+  EXPECT_EQ(g.EdgeStrength(kMentionLink, 1, 0), 0u);
+
+  // retweet strength ada->bob = 1 (T2 retweets T3, posted by bob).
+  EXPECT_EQ(g.EdgeStrength(kRetweetLink, 0, 1), 1u);
+  EXPECT_EQ(g.EdgeStrength(kRetweetLink, 1, 0), 0u);
+
+  // comment strength ada->bob = 1 (C1 comments on T3).
+  EXPECT_EQ(g.EdgeStrength(kCommentLink, 0, 1), 1u);
+
+  // follow reproduced: ada->bob and eve->ada.
+  EXPECT_EQ(g.EdgeStrength(kFollowLink, 0, 1), 1u);
+  EXPECT_EQ(g.EdgeStrength(kFollowLink, 2, 0), 1u);
+  EXPECT_EQ(g.EdgeStrength(kFollowLink, 1, 0), 0u);
+
+  // Mapping back to the full graph.
+  EXPECT_EQ(projected.value().to_original[0], mini.ada);
+  EXPECT_EQ(projected.value().to_original[1], mini.bob);
+  EXPECT_EQ(projected.value().to_original[2], mini.eve);
+}
+
+TEST(ProjectionTest, ProjectedSchemaIsTqqTargetSchema) {
+  MiniTqq mini = BuildMiniTqq();
+  auto projected =
+      ProjectGraph(mini.graph, TqqTargetSpec(mini.graph.schema()));
+  ASSERT_TRUE(projected.ok());
+  const NetworkSchema& schema = projected.value().graph.schema();
+  EXPECT_EQ(schema.num_entity_types(), 1u);
+  EXPECT_EQ(schema.num_link_types(), kNumTqqLinkTypes);
+  EXPECT_EQ(schema.link_type(kFollowLink).name, kLinkFollow);
+  EXPECT_EQ(schema.link_type(kMentionLink).name, kLinkMention);
+  EXPECT_EQ(schema.link_type(kRetweetLink).name, kLinkRetweet);
+  EXPECT_EQ(schema.link_type(kCommentLink).name, kLinkComment);
+  // Mention/retweet/comment strengths grow; follow does not.
+  EXPECT_TRUE(schema.link_type(kMentionLink).growable_strength);
+  EXPECT_FALSE(schema.link_type(kFollowLink).growable_strength);
+}
+
+TEST(ProjectionTest, SelfPathsAreDropped) {
+  // A user retweeting their own tweet must not create a self-link, because
+  // the t.qq target schema forbids self-links.
+  const NetworkSchema schema = TqqFullSchema();
+  GraphBuilder builder(schema);
+  const EntityTypeId user = schema.FindEntityType(kUserType);
+  const EntityTypeId tweet = schema.FindEntityType(kTweetType);
+  const LinkTypeId post_tweet = schema.FindLinkType("post_tweet");
+  const LinkTypeId retweet_of = schema.FindLinkType("retweet_of");
+  const VertexId u = builder.AddVertex(user);
+  const VertexId t1 = builder.AddVertex(tweet);
+  const VertexId t2 = builder.AddVertex(tweet);
+  ASSERT_TRUE(builder.AddEdge(u, t1, post_tweet).ok());
+  ASSERT_TRUE(builder.AddEdge(u, t2, post_tweet).ok());
+  ASSERT_TRUE(builder.AddEdge(t2, t1, retweet_of).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+
+  auto projected =
+      ProjectGraph(graph.value(), TqqTargetSpec(graph.value().schema()));
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected.value().graph.num_edges(), 0u);
+}
+
+TEST(ProjectionTest, MultiplicityMultipliesAlongPath) {
+  // Folded multi-edges multiply: if a tweet mentions bob "twice" (merged
+  // into strength 2), ada's mention strength toward bob is 2.
+  const NetworkSchema schema = TqqFullSchema();
+  GraphBuilder builder(schema);
+  const EntityTypeId user = schema.FindEntityType(kUserType);
+  const EntityTypeId tweet = schema.FindEntityType(kTweetType);
+  const LinkTypeId post_tweet = schema.FindLinkType("post_tweet");
+  const LinkTypeId mention_t = schema.FindLinkType("mention_in_tweet");
+  const VertexId ada = builder.AddVertex(user);
+  const VertexId bob = builder.AddVertex(user);
+  const VertexId t = builder.AddVertex(tweet);
+  ASSERT_TRUE(builder.AddEdge(ada, t, post_tweet).ok());
+  ASSERT_TRUE(builder.AddEdge(t, bob, mention_t).ok());
+  ASSERT_TRUE(builder.AddEdge(t, bob, mention_t).ok());  // merges to 2
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+
+  auto projected =
+      ProjectGraph(graph.value(), TqqTargetSpec(graph.value().schema()));
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected.value().graph.EdgeStrength(kMentionLink, 0, 1), 2u);
+}
+
+TEST(ProjectionTest, RejectsInvalidSpec) {
+  MiniTqq mini = BuildMiniTqq();
+  TargetSchemaSpec bad;
+  bad.target_entity = 99;
+  EXPECT_FALSE(ProjectGraph(mini.graph, bad).ok());
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

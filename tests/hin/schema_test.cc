@@ -1,0 +1,203 @@
+#include "hin/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hinpriv::hin {
+namespace {
+
+NetworkSchema TwoTypeSchema() {
+  NetworkSchema schema;
+  const EntityTypeId user = schema.AddEntityType("User");
+  const EntityTypeId tweet = schema.AddEntityType("Tweet");
+  schema.AddAttribute(user, "yob", false);
+  schema.AddAttribute(user, "tweet_count", true);
+  schema.AddLinkType("post", user, tweet, false, false, false);
+  schema.AddLinkType("mention", tweet, user, false, false, false);
+  schema.AddLinkType("follow", user, user, false, false, false);
+  return schema;
+}
+
+TEST(NetworkSchemaTest, BasicConstruction) {
+  const NetworkSchema schema = TwoTypeSchema();
+  EXPECT_EQ(schema.num_entity_types(), 2u);
+  EXPECT_EQ(schema.num_link_types(), 3u);
+  EXPECT_EQ(schema.entity_type(0).name, "User");
+  EXPECT_EQ(schema.entity_type(0).attributes.size(), 2u);
+  EXPECT_TRUE(schema.entity_type(0).attributes[1].growable);
+  EXPECT_FALSE(schema.entity_type(0).attributes[0].growable);
+  EXPECT_EQ(schema.link_type(0).name, "post");
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(NetworkSchemaTest, FindByName) {
+  const NetworkSchema schema = TwoTypeSchema();
+  EXPECT_EQ(schema.FindEntityType("Tweet"), 1);
+  EXPECT_EQ(schema.FindEntityType("Nope"), kInvalidEntityType);
+  EXPECT_EQ(schema.FindLinkType("mention"), 1);
+  EXPECT_EQ(schema.FindLinkType("nope"), kInvalidLinkType);
+}
+
+TEST(NetworkSchemaTest, FindAttribute) {
+  const NetworkSchema schema = TwoTypeSchema();
+  auto attr = schema.FindAttribute(0, "tweet_count");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr.value(), 1);
+  EXPECT_FALSE(schema.FindAttribute(0, "nope").ok());
+  EXPECT_FALSE(schema.FindAttribute(99, "yob").ok());
+}
+
+TEST(NetworkSchemaTest, IsHeterogeneous) {
+  NetworkSchema homogeneous;
+  const EntityTypeId node = homogeneous.AddEntityType("Node");
+  homogeneous.AddLinkType("edge", node, node, false, false, false);
+  EXPECT_FALSE(homogeneous.IsHeterogeneous());
+  // One entity type, two link types is already heterogeneous (Def. 2).
+  homogeneous.AddLinkType("edge2", node, node, false, false, false);
+  EXPECT_TRUE(homogeneous.IsHeterogeneous());
+  EXPECT_TRUE(TwoTypeSchema().IsHeterogeneous());
+}
+
+TEST(NetworkSchemaTest, CountSelfLinkTypes) {
+  NetworkSchema schema;
+  const EntityTypeId node = schema.AddEntityType("Node");
+  schema.AddLinkType("a", node, node, false, false, true);
+  schema.AddLinkType("b", node, node, false, false, false);
+  schema.AddLinkType("c", node, node, false, false, true);
+  EXPECT_EQ(schema.CountSelfLinkTypes(), 2u);
+}
+
+TEST(NetworkSchemaTest, ValidateRejectsDuplicateNames) {
+  NetworkSchema schema;
+  schema.AddEntityType("User");
+  schema.AddEntityType("User");
+  EXPECT_FALSE(schema.Validate().ok());
+
+  NetworkSchema schema2;
+  const EntityTypeId u = schema2.AddEntityType("User");
+  schema2.AddAttribute(u, "x", false);
+  schema2.AddAttribute(u, "x", true);
+  EXPECT_FALSE(schema2.Validate().ok());
+
+  NetworkSchema schema3;
+  const EntityTypeId v = schema3.AddEntityType("User");
+  schema3.AddLinkType("e", v, v, false, false, false);
+  schema3.AddLinkType("e", v, v, false, false, false);
+  EXPECT_FALSE(schema3.Validate().ok());
+}
+
+TEST(NetworkSchemaTest, ValidateRejectsEmptyNames) {
+  NetworkSchema schema;
+  schema.AddEntityType("");
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(NetworkSchemaTest, ValidateRejectsSelfLinkAcrossTypes) {
+  NetworkSchema schema;
+  const EntityTypeId a = schema.AddEntityType("A");
+  const EntityTypeId b = schema.AddEntityType("B");
+  schema.AddLinkType("bad", a, b, false, false, /*allows_self_link=*/true);
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(MetaPathTest, ValidPathAcceptedInvalidRejected) {
+  const NetworkSchema schema = TwoTypeSchema();
+  const LinkTypeId post = schema.FindLinkType("post");
+  const LinkTypeId mention = schema.FindLinkType("mention");
+  const LinkTypeId follow = schema.FindLinkType("follow");
+  const EntityTypeId user = schema.FindEntityType("User");
+
+  // User -post-> Tweet -mention-> User: valid.
+  MetaPath ok{"mention_path", {{post, false}, {mention, false}}};
+  EXPECT_TRUE(ValidateMetaPath(schema, user, ok).ok());
+
+  // Reversed traversal: User <-mention- Tweet is Tweet->User reversed, so
+  // starting at User via reverse mention reaches Tweet, then reverse post
+  // reaches User: also valid.
+  MetaPath reversed{"reverse", {{mention, true}, {post, true}}};
+  EXPECT_TRUE(ValidateMetaPath(schema, user, reversed).ok());
+
+  // Follow alone is a valid length-1 path.
+  MetaPath follow_path{"follow", {{follow, false}}};
+  EXPECT_TRUE(ValidateMetaPath(schema, user, follow_path).ok());
+
+  // Does not end at the target type.
+  MetaPath dangling{"dangling", {{post, false}}};
+  EXPECT_FALSE(ValidateMetaPath(schema, user, dangling).ok());
+
+  // Type mismatch mid-path.
+  MetaPath broken{"broken", {{post, false}, {post, false}}};
+  EXPECT_FALSE(ValidateMetaPath(schema, user, broken).ok());
+
+  // Empty path.
+  MetaPath empty{"empty", {}};
+  EXPECT_FALSE(ValidateMetaPath(schema, user, empty).ok());
+
+  // Out-of-range link id.
+  MetaPath bogus{"bogus", {{static_cast<LinkTypeId>(99), false}}};
+  EXPECT_FALSE(ValidateMetaPath(schema, user, bogus).ok());
+}
+
+TEST(ProjectSchemaTest, ProjectsAttributesAndLinks) {
+  const NetworkSchema schema = TwoTypeSchema();
+  const EntityTypeId user = schema.FindEntityType("User");
+  const LinkTypeId post = schema.FindLinkType("post");
+  const LinkTypeId mention = schema.FindLinkType("mention");
+  const LinkTypeId follow = schema.FindLinkType("follow");
+
+  TargetSchemaSpec spec;
+  spec.target_entity = user;
+  TargetLinkDef mention_link;
+  mention_link.name = "mention";
+  mention_link.source_paths.push_back(
+      MetaPath{"m", {{post, false}, {mention, false}}});
+  spec.links.push_back(mention_link);
+  TargetLinkDef follow_link;
+  follow_link.name = "follow";
+  follow_link.source_paths.push_back(MetaPath{"f", {{follow, false}}});
+  spec.links.push_back(follow_link);
+
+  auto projected = ProjectSchema(schema, spec);
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+  const NetworkSchema& target = projected.value();
+  EXPECT_EQ(target.num_entity_types(), 1u);
+  EXPECT_EQ(target.entity_type(0).name, "User");
+  EXPECT_EQ(target.entity_type(0).attributes.size(), 2u);
+  EXPECT_EQ(target.num_link_types(), 2u);
+  EXPECT_EQ(target.link_type(0).name, "mention");
+  EXPECT_TRUE(target.link_type(0).has_strength);
+  EXPECT_TRUE(target.IsHeterogeneous());  // 2 link types suffice (Def. 2)
+}
+
+TEST(ProjectSchemaTest, RejectsBadSpecs) {
+  const NetworkSchema schema = TwoTypeSchema();
+  const EntityTypeId user = schema.FindEntityType("User");
+  const LinkTypeId follow = schema.FindLinkType("follow");
+
+  TargetSchemaSpec empty;
+  empty.target_entity = user;
+  EXPECT_FALSE(ProjectSchema(schema, empty).ok());
+
+  TargetSchemaSpec bad_entity;
+  bad_entity.target_entity = 42;
+  TargetLinkDef link;
+  link.name = "follow";
+  link.source_paths.push_back(MetaPath{"f", {{follow, false}}});
+  bad_entity.links.push_back(link);
+  EXPECT_FALSE(ProjectSchema(schema, bad_entity).ok());
+
+  TargetSchemaSpec no_paths;
+  no_paths.target_entity = user;
+  TargetLinkDef pathless;
+  pathless.name = "x";
+  no_paths.links.push_back(pathless);
+  EXPECT_FALSE(ProjectSchema(schema, no_paths).ok());
+
+  TargetSchemaSpec duplicate;
+  duplicate.target_entity = user;
+  duplicate.links.push_back(link);
+  duplicate.links.push_back(link);
+  EXPECT_FALSE(ProjectSchema(schema, duplicate).ok());
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

@@ -1,0 +1,86 @@
+#include "hin/tqq_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hinpriv::hin {
+namespace {
+
+TEST(TqqFullSchemaTest, HasExpectedEntityTypesAndAttributes) {
+  const NetworkSchema schema = TqqFullSchema();
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.num_entity_types(), 4u);
+  const EntityTypeId user = schema.FindEntityType(kUserType);
+  ASSERT_NE(user, kInvalidEntityType);
+  EXPECT_NE(schema.FindEntityType(kTweetType), kInvalidEntityType);
+  EXPECT_NE(schema.FindEntityType(kCommentType), kInvalidEntityType);
+  EXPECT_NE(schema.FindEntityType(kItemType), kInvalidEntityType);
+
+  const auto& attrs = schema.entity_type(user).attributes;
+  ASSERT_EQ(attrs.size(), 4u);
+  EXPECT_EQ(attrs[kGenderAttr].name, kAttrGender);
+  EXPECT_EQ(attrs[kYobAttr].name, kAttrYob);
+  EXPECT_EQ(attrs[kTweetCountAttr].name, kAttrTweetCount);
+  EXPECT_EQ(attrs[kTagCountAttr].name, kAttrTagCount);
+  // Only tweet count grows over time.
+  EXPECT_FALSE(attrs[kGenderAttr].growable);
+  EXPECT_FALSE(attrs[kYobAttr].growable);
+  EXPECT_TRUE(attrs[kTweetCountAttr].growable);
+  EXPECT_FALSE(attrs[kTagCountAttr].growable);
+}
+
+TEST(TqqFullSchemaTest, IsHeterogeneous) {
+  EXPECT_TRUE(TqqFullSchema().IsHeterogeneous());
+}
+
+TEST(TqqTargetSpecTest, FourTargetLinksWithValidMetaPaths) {
+  const NetworkSchema full = TqqFullSchema();
+  const TargetSchemaSpec spec = TqqTargetSpec(full);
+  EXPECT_EQ(spec.target_entity, full.FindEntityType(kUserType));
+  ASSERT_EQ(spec.links.size(), kNumTqqLinkTypes);
+  EXPECT_EQ(spec.links[kFollowLink].name, kLinkFollow);
+  EXPECT_EQ(spec.links[kMentionLink].name, kLinkMention);
+  EXPECT_EQ(spec.links[kRetweetLink].name, kLinkRetweet);
+  EXPECT_EQ(spec.links[kCommentLink].name, kLinkComment);
+  for (const auto& link : spec.links) {
+    for (const auto& path : link.source_paths) {
+      EXPECT_TRUE(ValidateMetaPath(full, spec.target_entity, path).ok())
+          << link.name << "/" << path.name;
+    }
+  }
+  // Paper Section 3: mention and comment have two meta-path variants
+  // (via tweet, via comment); follow is reproduced from a single link.
+  EXPECT_EQ(spec.links[kFollowLink].source_paths.size(), 1u);
+  EXPECT_EQ(spec.links[kMentionLink].source_paths.size(), 2u);
+  EXPECT_EQ(spec.links[kRetweetLink].source_paths.size(), 1u);
+  EXPECT_EQ(spec.links[kCommentLink].source_paths.size(), 2u);
+}
+
+TEST(TqqTargetSpecTest, PathLengthsMatchSection3) {
+  const NetworkSchema full = TqqFullSchema();
+  const TargetSchemaSpec spec = TqqTargetSpec(full);
+  EXPECT_EQ(spec.links[kFollowLink].source_paths[0].steps.size(), 1u);
+  EXPECT_EQ(spec.links[kMentionLink].source_paths[0].steps.size(), 2u);
+  // retweet: User -post-> Tweet -retweet-> Tweet -posted_by-> User.
+  EXPECT_EQ(spec.links[kRetweetLink].source_paths[0].steps.size(), 3u);
+  EXPECT_TRUE(spec.links[kRetweetLink].source_paths[0].steps[2].reverse);
+  EXPECT_EQ(spec.links[kCommentLink].source_paths[0].steps.size(), 3u);
+}
+
+TEST(TqqTargetSchemaTest, SingleUserTypeWithFourStrengthLinks) {
+  const NetworkSchema target = TqqTargetSchema();
+  EXPECT_TRUE(target.Validate().ok());
+  EXPECT_EQ(target.num_entity_types(), 1u);
+  EXPECT_EQ(target.entity_type(0).name, kUserType);
+  EXPECT_EQ(target.entity_type(0).attributes.size(), 4u);
+  ASSERT_EQ(target.num_link_types(), kNumTqqLinkTypes);
+  EXPECT_EQ(target.link_type(kFollowLink).name, kLinkFollow);
+  for (LinkTypeId lt = 0; lt < kNumTqqLinkTypes; ++lt) {
+    EXPECT_TRUE(target.link_type(lt).has_strength);
+    EXPECT_FALSE(target.link_type(lt).allows_self_link);
+  }
+  EXPECT_EQ(target.CountSelfLinkTypes(), 0u);
+  EXPECT_TRUE(target.IsHeterogeneous());  // multiple link types
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

@@ -1,0 +1,131 @@
+// End-to-end integration tests over the full Section 6 pipeline:
+// synthesize -> plant -> grow -> anonymize -> attack -> score.
+
+#include <gtest/gtest.h>
+
+#include "anon/complete_graph_anonymizer.h"
+#include "anon/k_degree_anonymizer.h"
+#include "anon/kdd_anonymizer.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "util/random.h"
+
+namespace hinpriv {
+namespace {
+
+eval::ExperimentDataset BuildDataset(const anon::Anonymizer& anonymizer,
+                                     bool strip, double density,
+                                     uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = 20000;
+  synth::PlantedTargetSpec spec;
+  spec.target_size = 1000;
+  spec.density = density;
+  util::Rng rng(seed);
+  auto dataset = eval::BuildExperimentDataset(
+      config, spec, synth::GrowthConfig{}, anonymizer, strip, &rng);
+  EXPECT_TRUE(dataset.ok()) << dataset.status().ToString();
+  return std::move(dataset).value();
+}
+
+core::DehinConfig AttackConfig(bool reconfigured) {
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  if (reconfigured) config.saturation_fraction = 0.5;
+  return config;
+}
+
+TEST(PipelineTest, KddaHighDensityAttackSucceeds) {
+  const auto dataset =
+      BuildDataset(anon::KddAnonymizer(), false, 0.01, 1);
+  core::Dehin dehin(&dataset.auxiliary, AttackConfig(false));
+  const auto d0 = eval::EvaluateAttack(dehin, dataset.target,
+                                       dataset.ground_truth, 0);
+  const auto d1 = eval::EvaluateAttack(dehin, dataset.target,
+                                       dataset.ground_truth, 1);
+  // Paper Table 2 shape at density 0.01: low precision at distance 0,
+  // dominant at distance 1, soundness always.
+  EXPECT_LT(d0.precision, 0.35);
+  EXPECT_GT(d1.precision, 0.7);
+  EXPECT_EQ(d0.num_containing_truth, d0.num_targets);
+  EXPECT_EQ(d1.num_containing_truth, d1.num_targets);
+  EXPECT_GT(d1.reduction_rate, d0.reduction_rate);
+}
+
+TEST(PipelineTest, PrecisionIncreasesWithDensity) {
+  const auto sparse = BuildDataset(anon::KddAnonymizer(), false, 0.001, 2);
+  const auto dense = BuildDataset(anon::KddAnonymizer(), false, 0.01, 2);
+  core::Dehin attack_sparse(&sparse.auxiliary, AttackConfig(false));
+  core::Dehin attack_dense(&dense.auxiliary, AttackConfig(false));
+  const auto m_sparse =
+      eval::EvaluateAttack(attack_sparse, sparse.target, sparse.ground_truth, 1);
+  const auto m_dense =
+      eval::EvaluateAttack(attack_dense, dense.target, dense.ground_truth, 1);
+  EXPECT_GT(m_dense.precision, m_sparse.precision + 0.2);
+}
+
+TEST(PipelineTest, MoreLinkTypesImprovePrecision) {
+  const auto dataset = BuildDataset(anon::KddAnonymizer(), false, 0.01, 3);
+  core::DehinConfig follow_only = AttackConfig(false);
+  follow_only.match.link_types = {hin::kFollowLink};
+  core::Dehin weak(&dataset.auxiliary, follow_only);
+  core::Dehin strong(&dataset.auxiliary, AttackConfig(false));
+  const auto m_weak =
+      eval::EvaluateAttack(weak, dataset.target, dataset.ground_truth, 1);
+  const auto m_strong =
+      eval::EvaluateAttack(strong, dataset.target, dataset.ground_truth, 1);
+  EXPECT_GE(m_strong.precision, m_weak.precision);
+  EXPECT_GT(m_strong.precision, m_weak.precision - 1e-9);
+}
+
+TEST(PipelineTest, ReconfiguredAttackBeatsCga) {
+  const auto dataset = BuildDataset(anon::CompleteGraphAnonymizer(),
+                                    /*strip=*/true, 0.01, 4);
+  core::Dehin dehin(&dataset.auxiliary, AttackConfig(true));
+  const auto metrics =
+      eval::EvaluateAttack(dehin, dataset.target, dataset.ground_truth, 1);
+  // Section 6.2: CGA degrades the attack only slightly.
+  EXPECT_GT(metrics.precision, 0.6);
+}
+
+TEST(PipelineTest, VwCgaPinsAttackAtDistanceZero) {
+  const auto dataset = BuildDataset(anon::VaryingWeightCgaAnonymizer(),
+                                    /*strip=*/true, 0.01, 5);
+  core::Dehin dehin(&dataset.auxiliary, AttackConfig(true));
+  const auto d0 =
+      eval::EvaluateAttack(dehin, dataset.target, dataset.ground_truth, 0);
+  const auto d2 =
+      eval::EvaluateAttack(dehin, dataset.target, dataset.ground_truth, 2);
+  // Section 6.3: neighbor utilization gains nothing.
+  EXPECT_NEAR(d2.precision, d0.precision, 0.02);
+  EXPECT_LT(d2.precision, 0.3);
+}
+
+TEST(PipelineTest, KDegreeDefenseIsWeakerThanCga) {
+  const auto cga = BuildDataset(anon::CompleteGraphAnonymizer(), true, 0.01, 6);
+  const auto kdeg =
+      BuildDataset(anon::KDegreeAnonymizer(20), true, 0.01, 6);
+  core::Dehin attack_cga(&cga.auxiliary, AttackConfig(true));
+  core::Dehin attack_kdeg(&kdeg.auxiliary, AttackConfig(true));
+  const auto m_cga =
+      eval::EvaluateAttack(attack_cga, cga.target, cga.ground_truth, 1);
+  const auto m_kdeg =
+      eval::EvaluateAttack(attack_kdeg, kdeg.target, kdeg.ground_truth, 1);
+  // CGA is the family's best case, so it cannot do worse than k-degree.
+  EXPECT_GE(m_kdeg.precision + 0.15, m_cga.precision);
+  EXPECT_GT(m_kdeg.precision, 0.3);
+}
+
+TEST(PipelineTest, DeterministicAcrossRuns) {
+  const auto a = BuildDataset(anon::KddAnonymizer(), false, 0.005, 7);
+  const auto b = BuildDataset(anon::KddAnonymizer(), false, 0.005, 7);
+  core::Dehin attack_a(&a.auxiliary, AttackConfig(false));
+  core::Dehin attack_b(&b.auxiliary, AttackConfig(false));
+  const auto m_a = eval::EvaluateAttack(attack_a, a.target, a.ground_truth, 1);
+  const auto m_b = eval::EvaluateAttack(attack_b, b.target, b.ground_truth, 1);
+  EXPECT_DOUBLE_EQ(m_a.precision, m_b.precision);
+  EXPECT_DOUBLE_EQ(m_a.reduction_rate, m_b.reduction_rate);
+}
+
+}  // namespace
+}  // namespace hinpriv

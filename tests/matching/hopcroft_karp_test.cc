@@ -1,0 +1,163 @@
+#include "matching/hopcroft_karp.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace hinpriv::matching {
+namespace {
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g), 0u);
+  EXPECT_TRUE(HasPerfectLeftMatching(g));  // vacuously perfect
+}
+
+TEST(HopcroftKarpTest, NoEdges) {
+  BipartiteGraph g(3, 3);
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g), 0u);
+  EXPECT_FALSE(HasPerfectLeftMatching(g));
+}
+
+TEST(HopcroftKarpTest, PerfectMatchingOnDiagonal) {
+  BipartiteGraph g(4, 4);
+  for (uint32_t i = 0; i < 4; ++i) g.AddEdge(i, i);
+  std::vector<int32_t> match;
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g, &match), 4u);
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(match[i], static_cast<int32_t>(i));
+  EXPECT_TRUE(HasPerfectLeftMatching(g));
+}
+
+TEST(HopcroftKarpTest, RequiresAugmentingPaths) {
+  // Classic case where greedy fails: L0-{R0,R1}, L1-{R0}. Greedy matching
+  // L0->R0 blocks L1; augmentation fixes it.
+  BipartiteGraph g(2, 2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g), 2u);
+  EXPECT_TRUE(HasPerfectLeftMatching(g));
+}
+
+TEST(HopcroftKarpTest, PaperFigure6Scenario) {
+  // Figure 6: v5' ~ {v1, v2}, v6' ~ {v2}, v7' ~ {v3, v4}. A perfect
+  // matching exists (v5'-v1, v6'-v2, v7'-v3 or v4), so v9 is a candidate.
+  BipartiteGraph g(3, 4);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 1);
+  g.AddEdge(2, 2);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g), 3u);
+  EXPECT_TRUE(HasPerfectLeftMatching(g));
+}
+
+TEST(HopcroftKarpTest, ContentionBlocksPerfectMatching) {
+  // Two left vertices both only match the same right vertex.
+  BipartiteGraph g(2, 3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 1);
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g), 1u);
+  EXPECT_FALSE(HasPerfectLeftMatching(g));
+}
+
+TEST(HopcroftKarpTest, MoreLeftThanRightCannotBePerfect) {
+  BipartiteGraph g(3, 2);
+  for (uint32_t i = 0; i < 3; ++i) {
+    g.AddEdge(i, 0);
+    g.AddEdge(i, 1);
+  }
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g), 2u);
+  EXPECT_FALSE(HasPerfectLeftMatching(g));
+}
+
+TEST(HopcroftKarpTest, IsolatedLeftVertexFailsFast) {
+  BipartiteGraph g(2, 5);
+  g.AddEdge(0, 0);
+  // Left vertex 1 has no edges.
+  EXPECT_FALSE(HasPerfectLeftMatching(g));
+}
+
+TEST(HopcroftKarpTest, MatchArrayIsConsistent) {
+  util::Rng rng(99);
+  BipartiteGraph g(20, 25);
+  for (uint32_t i = 0; i < 20; ++i) {
+    for (int e = 0; e < 4; ++e) {
+      g.AddEdge(i, static_cast<uint32_t>(rng.UniformU64(25)));
+    }
+  }
+  std::vector<int32_t> match;
+  const size_t size = HopcroftKarpMaximumMatching(g, &match);
+  // Matched rights are distinct, edges are real.
+  std::set<int32_t> rights;
+  size_t matched = 0;
+  for (uint32_t i = 0; i < 20; ++i) {
+    if (match[i] == kUnmatched) continue;
+    ++matched;
+    EXPECT_TRUE(rights.insert(match[i]).second);
+    const auto neighbors = g.Neighbors(i);
+    EXPECT_NE(std::find(neighbors.begin(), neighbors.end(),
+                        static_cast<uint32_t>(match[i])),
+              neighbors.end());
+  }
+  EXPECT_EQ(matched, size);
+}
+
+// --- Differential property test against the Kuhn reference matcher -------
+
+struct RandomGraphParams {
+  uint64_t seed;
+  size_t num_left;
+  size_t num_right;
+  double edge_prob;
+};
+
+class MatchingDifferentialTest
+    : public testing::TestWithParam<RandomGraphParams> {};
+
+TEST_P(MatchingDifferentialTest, HopcroftKarpMatchesKuhn) {
+  const RandomGraphParams p = GetParam();
+  util::Rng rng(p.seed);
+  for (int trial = 0; trial < 25; ++trial) {
+    BipartiteGraph g(p.num_left, p.num_right);
+    for (uint32_t i = 0; i < p.num_left; ++i) {
+      for (uint32_t j = 0; j < p.num_right; ++j) {
+        if (rng.Bernoulli(p.edge_prob)) g.AddEdge(i, j);
+      }
+    }
+    EXPECT_EQ(HopcroftKarpMaximumMatching(g), KuhnMaximumMatching(g))
+        << "seed=" << p.seed << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, MatchingDifferentialTest,
+    testing::Values(RandomGraphParams{1, 5, 5, 0.2},
+                    RandomGraphParams{2, 10, 10, 0.1},
+                    RandomGraphParams{3, 10, 10, 0.5},
+                    RandomGraphParams{4, 10, 10, 0.9},
+                    RandomGraphParams{5, 15, 7, 0.3},
+                    RandomGraphParams{6, 7, 15, 0.3},
+                    RandomGraphParams{7, 30, 30, 0.05},
+                    RandomGraphParams{8, 30, 30, 0.15},
+                    RandomGraphParams{9, 1, 1, 0.5},
+                    RandomGraphParams{10, 50, 40, 0.08}));
+
+TEST(HopcroftKarpTest, LargeSparseGraphTerminatesCorrectly) {
+  util::Rng rng(7);
+  const size_t n = 2000;
+  BipartiteGraph g(n, n);
+  // A permutation plus noise: perfect matching must be found.
+  std::vector<uint64_t> perm = rng.SampleWithoutReplacement(n, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddEdge(i, static_cast<uint32_t>(perm[i]));
+    g.AddEdge(i, static_cast<uint32_t>(rng.UniformU64(n)));
+  }
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g), n);
+  EXPECT_TRUE(HasPerfectLeftMatching(g));
+}
+
+}  // namespace
+}  // namespace hinpriv::matching

@@ -1,0 +1,137 @@
+#include "synth/growth.h"
+
+#include <gtest/gtest.h>
+
+#include "hin/tqq_schema.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::synth {
+namespace {
+
+hin::Graph MakeBase(size_t users, uint64_t seed) {
+  TqqConfig config;
+  config.num_users = users;
+  util::Rng rng(seed);
+  auto graph = GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(GrowthTest, AddsUsersAndEdges) {
+  const hin::Graph base = MakeBase(2000, 1);
+  GrowthConfig growth;
+  growth.new_user_fraction = 0.10;
+  growth.new_edge_fraction = 0.05;
+  util::Rng rng(2);
+  auto grown = GrowNetwork(base, growth, TqqConfig{}, &rng);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  EXPECT_EQ(grown.value().num_vertices(), 2200u);
+  EXPECT_GE(grown.value().num_edges(), base.num_edges());
+}
+
+// The invariant DeHIN's growth-aware matchers rely on (Section 5.1): the
+// auxiliary is a superset — every base edge survives with >= strength, every
+// growable attribute only grows, non-growable attributes are unchanged.
+TEST(GrowthTest, GrowthIsMonotoneSuperset) {
+  const hin::Graph base = MakeBase(1500, 3);
+  GrowthConfig growth;  // defaults exercise all growth channels
+  util::Rng rng(4);
+  auto grown_result = GrowNetwork(base, growth, TqqConfig{}, &rng);
+  ASSERT_TRUE(grown_result.ok());
+  const hin::Graph& grown = grown_result.value();
+
+  for (hin::VertexId v = 0; v < base.num_vertices(); ++v) {
+    EXPECT_EQ(grown.attribute(v, hin::kGenderAttr),
+              base.attribute(v, hin::kGenderAttr));
+    EXPECT_EQ(grown.attribute(v, hin::kYobAttr),
+              base.attribute(v, hin::kYobAttr));
+    EXPECT_EQ(grown.attribute(v, hin::kTagCountAttr),
+              base.attribute(v, hin::kTagCountAttr));
+    EXPECT_GE(grown.attribute(v, hin::kTweetCountAttr),
+              base.attribute(v, hin::kTweetCountAttr));
+    for (hin::LinkTypeId lt = 0; lt < base.num_link_types(); ++lt) {
+      for (const hin::Edge& e : base.OutEdges(lt, v)) {
+        ASSERT_GE(grown.EdgeStrength(lt, v, e.neighbor), e.strength)
+            << "base edge lost or weakened";
+      }
+    }
+  }
+}
+
+TEST(GrowthTest, SomeGrowthActuallyHappens) {
+  const hin::Graph base = MakeBase(1500, 5);
+  GrowthConfig growth;
+  growth.attr_growth_prob = 0.5;
+  growth.strength_growth_prob = 0.3;
+  util::Rng rng(6);
+  auto grown = GrowNetwork(base, growth, TqqConfig{}, &rng);
+  ASSERT_TRUE(grown.ok());
+  size_t attr_grew = 0;
+  size_t strength_grew = 0;
+  for (hin::VertexId v = 0; v < base.num_vertices(); ++v) {
+    if (grown.value().attribute(v, hin::kTweetCountAttr) >
+        base.attribute(v, hin::kTweetCountAttr)) {
+      ++attr_grew;
+    }
+    for (const hin::Edge& e : base.OutEdges(hin::kMentionLink, v)) {
+      if (grown.value().EdgeStrength(hin::kMentionLink, v, e.neighbor) >
+          e.strength) {
+        ++strength_grew;
+      }
+    }
+  }
+  EXPECT_GT(attr_grew, base.num_vertices() / 4);
+  EXPECT_GT(strength_grew, 0u);
+}
+
+TEST(GrowthTest, FollowStrengthsNeverGrowViaStrengthChannel) {
+  // follow is not growable-strength: only *new* follow links may appear;
+  // the growth channel must not inflate existing follow weights beyond
+  // coincidental new-duplicate folding. With new_edge_fraction = 0, every
+  // follow strength must remain exactly 1.
+  const hin::Graph base = MakeBase(1500, 7);
+  GrowthConfig growth;
+  growth.new_edge_fraction = 0.0;
+  growth.strength_growth_prob = 0.9;
+  util::Rng rng(8);
+  auto grown = GrowNetwork(base, growth, TqqConfig{}, &rng);
+  ASSERT_TRUE(grown.ok());
+  for (hin::VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (const hin::Edge& e :
+         grown.value().OutEdges(hin::kFollowLink, v)) {
+      ASSERT_EQ(e.strength, 1u);
+    }
+  }
+}
+
+TEST(GrowthTest, ZeroGrowthIsIdentityOnBaseUsers) {
+  const hin::Graph base = MakeBase(800, 9);
+  GrowthConfig growth;
+  growth.new_user_fraction = 0.0;
+  growth.new_edge_fraction = 0.0;
+  growth.attr_growth_prob = 0.0;
+  growth.strength_growth_prob = 0.0;
+  util::Rng rng(10);
+  auto grown = GrowNetwork(base, growth, TqqConfig{}, &rng);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown.value().num_vertices(), base.num_vertices());
+  EXPECT_EQ(grown.value().num_edges(), base.num_edges());
+  for (hin::VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (hin::AttributeId a = 0; a < 4; ++a) {
+      ASSERT_EQ(grown.value().attribute(v, a), base.attribute(v, a));
+    }
+  }
+}
+
+TEST(GrowthTest, RejectsMultiEntityGraphs) {
+  TqqFullConfig config;
+  config.num_users = 50;
+  util::Rng rng(11);
+  auto full = GenerateTqqFullNetwork(config, &rng);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(GrowNetwork(full.value(), GrowthConfig{}, TqqConfig{}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace hinpriv::synth

@@ -1,0 +1,101 @@
+#include "synth/profile.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hin/tqq_schema.h"
+#include "util/random.h"
+
+namespace hinpriv::synth {
+namespace {
+
+TEST(ProfileSamplerTest, ValuesRespectConfigRanges) {
+  TqqConfig config;
+  ProfileSampler sampler(config);
+  util::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const Profile p = sampler.Sample(&rng);
+    EXPECT_GE(p.gender, 0);
+    EXPECT_LT(p.gender, config.num_genders);
+    EXPECT_GE(p.yob, config.yob_min);
+    EXPECT_LE(p.yob, config.yob_max);
+    EXPECT_GE(p.tweet_count, 0);
+    EXPECT_LE(p.tweet_count, config.tweet_count_max);
+    EXPECT_GE(p.tag_count, 0);
+    EXPECT_LE(p.tag_count, config.tag_count_max);
+  }
+}
+
+TEST(ProfileSamplerTest, CardinalitiesApproachPaperValues) {
+  // The paper reports cardinalities 3 (gender), 87 (yob), 11 (tags) for its
+  // 1000-user samples. With enough draws the full ranges must be exercised
+  // for gender and tags, and yob must cover a wide span.
+  TqqConfig config;
+  ProfileSampler sampler(config);
+  util::Rng rng(2);
+  std::set<int> genders, yobs, tags;
+  for (int i = 0; i < 50000; ++i) {
+    const Profile p = sampler.Sample(&rng);
+    genders.insert(p.gender);
+    yobs.insert(p.yob);
+    tags.insert(p.tag_count);
+  }
+  EXPECT_EQ(genders.size(), 3u);
+  EXPECT_EQ(tags.size(), 11u);
+  EXPECT_GT(yobs.size(), 50u);
+  EXPECT_LE(yobs.size(), 87u);
+}
+
+TEST(ProfileSamplerTest, RecentYearsDominate) {
+  TqqConfig config;
+  ProfileSampler sampler(config);
+  util::Rng rng(3);
+  int recent = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(&rng).yob >= config.yob_max - 10) ++recent;
+  }
+  EXPECT_GT(recent, n / 2);
+}
+
+TEST(ProfileSamplerTest, TweetCountHeavyTailed) {
+  TqqConfig config;
+  ProfileSampler sampler(config);
+  util::Rng rng(4);
+  int zeroish = 0;
+  int large = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto c = sampler.Sample(&rng).tweet_count;
+    if (c <= 5) ++zeroish;
+    if (c > 1000) ++large;
+  }
+  EXPECT_GT(zeroish, n / 2);  // most users tweet rarely
+  EXPECT_GT(large, 0);        // but a tail of heavy users exists
+}
+
+TEST(ApplyProfileTest, WritesAllFourAttributes) {
+  hin::GraphBuilder builder(hin::TqqTargetSchema());
+  const hin::VertexId v = builder.AddVertex(0);
+  Profile p;
+  p.gender = 2;
+  p.yob = 1975;
+  p.tweet_count = 321;
+  p.tag_count = 7;
+  ASSERT_TRUE(ApplyProfile(&builder, v, p).ok());
+  auto graph = std::move(builder).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().attribute(v, hin::kGenderAttr), 2);
+  EXPECT_EQ(graph.value().attribute(v, hin::kYobAttr), 1975);
+  EXPECT_EQ(graph.value().attribute(v, hin::kTweetCountAttr), 321);
+  EXPECT_EQ(graph.value().attribute(v, hin::kTagCountAttr), 7);
+}
+
+TEST(ApplyProfileTest, OutOfRangeVertexFails) {
+  hin::GraphBuilder builder(hin::TqqTargetSchema());
+  EXPECT_FALSE(ApplyProfile(&builder, 5, Profile{}).ok());
+}
+
+}  // namespace
+}  // namespace hinpriv::synth

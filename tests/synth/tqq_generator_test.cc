@@ -1,0 +1,194 @@
+#include "synth/tqq_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "hin/projection.h"
+#include "hin/tqq_schema.h"
+#include "util/random.h"
+
+namespace hinpriv::synth {
+namespace {
+
+TEST(TqqGeneratorTest, ProducesTargetSchemaGraph) {
+  TqqConfig config;
+  config.num_users = 2000;
+  util::Rng rng(1);
+  auto graph = GenerateTqqNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph.value().num_vertices(), 2000u);
+  EXPECT_EQ(graph.value().num_link_types(), hin::kNumTqqLinkTypes);
+  EXPECT_GT(graph.value().num_edges(), 0u);
+  EXPECT_EQ(graph.value().schema().entity_type(0).name, hin::kUserType);
+}
+
+TEST(TqqGeneratorTest, DeterministicForSameSeed) {
+  TqqConfig config;
+  config.num_users = 500;
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  auto a = GenerateTqqNetwork(config, &rng1);
+  auto b = GenerateTqqNetwork(config, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().num_edges(), b.value().num_edges());
+  for (hin::VertexId v = 0; v < 500; ++v) {
+    for (hin::AttributeId attr = 0; attr < 4; ++attr) {
+      ASSERT_EQ(a.value().attribute(v, attr), b.value().attribute(v, attr));
+    }
+    for (hin::LinkTypeId lt = 0; lt < hin::kNumTqqLinkTypes; ++lt) {
+      const auto ea = a.value().OutEdges(lt, v);
+      const auto eb = b.value().OutEdges(lt, v);
+      ASSERT_EQ(ea.size(), eb.size());
+      for (size_t i = 0; i < ea.size(); ++i) ASSERT_EQ(ea[i], eb[i]);
+    }
+  }
+}
+
+TEST(TqqGeneratorTest, FollowStrengthsAreOne) {
+  TqqConfig config;
+  config.num_users = 1000;
+  util::Rng rng(3);
+  auto graph = GenerateTqqNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok());
+  for (hin::VertexId v = 0; v < graph.value().num_vertices(); ++v) {
+    for (const hin::Edge& e : graph.value().OutEdges(hin::kFollowLink, v)) {
+      ASSERT_EQ(e.strength, 1u);
+    }
+  }
+}
+
+TEST(TqqGeneratorTest, WeightedLinksHaveStrengthTail) {
+  TqqConfig config;
+  config.num_users = 2000;
+  util::Rng rng(4);
+  auto graph = GenerateTqqNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok());
+  size_t ones = 0;
+  size_t heavy = 0;
+  size_t total = 0;
+  for (hin::VertexId v = 0; v < graph.value().num_vertices(); ++v) {
+    for (const hin::Edge& e : graph.value().OutEdges(hin::kMentionLink, v)) {
+      ++total;
+      if (e.strength == 1) ++ones;
+      if (e.strength >= 5) ++heavy;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(ones * 2, total);  // strength 1 dominates
+  EXPECT_GT(heavy, 0u);        // but heavier interactions exist
+}
+
+TEST(TqqGeneratorTest, PopularityHubsReceiveMoreInEdges) {
+  TqqConfig config;
+  config.num_users = 5000;
+  util::Rng rng(5);
+  auto graph = GenerateTqqNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok());
+  size_t in_low_ids = 0;
+  size_t in_high_ids = 0;
+  for (hin::VertexId v = 0; v < 5000; ++v) {
+    size_t in = 0;
+    for (hin::LinkTypeId lt = 0; lt < hin::kNumTqqLinkTypes; ++lt) {
+      in += graph.value().InDegree(lt, v);
+    }
+    if (v < 500) in_low_ids += in;
+    if (v >= 4500) in_high_ids += in;
+  }
+  // Preferential attachment: the lowest-id decile dwarfs the highest.
+  EXPECT_GT(in_low_ids, in_high_ids * 5);
+}
+
+TEST(TqqGeneratorTest, RejectsTinyNetworks) {
+  TqqConfig config;
+  config.num_users = 1;
+  util::Rng rng(6);
+  EXPECT_FALSE(GenerateTqqNetwork(config, &rng).ok());
+}
+
+TEST(TqqGeneratorTest, RejectsInvalidDistributionParameters) {
+  util::Rng rng(6);
+  {
+    TqqConfig config;
+    config.num_genders = 0;
+    EXPECT_FALSE(GenerateTqqNetwork(config, &rng).ok());
+  }
+  {
+    TqqConfig config;
+    config.yob_min = 2000;
+    config.yob_max = 1990;
+    EXPECT_FALSE(GenerateTqqNetwork(config, &rng).ok());
+  }
+  {
+    TqqConfig config;
+    config.out_degree_alpha = 1.0;
+    EXPECT_FALSE(GenerateTqqNetwork(config, &rng).ok());
+  }
+  {
+    TqqConfig config;
+    config.strength_max = 0;
+    EXPECT_FALSE(GenerateTqqNetwork(config, &rng).ok());
+  }
+  {
+    TqqConfig config;
+    config.zero_degree_prob = 1.5;
+    EXPECT_FALSE(GenerateTqqNetwork(config, &rng).ok());
+  }
+  {
+    TqqConfig config;
+    config.tag_count_max = -1;
+    EXPECT_FALSE(GenerateTqqNetwork(config, &rng).ok());
+  }
+}
+
+TEST(TqqGeneratorTest, NoSelfLinks) {
+  TqqConfig config;
+  config.num_users = 1000;
+  util::Rng rng(8);
+  auto graph = GenerateTqqNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok());
+  for (hin::VertexId v = 0; v < graph.value().num_vertices(); ++v) {
+    for (hin::LinkTypeId lt = 0; lt < hin::kNumTqqLinkTypes; ++lt) {
+      ASSERT_FALSE(graph.value().HasEdge(lt, v, v));
+    }
+  }
+}
+
+TEST(TqqFullGeneratorTest, ProducesConsistentFullNetwork) {
+  TqqFullConfig config;
+  config.num_users = 150;
+  util::Rng rng(9);
+  auto graph = GenerateTqqFullNetwork(config, &rng);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  const hin::Graph& g = graph.value();
+  const auto& schema = g.schema();
+  const hin::EntityTypeId user = schema.FindEntityType(hin::kUserType);
+  const hin::EntityTypeId tweet = schema.FindEntityType(hin::kTweetType);
+  EXPECT_EQ(g.NumVerticesOfType(user), 150u);
+  EXPECT_GT(g.NumVerticesOfType(tweet), 0u);
+
+  // tweet_count attribute equals the number of post_tweet edges.
+  const hin::LinkTypeId post_tweet = schema.FindLinkType("post_tweet");
+  for (hin::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.entity_type(v) != user) continue;
+    ASSERT_EQ(static_cast<size_t>(g.attribute(v, hin::kTweetCountAttr)),
+              g.OutDegree(post_tweet, v));
+  }
+}
+
+TEST(TqqFullGeneratorTest, ProjectsToTargetSchemaGraph) {
+  TqqFullConfig config;
+  config.num_users = 120;
+  util::Rng rng(10);
+  auto full = GenerateTqqFullNetwork(config, &rng);
+  ASSERT_TRUE(full.ok());
+  auto projected =
+      hin::ProjectGraph(full.value(), hin::TqqTargetSpec(full.value().schema()));
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+  EXPECT_EQ(projected.value().graph.num_vertices(), 120u);
+  EXPECT_EQ(projected.value().graph.num_link_types(), hin::kNumTqqLinkTypes);
+  // Mentions exist in the full graph, so some must survive projection.
+  EXPECT_GT(projected.value().graph.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace hinpriv::synth

@@ -1,0 +1,54 @@
+#include "util/hashing.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hinpriv::util {
+namespace {
+
+TEST(HashingTest, Mix64Deterministic) {
+  EXPECT_EQ(Mix64(12345), Mix64(12345));
+  EXPECT_NE(Mix64(12345), Mix64(12346));
+}
+
+TEST(HashingTest, Mix64AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const uint64_t base = Mix64(0xdeadbeefcafef00dULL);
+  for (int bit = 0; bit < 64; bit += 7) {
+    const uint64_t flipped = Mix64(0xdeadbeefcafef00dULL ^ (1ULL << bit));
+    const int differing = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(differing, 16) << "bit " << bit;
+    EXPECT_LT(differing, 48) << "bit " << bit;
+  }
+}
+
+TEST(HashingTest, HashCombineOrderDependent) {
+  const uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  const uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashingTest, HashCombineDistinguishesLengths) {
+  // (1) vs (1, 0): appending an element must change the hash.
+  const uint64_t one = HashCombine(0, 1);
+  const uint64_t one_zero = HashCombine(HashCombine(0, 1), 0);
+  EXPECT_NE(one, one_zero);
+}
+
+TEST(HashingTest, FewCollisionsOnSequentialKeys) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(HashingTest, FnV1aBasics) {
+  EXPECT_EQ(FnV1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(FnV1a("abc"), FnV1a("abc"));
+  EXPECT_NE(FnV1a("abc"), FnV1a("abd"));
+  EXPECT_NE(FnV1a("ab"), FnV1a("abc"));
+}
+
+}  // namespace
+}  // namespace hinpriv::util

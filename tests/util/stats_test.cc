@@ -1,0 +1,86 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hinpriv::util {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(StatsTest, StdDevBasics) {
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 2.0, 2.0}), 0.0);
+  // Sample stddev of {1, 3} is sqrt(2).
+  EXPECT_NEAR(StdDev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, PercentileBasics) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 20.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 75.0), 7.5);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeP) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 150.0), 2.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({30.0, 10.0, 20.0}, 50.0), 20.0);
+}
+
+TEST(RunningStatsTest, EmptyState) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  const std::vector<double> xs = {1.5, 2.5, -3.0, 10.0, 0.25};
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), Mean(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), StdDev(xs), 1e-12);
+}
+
+TEST(RunningStatsTest, TracksMinMax) {
+  RunningStats s;
+  s.Add(5.0);
+  s.Add(-2.0);
+  s.Add(8.0);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+}  // namespace
+}  // namespace hinpriv::util

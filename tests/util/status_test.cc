@@ -1,0 +1,81 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hinpriv::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), Status::Code::kIoError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::InvalidArgument("bad input").message(), "bad input");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("missing thing").ToString(),
+            "NOT_FOUND: missing thing");
+  EXPECT_EQ(Status::Corruption("").ToString(), "CORRUPTION");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::IoError("disk gone");
+  Status copy = s;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.code(), Status::Code::kIoError);
+  EXPECT_EQ(copy.message(), "disk gone");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r(std::string("abc"));
+  r.value() += "def";
+  EXPECT_EQ(r.value(), "abcdef");
+}
+
+Status FailsThenPropagates(bool fail) {
+  HINPRIV_RETURN_IF_ERROR(fail ? Status::Corruption("inner")
+                               : Status::OK());
+  return Status::InvalidArgument("outer");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThenPropagates(true).code(), Status::Code::kCorruption);
+  EXPECT_EQ(FailsThenPropagates(false).code(),
+            Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hinpriv::util

@@ -1,0 +1,103 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hinpriv::util {
+namespace {
+
+TEST(SplitTest, BasicSplitting) {
+  const auto fields = Split("a\tb\tc", '\t');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto fields = Split("a,,c,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitTest, NoDelimiter) {
+  const auto fields = Split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(SplitTest, EmptyInput) {
+  const auto fields = Split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(TrimTest, TrimsWhitespace) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t\r\nabc\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_TRUE(StartsWith("hello", "hello"));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_FALSE(StartsWith("hello", "el"));
+}
+
+TEST(ParseInt64Test, ValidValues) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(), INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsJunk) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64(" 12").ok());
+}
+
+TEST(ParseInt64Test, RejectsOverflow) {
+  const auto r = ParseInt64("99999999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kOutOfRange);
+}
+
+TEST(ParseUint64Test, ValidValues) {
+  EXPECT_EQ(ParseUint64("0").value(), 0u);
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(), UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsNegativeAndJunk) {
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("").ok());
+  EXPECT_FALSE(ParseUint64("1e3").ok());
+}
+
+TEST(ParseDoubleTest, ValidValues) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.5").value(), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2").value(), -2.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e-3").value(), 0.001);
+}
+
+TEST(ParseDoubleTest, RejectsJunk) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5.2").ok());
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(100.0, 1), "100.0");
+  EXPECT_EQ(FormatDouble(2.5, 0), "2");  // round-half-to-even per printf
+}
+
+}  // namespace
+}  // namespace hinpriv::util

@@ -1,0 +1,58 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hinpriv::util {
+namespace {
+
+TEST(TablePrinterTest, TsvRoundTrip) {
+  TablePrinter table({"density", "precision"});
+  table.AddRow({"0.001", "12.6"});
+  table.AddRow({"0.010", "92.5"});
+  std::ostringstream os;
+  table.PrintTsv(os);
+  EXPECT_EQ(os.str(),
+            "density\tprecision\n0.001\t12.6\n0.010\t92.5\n");
+}
+
+TEST(TablePrinterTest, PrettyAlignsColumns) {
+  TablePrinter table({"a", "long_header"});
+  table.AddRow({"wide_cell_value", "1"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  // Header, rule, one row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  // Every line has the same width (alignment).
+  std::istringstream lines(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_NE(out.find("wide_cell_value"), std::string::npos);
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTablePrintsHeaderOnly) {
+  TablePrinter table({"x"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter table({"x", "y"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace hinpriv::util

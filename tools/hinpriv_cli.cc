@@ -1,0 +1,442 @@
+// hinpriv — command-line front end to the library.
+//
+//   hinpriv_cli generate  --users=50000 --out=net.graph [--kdd_prefix=dir/]
+//   hinpriv_cli anonymize --in=net.graph --scheme=cga --out=anon.graph \
+//                         --mapping=mapping.tsv
+//   hinpriv_cli attack    --target=anon.graph --aux=net.graph \
+//                         [--mapping=mapping.tsv] [--max_distance=2] [--strip]
+//   hinpriv_cli audit     --in=net.graph [--max_distance=3]
+//   hinpriv_cli stats     --in=net.graph
+//
+// Every subcommand exchanges graphs in the hinpriv-graph text format
+// (hin/io.h); `generate` can additionally emit the KDD Cup 2012 three-file
+// layout for tools built against the original release.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "anon/complete_graph_anonymizer.h"
+#include "anon/k_degree_anonymizer.h"
+#include "anon/kdd_anonymizer.h"
+#include "anon/utility_tradeoff_anonymizers.h"
+#include "core/dehin.h"
+#include "core/privacy_risk.h"
+#include "eval/metrics.h"
+#include "hin/binary_io.h"
+#include "hin/density.h"
+#include "hin/graph_stats.h"
+#include "hin/io.h"
+#include "hin/projection.h"
+#include "hin/kdd_loader.h"
+#include "hin/tqq_schema.h"
+#include "synth/tqq_generator.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace hinpriv::cli {
+namespace {
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Loads either serialization format, sniffing the binary magic.
+util::Result<hin::Graph> LoadAnyGraph(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return util::Status::IoError("cannot open for read: " + path);
+    char magic[8] = {};
+    probe.read(magic, sizeof(magic));
+    if (probe.gcount() == 8 && std::memcmp(magic, "HINPRIVB", 8) == 0) {
+      return hin::LoadGraphBinaryFromFile(path);
+    }
+  }
+  return hin::LoadGraphFromFile(path);
+}
+
+// Saves in the format implied by the extension: ".bin"/".bgraph" binary,
+// anything else text.
+util::Status SaveAnyGraph(const hin::Graph& graph, const std::string& path) {
+  if (path.size() >= 4 && (path.ends_with(".bin") || path.ends_with(".bgraph"))) {
+    return hin::SaveGraphBinaryToFile(graph, path);
+  }
+  return hin::SaveGraphToFile(graph, path);
+}
+
+int Usage() {
+  std::printf(
+      "hinpriv_cli <command> [flags]\n"
+      "commands:\n"
+      "  generate   synthesize a t.qq-like network and save it\n"
+      "  anonymize  publish a graph through an anonymization scheme\n"
+      "  attack     run DeHIN against a published graph\n"
+      "  audit      privacy-risk audit of a graph before publication\n"
+      "  stats      structural statistics of a graph\n"
+      "  convert    convert between text and binary graph formats\n"
+      "  project    meta-path projection of a full t.qq graph\n"
+      "run '<command> --help' for per-command flags\n");
+  return 2;
+}
+
+std::unique_ptr<anon::Anonymizer> MakeAnonymizer(const std::string& scheme) {
+  if (scheme == "kdda") return std::make_unique<anon::KddAnonymizer>();
+  if (scheme == "cga") {
+    return std::make_unique<anon::CompleteGraphAnonymizer>();
+  }
+  if (scheme == "vwcga") {
+    return std::make_unique<anon::VaryingWeightCgaAnonymizer>();
+  }
+  if (util::StartsWith(scheme, "kdegree")) {
+    const auto k = util::ParseInt64(scheme.substr(std::strlen("kdegree")));
+    return std::make_unique<anon::KDegreeAnonymizer>(
+        k.ok() ? static_cast<size_t>(k.value()) : 10);
+  }
+  if (util::StartsWith(scheme, "bucket")) {
+    const auto b = util::ParseInt64(scheme.substr(std::strlen("bucket")));
+    return std::make_unique<anon::StrengthBucketingAnonymizer>(
+        b.ok() ? static_cast<hin::Strength>(b.value()) : 10);
+  }
+  return nullptr;
+}
+
+int RunGenerate(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("users", "10000", "number of users");
+  flags.Define("seed", "1", "rng seed");
+  flags.Define("out", "network.graph", "output path (hinpriv-graph format)");
+  flags.Define("kdd_prefix", "",
+               "also write KDD Cup files <prefix>user_profile.txt / "
+               "user_sns.txt / user_action.txt");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli generate").c_str());
+    return 0;
+  }
+  synth::TqqConfig config;
+  config.num_users = static_cast<size_t>(flags.GetInt("users"));
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  if (!graph.ok()) return Fail(graph.status());
+  const util::Status saved =
+      SaveAnyGraph(graph.value(), flags.GetString("out"));
+  if (!saved.ok()) return Fail(saved);
+  std::printf("wrote %s: %zu users, %zu links, density %.5f\n",
+              flags.GetString("out").c_str(), graph.value().num_vertices(),
+              graph.value().num_edges(), hin::Density(graph.value()));
+  const std::string prefix = flags.GetString("kdd_prefix");
+  if (!prefix.empty()) {
+    hin::KddCupFiles files;
+    files.user_profile = prefix + "user_profile.txt";
+    files.user_sns = prefix + "user_sns.txt";
+    files.user_action = prefix + "user_action.txt";
+    const util::Status kdd = hin::WriteKddCupDataset(graph.value(), files);
+    if (!kdd.ok()) return Fail(kdd);
+    std::printf("wrote KDD Cup files under prefix '%s'\n", prefix.c_str());
+  }
+  return 0;
+}
+
+int RunAnonymize(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("in", "", "input graph (hinpriv-graph format)");
+  flags.Define("scheme", "kdda",
+               "kdda | cga | vwcga | kdegree<k> | bucket<size>");
+  flags.Define("out", "anonymized.graph", "published graph output path");
+  flags.Define("mapping", "",
+               "optional TSV output: anonymized id -> original id "
+               "(the ground truth; keep it private!)");
+  flags.Define("seed", "2", "rng seed");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli anonymize").c_str());
+    return 0;
+  }
+  auto graph = LoadAnyGraph(flags.GetString("in"));
+  if (!graph.ok()) return Fail(graph.status());
+  auto anonymizer = MakeAnonymizer(flags.GetString("scheme"));
+  if (anonymizer == nullptr) {
+    return Fail(util::Status::InvalidArgument("unknown scheme '" +
+                                              flags.GetString("scheme") +
+                                              "'"));
+  }
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  auto published = anonymizer->Anonymize(graph.value(), &rng);
+  if (!published.ok()) return Fail(published.status());
+  const util::Status saved =
+      SaveAnyGraph(published.value().graph, flags.GetString("out"));
+  if (!saved.ok()) return Fail(saved);
+  std::printf("published %s via %s: %zu links (was %zu)\n",
+              flags.GetString("out").c_str(), anonymizer->name().c_str(),
+              published.value().graph.num_edges(),
+              graph.value().num_edges());
+  const std::string mapping_path = flags.GetString("mapping");
+  if (!mapping_path.empty()) {
+    std::ofstream out(mapping_path);
+    if (!out) {
+      return Fail(util::Status::IoError("cannot write " + mapping_path));
+    }
+    for (hin::VertexId v = 0; v < published.value().to_original.size(); ++v) {
+      out << v << '\t' << published.value().to_original[v] << '\n';
+    }
+    std::printf("ground-truth mapping written to %s\n", mapping_path.c_str());
+  }
+  return 0;
+}
+
+util::Result<std::vector<hin::VertexId>> LoadMapping(const std::string& path,
+                                                     size_t expected) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot read " + path);
+  std::vector<hin::VertexId> mapping(expected, hin::kInvalidVertex);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = util::Split(trimmed, '\t');
+    if (fields.size() != 2) {
+      return util::Status::Corruption("malformed mapping row: " + line);
+    }
+    auto anon_id = util::ParseUint64(fields[0]);
+    auto orig_id = util::ParseUint64(fields[1]);
+    if (!anon_id.ok() || !orig_id.ok() || anon_id.value() >= expected) {
+      return util::Status::Corruption("bad mapping row: " + line);
+    }
+    mapping[anon_id.value()] = static_cast<hin::VertexId>(orig_id.value());
+  }
+  return mapping;
+}
+
+int RunAttack(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("target", "", "published (anonymized) graph");
+  flags.Define("aux", "", "adversary's auxiliary graph");
+  flags.Define("mapping", "",
+               "optional ground-truth TSV (anonymized id -> aux id) to "
+               "score precision");
+  flags.Define("max_distance", "2", "max neighbor distance n");
+  flags.Define("strip", "false",
+               "reconfigured attack: strip majority strengths + saturation "
+               "fallback (Section 6.2)");
+  flags.Define("out", "", "optional TSV: target id -> candidate count");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli attack").c_str());
+    return 0;
+  }
+  auto target = LoadAnyGraph(flags.GetString("target"));
+  if (!target.ok()) return Fail(target.status());
+  auto aux = LoadAnyGraph(flags.GetString("aux"));
+  if (!aux.ok()) return Fail(aux.status());
+
+  hin::Graph published = std::move(target).value();
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  if (flags.GetBool("strip")) {
+    auto stripped = core::StripMajorityStrengthLinks(published);
+    if (!stripped.ok()) return Fail(stripped.status());
+    published = std::move(stripped).value();
+    config.saturation_fraction = 0.5;
+  }
+  core::Dehin dehin(&aux.value(), config);
+  const int n = static_cast<int>(flags.GetInt("max_distance"));
+
+  size_t unique = 0;
+  double candidate_sum = 0.0;
+  std::ofstream out;
+  const std::string out_path = flags.GetString("out");
+  if (!out_path.empty()) {
+    out.open(out_path);
+    if (!out) return Fail(util::Status::IoError("cannot write " + out_path));
+    out << "target_id\tnum_candidates\tcandidates_if_unique\n";
+  }
+  std::vector<size_t> candidate_counts(published.num_vertices());
+  std::vector<hin::VertexId> unique_match(published.num_vertices(),
+                                          hin::kInvalidVertex);
+  for (hin::VertexId v = 0; v < published.num_vertices(); ++v) {
+    const auto candidates = dehin.Deanonymize(published, v, n);
+    candidate_counts[v] = candidates.size();
+    candidate_sum += static_cast<double>(candidates.size());
+    if (candidates.size() == 1) {
+      ++unique;
+      unique_match[v] = candidates[0];
+    }
+    if (out.is_open()) {
+      out << v << '\t' << candidates.size() << '\t';
+      if (candidates.size() == 1) out << candidates[0];
+      out << '\n';
+    }
+  }
+  std::printf("targets: %zu; uniquely matched: %zu (%.1f%%); mean candidate "
+              "set: %.1f of %zu\n",
+              published.num_vertices(), unique,
+              100.0 * static_cast<double>(unique) /
+                  static_cast<double>(std::max<size_t>(
+                      1, published.num_vertices())),
+              candidate_sum /
+                  static_cast<double>(std::max<size_t>(
+                      1, published.num_vertices())),
+              aux.value().num_vertices());
+
+  const std::string mapping_path = flags.GetString("mapping");
+  if (!mapping_path.empty()) {
+    auto mapping = LoadMapping(mapping_path, published.num_vertices());
+    if (!mapping.ok()) return Fail(mapping.status());
+    size_t correct = 0;
+    for (hin::VertexId v = 0; v < published.num_vertices(); ++v) {
+      if (unique_match[v] != hin::kInvalidVertex &&
+          unique_match[v] == mapping.value()[v]) {
+        ++correct;
+      }
+    }
+    std::printf("scored against ground truth: precision %.1f%%\n",
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(published.num_vertices()));
+  }
+  return 0;
+}
+
+int RunAudit(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("in", "", "graph to audit (hinpriv-graph format)");
+  flags.Define("max_distance", "3", "deepest distance to audit");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli audit").c_str());
+    return 0;
+  }
+  auto graph = LoadAnyGraph(flags.GetString("in"));
+  if (!graph.ok()) return Fail(graph.status());
+  core::SignatureOptions options;
+  const size_t num_attrs = graph.value().num_attributes(0);
+  for (hin::AttributeId a = 0; a < num_attrs; ++a) {
+    options.attributes.push_back(a);
+  }
+  options.link_types = core::AllLinkTypes(graph.value());
+  const auto ladder = core::NetworkPrivacyRisk(
+      graph.value(), options, static_cast<int>(flags.GetInt("max_distance")));
+  std::printf("privacy risk of %s (%zu users):\n",
+              flags.GetString("in").c_str(), graph.value().num_vertices());
+  for (const auto& level : ladder) {
+    std::printf("  n = %d: R(T) = %.4f (cardinality %zu)\n",
+                level.max_distance, level.risk, level.cardinality);
+  }
+  return 0;
+}
+
+int RunStats(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("in", "", "graph (hinpriv-graph format)");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli stats").c_str());
+    return 0;
+  }
+  auto graph = LoadAnyGraph(flags.GetString("in"));
+  if (!graph.ok()) return Fail(graph.status());
+  const hin::Graph& g = graph.value();
+  std::printf("vertices: %zu   links: %zu   density: %.6f   mean out-degree: "
+              "%.2f   in-degree Gini: %.3f\n",
+              g.num_vertices(), g.num_edges(), hin::Density(g),
+              hin::MeanOutDegree(g), hin::InDegreeGini(g));
+  for (hin::LinkTypeId lt = 0; lt < g.num_link_types(); ++lt) {
+    auto histogram = hin::OutDegreeHistogram(g, lt);
+    size_t edges = 0;
+    for (const auto& [degree, count] : histogram) edges += degree * count;
+    histogram.erase(0);
+    auto alpha = hin::EstimatePowerLawAlpha(histogram, 3);
+    std::printf("  %-10s: %8zu links, out-degree power-law alpha: %s\n",
+                g.schema().link_type(lt).name.c_str(), edges,
+                alpha.ok() ? util::FormatDouble(alpha.value(), 2).c_str()
+                           : "n/a");
+  }
+  return 0;
+}
+
+int RunConvert(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("in", "", "input graph (either format, auto-detected)");
+  flags.Define("out", "",
+               "output path (.bin/.bgraph => binary, else text)");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli convert").c_str());
+    return 0;
+  }
+  auto graph = LoadAnyGraph(flags.GetString("in"));
+  if (!graph.ok()) return Fail(graph.status());
+  const util::Status saved = SaveAnyGraph(graph.value(), flags.GetString("out"));
+  if (!saved.ok()) return Fail(saved);
+  std::printf("converted %s -> %s (%zu vertices, %zu links)\n",
+              flags.GetString("in").c_str(), flags.GetString("out").c_str(),
+              graph.value().num_vertices(), graph.value().num_edges());
+  return 0;
+}
+
+int RunProject(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("in", "", "full t.qq-schema graph (users/tweets/comments)");
+  flags.Define("out", "projected.graph", "projected target-schema output");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli project").c_str());
+    return 0;
+  }
+  auto graph = LoadAnyGraph(flags.GetString("in"));
+  if (!graph.ok()) return Fail(graph.status());
+  if (graph.value().schema().FindEntityType(hin::kUserType) ==
+          hin::kInvalidEntityType ||
+      graph.value().schema().FindLinkType("post_tweet") ==
+          hin::kInvalidLinkType) {
+    return Fail(util::Status::InvalidArgument(
+        "input does not follow the full t.qq schema (hin::TqqFullSchema)"));
+  }
+  auto projected = hin::ProjectGraph(
+      graph.value(), hin::TqqTargetSpec(graph.value().schema()));
+  if (!projected.ok()) return Fail(projected.status());
+  const util::Status saved =
+      SaveAnyGraph(projected.value().graph, flags.GetString("out"));
+  if (!saved.ok()) return Fail(saved);
+  std::printf("projected %zu-entity full network onto %zu users / %zu "
+              "target-schema links -> %s\n",
+              graph.value().num_vertices(),
+              projected.value().graph.num_vertices(),
+              projected.value().graph.num_edges(),
+              flags.GetString("out").c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  // Subcommands reparse argv without the command token.
+  if (command == "generate") return RunGenerate(argc - 1, argv + 1);
+  if (command == "anonymize") return RunAnonymize(argc - 1, argv + 1);
+  if (command == "attack") return RunAttack(argc - 1, argv + 1);
+  if (command == "audit") return RunAudit(argc - 1, argv + 1);
+  if (command == "stats") return RunStats(argc - 1, argv + 1);
+  if (command == "convert") return RunConvert(argc - 1, argv + 1);
+  if (command == "project") return RunProject(argc - 1, argv + 1);
+  if (command == "--help" || command == "-h") {
+    Usage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hinpriv::cli
+
+int main(int argc, char** argv) { return hinpriv::cli::Main(argc, argv); }
