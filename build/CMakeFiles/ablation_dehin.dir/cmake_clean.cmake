@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dehin.dir/bench/ablation_dehin.cc.o"
+  "CMakeFiles/ablation_dehin.dir/bench/ablation_dehin.cc.o.d"
+  "bench/ablation_dehin"
+  "bench/ablation_dehin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dehin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

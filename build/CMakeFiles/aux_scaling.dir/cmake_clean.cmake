@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aux_scaling.dir/bench/aux_scaling.cc.o"
+  "CMakeFiles/aux_scaling.dir/bench/aux_scaling.cc.o.d"
+  "bench/aux_scaling"
+  "bench/aux_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aux_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_frontier.dir/bench/defense_frontier.cc.o"
+  "CMakeFiles/defense_frontier.dir/bench/defense_frontier.cc.o.d"
+  "bench/defense_frontier"
+  "bench/defense_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

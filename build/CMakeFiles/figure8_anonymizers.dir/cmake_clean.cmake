@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_anonymizers.dir/bench/figure8_anonymizers.cc.o"
+  "CMakeFiles/figure8_anonymizers.dir/bench/figure8_anonymizers.cc.o.d"
+  "bench/figure8_anonymizers"
+  "bench/figure8_anonymizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_anonymizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

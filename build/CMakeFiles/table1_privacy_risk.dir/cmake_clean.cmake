@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_privacy_risk.dir/bench/table1_privacy_risk.cc.o"
+  "CMakeFiles/table1_privacy_risk.dir/bench/table1_privacy_risk.cc.o.d"
+  "bench/table1_privacy_risk"
+  "bench/table1_privacy_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_privacy_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

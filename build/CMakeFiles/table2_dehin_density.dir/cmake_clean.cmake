@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dehin_density.dir/bench/table2_dehin_density.cc.o"
+  "CMakeFiles/table2_dehin_density.dir/bench/table2_dehin_density.cc.o.d"
+  "bench/table2_dehin_density"
+  "bench/table2_dehin_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dehin_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dehin_linktypes.dir/bench/table3_dehin_linktypes.cc.o"
+  "CMakeFiles/table3_dehin_linktypes.dir/bench/table3_dehin_linktypes.cc.o.d"
+  "bench/table3_dehin_linktypes"
+  "bench/table3_dehin_linktypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dehin_linktypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cga.dir/bench/table4_cga.cc.o"
+  "CMakeFiles/table4_cga.dir/bench/table4_cga.cc.o.d"
+  "bench/table4_cga"
+  "bench/table4_cga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

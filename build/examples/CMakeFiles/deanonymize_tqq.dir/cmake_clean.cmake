@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deanonymize_tqq.dir/deanonymize_tqq.cpp.o"
+  "CMakeFiles/deanonymize_tqq.dir/deanonymize_tqq.cpp.o.d"
+  "deanonymize_tqq"
+  "deanonymize_tqq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deanonymize_tqq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_projection.dir/schema_projection.cpp.o"
+  "CMakeFiles/schema_projection.dir/schema_projection.cpp.o.d"
+  "schema_projection"
+  "schema_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/anonymizer.cc" "src/anon/CMakeFiles/hinpriv_anon.dir/anonymizer.cc.o" "gcc" "src/anon/CMakeFiles/hinpriv_anon.dir/anonymizer.cc.o.d"
+  "/root/repo/src/anon/complete_graph_anonymizer.cc" "src/anon/CMakeFiles/hinpriv_anon.dir/complete_graph_anonymizer.cc.o" "gcc" "src/anon/CMakeFiles/hinpriv_anon.dir/complete_graph_anonymizer.cc.o.d"
+  "/root/repo/src/anon/k_degree_anonymizer.cc" "src/anon/CMakeFiles/hinpriv_anon.dir/k_degree_anonymizer.cc.o" "gcc" "src/anon/CMakeFiles/hinpriv_anon.dir/k_degree_anonymizer.cc.o.d"
+  "/root/repo/src/anon/utility_tradeoff_anonymizers.cc" "src/anon/CMakeFiles/hinpriv_anon.dir/utility_tradeoff_anonymizers.cc.o" "gcc" "src/anon/CMakeFiles/hinpriv_anon.dir/utility_tradeoff_anonymizers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hin/CMakeFiles/hinpriv_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_anon.dir/anonymizer.cc.o"
+  "CMakeFiles/hinpriv_anon.dir/anonymizer.cc.o.d"
+  "CMakeFiles/hinpriv_anon.dir/complete_graph_anonymizer.cc.o"
+  "CMakeFiles/hinpriv_anon.dir/complete_graph_anonymizer.cc.o.d"
+  "CMakeFiles/hinpriv_anon.dir/k_degree_anonymizer.cc.o"
+  "CMakeFiles/hinpriv_anon.dir/k_degree_anonymizer.cc.o.d"
+  "CMakeFiles/hinpriv_anon.dir/utility_tradeoff_anonymizers.cc.o"
+  "CMakeFiles/hinpriv_anon.dir/utility_tradeoff_anonymizers.cc.o.d"
+  "libhinpriv_anon.a"
+  "libhinpriv_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhinpriv_anon.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/clique_seeds.cc" "src/baselines/CMakeFiles/hinpriv_baselines.dir/clique_seeds.cc.o" "gcc" "src/baselines/CMakeFiles/hinpriv_baselines.dir/clique_seeds.cc.o.d"
+  "/root/repo/src/baselines/propagation_attack.cc" "src/baselines/CMakeFiles/hinpriv_baselines.dir/propagation_attack.cc.o" "gcc" "src/baselines/CMakeFiles/hinpriv_baselines.dir/propagation_attack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hin/CMakeFiles/hinpriv_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

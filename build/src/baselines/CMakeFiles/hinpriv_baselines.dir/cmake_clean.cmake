@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_baselines.dir/clique_seeds.cc.o"
+  "CMakeFiles/hinpriv_baselines.dir/clique_seeds.cc.o.d"
+  "CMakeFiles/hinpriv_baselines.dir/propagation_attack.cc.o"
+  "CMakeFiles/hinpriv_baselines.dir/propagation_attack.cc.o.d"
+  "libhinpriv_baselines.a"
+  "libhinpriv_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymity_metrics.cc" "src/core/CMakeFiles/hinpriv_core.dir/anonymity_metrics.cc.o" "gcc" "src/core/CMakeFiles/hinpriv_core.dir/anonymity_metrics.cc.o.d"
+  "/root/repo/src/core/candidate_index.cc" "src/core/CMakeFiles/hinpriv_core.dir/candidate_index.cc.o" "gcc" "src/core/CMakeFiles/hinpriv_core.dir/candidate_index.cc.o.d"
+  "/root/repo/src/core/dehin.cc" "src/core/CMakeFiles/hinpriv_core.dir/dehin.cc.o" "gcc" "src/core/CMakeFiles/hinpriv_core.dir/dehin.cc.o.d"
+  "/root/repo/src/core/matchers.cc" "src/core/CMakeFiles/hinpriv_core.dir/matchers.cc.o" "gcc" "src/core/CMakeFiles/hinpriv_core.dir/matchers.cc.o.d"
+  "/root/repo/src/core/privacy_risk.cc" "src/core/CMakeFiles/hinpriv_core.dir/privacy_risk.cc.o" "gcc" "src/core/CMakeFiles/hinpriv_core.dir/privacy_risk.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/core/CMakeFiles/hinpriv_core.dir/signature.cc.o" "gcc" "src/core/CMakeFiles/hinpriv_core.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hin/CMakeFiles/hinpriv_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hinpriv_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

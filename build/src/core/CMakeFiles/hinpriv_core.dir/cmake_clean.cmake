@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_core.dir/anonymity_metrics.cc.o"
+  "CMakeFiles/hinpriv_core.dir/anonymity_metrics.cc.o.d"
+  "CMakeFiles/hinpriv_core.dir/candidate_index.cc.o"
+  "CMakeFiles/hinpriv_core.dir/candidate_index.cc.o.d"
+  "CMakeFiles/hinpriv_core.dir/dehin.cc.o"
+  "CMakeFiles/hinpriv_core.dir/dehin.cc.o.d"
+  "CMakeFiles/hinpriv_core.dir/matchers.cc.o"
+  "CMakeFiles/hinpriv_core.dir/matchers.cc.o.d"
+  "CMakeFiles/hinpriv_core.dir/privacy_risk.cc.o"
+  "CMakeFiles/hinpriv_core.dir/privacy_risk.cc.o.d"
+  "CMakeFiles/hinpriv_core.dir/signature.cc.o"
+  "CMakeFiles/hinpriv_core.dir/signature.cc.o.d"
+  "libhinpriv_core.a"
+  "libhinpriv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

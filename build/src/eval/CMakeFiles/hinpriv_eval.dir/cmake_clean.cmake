@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_eval.dir/experiment.cc.o"
+  "CMakeFiles/hinpriv_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/hinpriv_eval.dir/metrics.cc.o"
+  "CMakeFiles/hinpriv_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/hinpriv_eval.dir/parallel_metrics.cc.o"
+  "CMakeFiles/hinpriv_eval.dir/parallel_metrics.cc.o.d"
+  "libhinpriv_eval.a"
+  "libhinpriv_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

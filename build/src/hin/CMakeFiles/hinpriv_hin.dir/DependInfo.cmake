@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hin/binary_io.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/binary_io.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/binary_io.cc.o.d"
+  "/root/repo/src/hin/density.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/density.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/density.cc.o.d"
+  "/root/repo/src/hin/graph.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/graph.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/graph.cc.o.d"
+  "/root/repo/src/hin/graph_builder.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/graph_builder.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/graph_builder.cc.o.d"
+  "/root/repo/src/hin/graph_stats.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/graph_stats.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/graph_stats.cc.o.d"
+  "/root/repo/src/hin/homogenize.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/homogenize.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/homogenize.cc.o.d"
+  "/root/repo/src/hin/io.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/io.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/io.cc.o.d"
+  "/root/repo/src/hin/kdd_loader.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/kdd_loader.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/kdd_loader.cc.o.d"
+  "/root/repo/src/hin/projection.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/projection.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/projection.cc.o.d"
+  "/root/repo/src/hin/schema.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/schema.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/schema.cc.o.d"
+  "/root/repo/src/hin/subgraph.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/subgraph.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/subgraph.cc.o.d"
+  "/root/repo/src/hin/tqq_schema.cc" "src/hin/CMakeFiles/hinpriv_hin.dir/tqq_schema.cc.o" "gcc" "src/hin/CMakeFiles/hinpriv_hin.dir/tqq_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hinpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_hin.dir/binary_io.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/binary_io.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/density.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/density.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/graph.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/graph.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/graph_builder.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/graph_builder.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/graph_stats.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/graph_stats.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/homogenize.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/homogenize.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/io.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/io.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/kdd_loader.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/kdd_loader.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/projection.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/projection.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/schema.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/schema.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/subgraph.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/subgraph.cc.o.d"
+  "CMakeFiles/hinpriv_hin.dir/tqq_schema.cc.o"
+  "CMakeFiles/hinpriv_hin.dir/tqq_schema.cc.o.d"
+  "libhinpriv_hin.a"
+  "libhinpriv_hin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_hin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

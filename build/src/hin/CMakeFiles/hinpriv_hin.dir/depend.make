@@ -1,0 +1,2 @@
+# Empty dependencies file for hinpriv_hin.
+# This may be replaced when dependencies are built.

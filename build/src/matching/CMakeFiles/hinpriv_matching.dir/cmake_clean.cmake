@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_matching.dir/bipartite_graph.cc.o"
+  "CMakeFiles/hinpriv_matching.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/hinpriv_matching.dir/hopcroft_karp.cc.o"
+  "CMakeFiles/hinpriv_matching.dir/hopcroft_karp.cc.o.d"
+  "libhinpriv_matching.a"
+  "libhinpriv_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

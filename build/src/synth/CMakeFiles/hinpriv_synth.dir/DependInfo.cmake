@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/growth.cc" "src/synth/CMakeFiles/hinpriv_synth.dir/growth.cc.o" "gcc" "src/synth/CMakeFiles/hinpriv_synth.dir/growth.cc.o.d"
+  "/root/repo/src/synth/planted_target.cc" "src/synth/CMakeFiles/hinpriv_synth.dir/planted_target.cc.o" "gcc" "src/synth/CMakeFiles/hinpriv_synth.dir/planted_target.cc.o.d"
+  "/root/repo/src/synth/profile.cc" "src/synth/CMakeFiles/hinpriv_synth.dir/profile.cc.o" "gcc" "src/synth/CMakeFiles/hinpriv_synth.dir/profile.cc.o.d"
+  "/root/repo/src/synth/tqq_generator.cc" "src/synth/CMakeFiles/hinpriv_synth.dir/tqq_generator.cc.o" "gcc" "src/synth/CMakeFiles/hinpriv_synth.dir/tqq_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hin/CMakeFiles/hinpriv_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

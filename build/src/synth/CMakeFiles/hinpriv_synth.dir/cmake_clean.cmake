@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_synth.dir/growth.cc.o"
+  "CMakeFiles/hinpriv_synth.dir/growth.cc.o.d"
+  "CMakeFiles/hinpriv_synth.dir/planted_target.cc.o"
+  "CMakeFiles/hinpriv_synth.dir/planted_target.cc.o.d"
+  "CMakeFiles/hinpriv_synth.dir/profile.cc.o"
+  "CMakeFiles/hinpriv_synth.dir/profile.cc.o.d"
+  "CMakeFiles/hinpriv_synth.dir/tqq_generator.cc.o"
+  "CMakeFiles/hinpriv_synth.dir/tqq_generator.cc.o.d"
+  "libhinpriv_synth.a"
+  "libhinpriv_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_util.dir/flags.cc.o"
+  "CMakeFiles/hinpriv_util.dir/flags.cc.o.d"
+  "CMakeFiles/hinpriv_util.dir/random.cc.o"
+  "CMakeFiles/hinpriv_util.dir/random.cc.o.d"
+  "CMakeFiles/hinpriv_util.dir/stats.cc.o"
+  "CMakeFiles/hinpriv_util.dir/stats.cc.o.d"
+  "CMakeFiles/hinpriv_util.dir/status.cc.o"
+  "CMakeFiles/hinpriv_util.dir/status.cc.o.d"
+  "CMakeFiles/hinpriv_util.dir/string_util.cc.o"
+  "CMakeFiles/hinpriv_util.dir/string_util.cc.o.d"
+  "CMakeFiles/hinpriv_util.dir/table_printer.cc.o"
+  "CMakeFiles/hinpriv_util.dir/table_printer.cc.o.d"
+  "libhinpriv_util.a"
+  "libhinpriv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymity_metrics_test.dir/core/anonymity_metrics_test.cc.o"
+  "CMakeFiles/anonymity_metrics_test.dir/core/anonymity_metrics_test.cc.o.d"
+  "anonymity_metrics_test"
+  "anonymity_metrics_test.pdb"
+  "anonymity_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymity_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clique_seeds_test.dir/baselines/clique_seeds_test.cc.o"
+  "CMakeFiles/clique_seeds_test.dir/baselines/clique_seeds_test.cc.o.d"
+  "clique_seeds_test"
+  "clique_seeds_test.pdb"
+  "clique_seeds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_seeds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

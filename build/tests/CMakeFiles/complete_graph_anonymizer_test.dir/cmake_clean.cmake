@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complete_graph_anonymizer_test.dir/anon/complete_graph_anonymizer_test.cc.o"
+  "CMakeFiles/complete_graph_anonymizer_test.dir/anon/complete_graph_anonymizer_test.cc.o.d"
+  "complete_graph_anonymizer_test"
+  "complete_graph_anonymizer_test.pdb"
+  "complete_graph_anonymizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complete_graph_anonymizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for complete_graph_anonymizer_test.
+# This may be replaced when dependencies are built.

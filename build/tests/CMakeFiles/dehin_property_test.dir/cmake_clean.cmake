@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehin_property_test.dir/core/dehin_property_test.cc.o"
+  "CMakeFiles/dehin_property_test.dir/core/dehin_property_test.cc.o.d"
+  "dehin_property_test"
+  "dehin_property_test.pdb"
+  "dehin_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehin_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

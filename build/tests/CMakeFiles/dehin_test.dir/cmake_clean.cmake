@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehin_test.dir/core/dehin_test.cc.o"
+  "CMakeFiles/dehin_test.dir/core/dehin_test.cc.o.d"
+  "dehin_test"
+  "dehin_test.pdb"
+  "dehin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

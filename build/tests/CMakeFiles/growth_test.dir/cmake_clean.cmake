@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_test.dir/synth/growth_test.cc.o"
+  "CMakeFiles/growth_test.dir/synth/growth_test.cc.o.d"
+  "growth_test"
+  "growth_test.pdb"
+  "growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_degree_anonymizer_test.dir/anon/k_degree_anonymizer_test.cc.o"
+  "CMakeFiles/k_degree_anonymizer_test.dir/anon/k_degree_anonymizer_test.cc.o.d"
+  "k_degree_anonymizer_test"
+  "k_degree_anonymizer_test.pdb"
+  "k_degree_anonymizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_degree_anonymizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

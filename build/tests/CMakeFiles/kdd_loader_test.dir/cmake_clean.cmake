@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdd_loader_test.dir/hin/kdd_loader_test.cc.o"
+  "CMakeFiles/kdd_loader_test.dir/hin/kdd_loader_test.cc.o.d"
+  "kdd_loader_test"
+  "kdd_loader_test.pdb"
+  "kdd_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdd_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kdd_loader_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obscurity_test.dir/integration/obscurity_test.cc.o"
+  "CMakeFiles/obscurity_test.dir/integration/obscurity_test.cc.o.d"
+  "obscurity_test"
+  "obscurity_test.pdb"
+  "obscurity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obscurity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_metrics_test.dir/eval/parallel_metrics_test.cc.o"
+  "CMakeFiles/parallel_metrics_test.dir/eval/parallel_metrics_test.cc.o.d"
+  "parallel_metrics_test"
+  "parallel_metrics_test.pdb"
+  "parallel_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planted_target_test.dir/synth/planted_target_test.cc.o"
+  "CMakeFiles/planted_target_test.dir/synth/planted_target_test.cc.o.d"
+  "planted_target_test"
+  "planted_target_test.pdb"
+  "planted_target_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planted_target_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

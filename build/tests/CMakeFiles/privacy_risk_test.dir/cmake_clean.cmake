@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_risk_test.dir/core/privacy_risk_test.cc.o"
+  "CMakeFiles/privacy_risk_test.dir/core/privacy_risk_test.cc.o.d"
+  "privacy_risk_test"
+  "privacy_risk_test.pdb"
+  "privacy_risk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_risk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

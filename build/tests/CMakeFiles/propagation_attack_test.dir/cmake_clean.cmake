@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_attack_test.dir/baselines/propagation_attack_test.cc.o"
+  "CMakeFiles/propagation_attack_test.dir/baselines/propagation_attack_test.cc.o.d"
+  "propagation_attack_test"
+  "propagation_attack_test.pdb"
+  "propagation_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

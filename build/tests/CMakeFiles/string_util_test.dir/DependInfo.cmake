@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/string_util_test.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/string_util_test.dir/util/string_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/hinpriv_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hinpriv_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hinpriv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/hinpriv_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/hinpriv_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/hin/CMakeFiles/hinpriv_hin.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hinpriv_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hinpriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqq_generator_test.dir/synth/tqq_generator_test.cc.o"
+  "CMakeFiles/tqq_generator_test.dir/synth/tqq_generator_test.cc.o.d"
+  "tqq_generator_test"
+  "tqq_generator_test.pdb"
+  "tqq_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqq_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

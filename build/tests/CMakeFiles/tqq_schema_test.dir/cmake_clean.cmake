@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqq_schema_test.dir/hin/tqq_schema_test.cc.o"
+  "CMakeFiles/tqq_schema_test.dir/hin/tqq_schema_test.cc.o.d"
+  "tqq_schema_test"
+  "tqq_schema_test.pdb"
+  "tqq_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqq_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_tradeoff_test.dir/anon/utility_tradeoff_test.cc.o"
+  "CMakeFiles/utility_tradeoff_test.dir/anon/utility_tradeoff_test.cc.o.d"
+  "utility_tradeoff_test"
+  "utility_tradeoff_test.pdb"
+  "utility_tradeoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_tradeoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinpriv_cli.dir/hinpriv_cli.cc.o"
+  "CMakeFiles/hinpriv_cli.dir/hinpriv_cli.cc.o.d"
+  "hinpriv_cli"
+  "hinpriv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinpriv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
