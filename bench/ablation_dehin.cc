@@ -1,13 +1,14 @@
 // Ablation study over the design choices DESIGN.md calls out:
 //
 //   * candidate index on/off (same results, different cost),
+//   * the two DeHIN acceleration layers (neighborhood-stats prefilter,
+//     cross-call match cache) each on/off (same results, different cost),
 //   * reverse meta paths (in-edge utilization) on/off,
 //   * growth-aware vs. time-synchronized matching,
 //   * auxiliary growth on/off,
 //   * blanket reconfiguration (strip + saturation) on plain KDDA,
 //   * the extension defenses (k-degree, edge perturbation) vs. DeHIN.
 
-#include <chrono>
 #include <iostream>
 #include <memory>
 
@@ -19,18 +20,6 @@
 #include "eval/metrics.h"
 #include "util/random.h"
 #include "util/table_printer.h"
-
-namespace hinpriv {
-namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
-}  // namespace hinpriv
 
 int main(int argc, char** argv) {
   using namespace hinpriv;
@@ -44,8 +33,8 @@ int main(int argc, char** argv) {
 
   std::printf("DeHIN ablations (density %.3f, %lld aux users)\n\n", density,
               static_cast<long long>(flags.GetInt("aux_users")));
-  util::TablePrinter table(
-      {"ablation", "precision%", "reduction%", "attack sec"});
+  util::TablePrinter table({"ablation", "precision%", "reduction%",
+                            "attack sec", "prefilter rej%", "cache hit%"});
 
   anon::KddAnonymizer kdda;
   auto baseline_dataset = eval::BuildExperimentDataset(
@@ -63,28 +52,49 @@ int main(int argc, char** argv) {
                  const eval::ExperimentDataset& dataset,
                  core::DehinConfig config, int distance) {
     core::Dehin dehin(&dataset.auxiliary, config);
-    const auto start = std::chrono::steady_clock::now();
-    const auto metrics = eval::EvaluateAttack(dehin, dataset.target,
-                                              dataset.ground_truth, distance);
+    const auto evaluation = eval::TimedEvaluateAttack(dehin, dataset, distance);
+    const auto& metrics = evaluation.metrics;
     table.AddRow({label, bench::Pct(metrics.precision),
                   bench::Pct(metrics.reduction_rate, 3),
-                  util::FormatDouble(SecondsSince(start), 2)});
+                  util::FormatDouble(evaluation.seconds, 2),
+                  bench::Pct(metrics.dehin_stats.PrefilterRejectRate()),
+                  bench::Pct(metrics.dehin_stats.CacheHitRate())});
   };
 
   // Baseline: growth-aware, index, out-edges only, distance 1.
-  run("baseline (n=1)", base, bench::AttackConfig(false), 1);
-  run("baseline (n=2)", base, bench::AttackConfig(false), 2);
+  run("baseline (n=1)", base, bench::AttackConfig(false, flags), 1);
+  run("baseline (n=2)", base, bench::AttackConfig(false, flags), 2);
 
   // Candidate index off: identical quality, higher cost.
   {
-    core::DehinConfig config = bench::AttackConfig(false);
+    core::DehinConfig config = bench::AttackConfig(false, flags);
     config.use_candidate_index = false;
     run("no candidate index", base, config, 1);
   }
 
+  // Acceleration layers off, one at a time and together, at the distance
+  // where they matter most: identical quality, different cost (the
+  // both-off row is the pre-acceleration code path).
+  {
+    core::DehinConfig config = bench::AttackConfig(false, flags);
+    config.use_prefilter = false;
+    run("no prefilter (n=2)", base, config, 2);
+  }
+  {
+    core::DehinConfig config = bench::AttackConfig(false, flags);
+    config.use_shared_cache = false;
+    run("no shared cache (n=2)", base, config, 2);
+  }
+  {
+    core::DehinConfig config = bench::AttackConfig(false, flags);
+    config.use_prefilter = false;
+    config.use_shared_cache = false;
+    run("no acceleration (n=2)", base, config, 2);
+  }
+
   // Reverse meta paths: also match in-neighborhoods.
   {
-    core::DehinConfig config = bench::AttackConfig(false);
+    core::DehinConfig config = bench::AttackConfig(false, flags);
     config.match.use_in_edges = true;
     run("+ in-edge matching", base, config, 1);
   }
@@ -98,7 +108,7 @@ int main(int argc, char** argv) {
         kdda, /*strip_majority=*/true, &strip_rng);
     if (stripped.ok()) {
       run("blanket reconfigured on KDDA", stripped.value(),
-          bench::AttackConfig(true), 1);
+          bench::AttackConfig(true, flags), 1);
     }
   }
 
@@ -117,8 +127,8 @@ int main(int argc, char** argv) {
         &g_rng);
     if (dataset.ok()) {
       run("no growth, growth-aware match", dataset.value(),
-          bench::AttackConfig(false), 1);
-      core::DehinConfig exact = bench::AttackConfig(false);
+          bench::AttackConfig(false, flags), 1);
+      core::DehinConfig exact = bench::AttackConfig(false, flags);
       exact.match.growth_aware = false;
       run("no growth, exact match", dataset.value(), exact, 1);
     }
@@ -135,7 +145,7 @@ int main(int argc, char** argv) {
       eval::ExperimentDataset homogeneous{
           std::move(homo_aux).value(), std::move(homo_target).value(),
           base.ground_truth, base.target_density};
-      core::DehinConfig config = bench::AttackConfig(false);
+      core::DehinConfig config = bench::AttackConfig(false, flags);
       config.match.link_types = {0};
       run("homogeneous network (1 link type)", homogeneous, config, 1);
     }
@@ -161,7 +171,7 @@ int main(int argc, char** argv) {
           bench::TargetSpecFromFlags(flags, density), synth::GrowthConfig{},
           *anonymizer, /*strip_majority=*/true, &d_rng);
       if (dataset.ok()) {
-        run(label, dataset.value(), bench::AttackConfig(true), 1);
+        run(label, dataset.value(), bench::AttackConfig(true, flags), 1);
       }
     }
   }

@@ -11,6 +11,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/dehin.h"
 #include "core/matchers.h"
@@ -20,7 +22,11 @@
 
 namespace hinpriv::bench {
 
-// Registers the flags every experiment binary shares.
+// Registers the flags every experiment binary shares. The acceleration
+// ablations (--no-prefilter, --no-shared-cache; hyphens and underscores
+// both accepted) turn off one DeHIN acceleration layer each, so its
+// speedup is measurable in isolation; with both set the attack reproduces
+// the pre-acceleration code path.
 inline void DefineCommonFlags(util::FlagParser* flags) {
   flags->Define("aux_users", "50000",
                 "users in the base/auxiliary network (paper: 2,320,895)");
@@ -28,6 +34,10 @@ inline void DefineCommonFlags(util::FlagParser* flags) {
                 "users per published target graph (paper: 1000)");
   flags->Define("seed", "20140324", "rng seed (EDBT 2014 opening day)");
   flags->Define("tsv", "false", "emit tab-separated output for plotting");
+  flags->Define("no_prefilter", "false",
+                "disable the neighborhood-stats prefilter (Layer 1)");
+  flags->Define("no_shared_cache", "false",
+                "disable the cross-call match cache (Layer 2)");
 }
 
 // Parses argv; on --help or error prints and exits.
@@ -66,6 +76,62 @@ inline core::DehinConfig AttackConfig(bool reconfigured) {
   config.match = core::DefaultTqqMatchOptions();
   if (reconfigured) config.saturation_fraction = 0.5;
   return config;
+}
+
+// Same, with the acceleration-ablation flags applied.
+inline core::DehinConfig AttackConfig(bool reconfigured,
+                                      const util::FlagParser& flags) {
+  core::DehinConfig config = AttackConfig(reconfigured);
+  config.use_prefilter = !flags.GetBool("no_prefilter");
+  config.use_shared_cache = !flags.GetBool("no_shared_cache");
+  return config;
+}
+
+// --- machine-readable bench output ----------------------------------------
+
+// One benchmark's result for the JSON perf log: wall time plus whatever
+// counters the benchmark recorded (e.g. prefilter reject rate, match-cache
+// hit rate).
+struct BenchJsonEntry {
+  std::string name;
+  double real_time_s = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Writes `entries` as a stable, diffable JSON document so future PRs have
+// a perf trajectory to regress against (the acceptance flow stores it as
+// BENCH_dehin.json). Returns false (with a message on stderr) when the
+// file cannot be written.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<BenchJsonEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench json to '%s'\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"real_time_s\": %.9g",
+                 JsonEscape(e.name).c_str(), e.real_time_s);
+    for (const auto& [key, value] : e.counters) {
+      std::fprintf(f, ", \"%s\": %.9g", JsonEscape(key).c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
 }
 
 // Percent formatting used throughout the paper's tables.

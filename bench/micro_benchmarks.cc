@@ -1,13 +1,30 @@
 // Google-benchmark micro-benchmarks for the performance-critical pieces:
 // graph construction, Hopcroft-Karp vs. the Kuhn reference matcher,
-// signature computation, candidate-index construction/lookup, and the
-// DeHIN per-query cost by max distance.
+// signature computation, candidate-index construction/lookup, the DeHIN
+// per-query cost by max distance, and the end-to-end DeHIN evaluation the
+// acceleration layers target.
+//
+// Beyond the stock --benchmark_* flags this binary accepts:
+//   --aux_users N        auxiliary network size (default 20000)
+//   --target_size N      planted target size (default 1000)
+//   --no-prefilter       ablate acceleration Layer 1 (neighborhood stats)
+//   --no-shared-cache    ablate acceleration Layer 2 (cross-call cache)
+//   --json PATH          write per-benchmark wall time + counters as JSON
+// (hyphens and underscores are interchangeable in flag names).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "core/candidate_index.h"
 #include "core/dehin.h"
 #include "core/signature.h"
+#include "eval/metrics.h"
 #include "hin/subgraph.h"
 #include "hin/tqq_schema.h"
 #include "matching/hopcroft_karp.h"
@@ -18,10 +35,31 @@
 namespace hinpriv {
 namespace {
 
+struct MicroConfig {
+  size_t aux_users = 20000;
+  size_t target_size = 1000;
+  bool no_prefilter = false;
+  bool no_shared_cache = false;
+  std::string json_path;
+};
+
+MicroConfig& Config() {
+  static MicroConfig config;
+  return config;
+}
+
+core::DehinConfig DehinConfigFromFlags() {
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  config.use_prefilter = !Config().no_prefilter;
+  config.use_shared_cache = !Config().no_shared_cache;
+  return config;
+}
+
 const hin::Graph& SharedNetwork() {
   static const hin::Graph* graph = [] {
     synth::TqqConfig config;
-    config.num_users = 20000;
+    config.num_users = Config().aux_users;
     util::Rng rng(1);
     auto built = synth::GenerateTqqNetwork(config, &rng);
     return new hin::Graph(std::move(built).value());
@@ -32,9 +70,9 @@ const hin::Graph& SharedNetwork() {
 const synth::PlantedDataset& SharedDataset() {
   static const synth::PlantedDataset* dataset = [] {
     synth::TqqConfig config;
-    config.num_users = 20000;
+    config.num_users = Config().aux_users;
     synth::PlantedTargetSpec spec;
-    spec.target_size = 1000;
+    spec.target_size = Config().target_size;
     spec.density = 0.01;
     util::Rng rng(2);
     auto built =
@@ -127,12 +165,25 @@ void BM_CandidateLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_CandidateLookup);
 
+void BM_NeighborhoodStatsBuild(benchmark::State& state) {
+  const hin::Graph& graph = SharedNetwork();
+  const core::MatchOptions options = core::DefaultTqqMatchOptions();
+  for (auto _ : state) {
+    core::NeighborhoodStats stats(graph, options.link_types,
+                                  options.use_in_edges);
+    benchmark::DoNotOptimize(stats.num_slots());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_vertices());
+}
+BENCHMARK(BM_NeighborhoodStatsBuild);
+
+// Steady-state per-query latency on one long-lived Dehin: with the shared
+// cache enabled, repeat queries amortize toward cache lookups — ablate
+// with --no-shared-cache / --no-prefilter to see each layer's share.
 void BM_DehinQuery(benchmark::State& state) {
   const synth::PlantedDataset& dataset = SharedDataset();
-  core::DehinConfig config;
-  config.match = core::DefaultTqqMatchOptions();
   static const core::Dehin* dehin =
-      new core::Dehin(&dataset.auxiliary, config);
+      new core::Dehin(&dataset.auxiliary, DehinConfigFromFlags());
   const int distance = static_cast<int>(state.range(0));
   hin::VertexId v = 0;
   for (auto _ : state) {
@@ -144,8 +195,7 @@ BENCHMARK(BM_DehinQuery)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_DehinQueryNoIndex(benchmark::State& state) {
   const synth::PlantedDataset& dataset = SharedDataset();
-  core::DehinConfig config;
-  config.match = core::DefaultTqqMatchOptions();
+  core::DehinConfig config = DehinConfigFromFlags();
   config.use_candidate_index = false;
   static const core::Dehin* dehin =
       new core::Dehin(&dataset.auxiliary, config);
@@ -156,6 +206,30 @@ void BM_DehinQueryNoIndex(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DehinQueryNoIndex);
+
+// End-to-end DeHIN evaluation at distance n: a fresh Dehin per iteration
+// (cold caches), scored over every target vertex — the EvaluateAttack path
+// the acceleration layers were built for. Counters report the layers'
+// work: prefilter_reject_rate is the fraction of LinkMatch misses the
+// Layer-1 stats rejected before any bipartite work; cache_hit_rate is the
+// fraction of LinkMatch calls answered by the Layer-2 cache.
+void BM_DehinEvaluate(benchmark::State& state) {
+  const synth::PlantedDataset& dataset = SharedDataset();
+  const int distance = static_cast<int>(state.range(0));
+  core::DehinStats last;
+  for (auto _ : state) {
+    core::Dehin dehin(&dataset.auxiliary, DehinConfigFromFlags());
+    const auto metrics = eval::EvaluateAttack(dehin, dataset.target,
+                                              dataset.target_to_aux, distance);
+    benchmark::DoNotOptimize(metrics.num_containing_truth);
+    last = metrics.dehin_stats;
+  }
+  state.counters["prefilter_reject_rate"] = last.PrefilterRejectRate();
+  state.counters["cache_hit_rate"] = last.CacheHitRate();
+  state.SetItemsProcessed(state.iterations() *
+                          dataset.target.num_vertices());
+}
+BENCHMARK(BM_DehinEvaluate)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 void BM_InducedSubgraph(benchmark::State& state) {
   const hin::Graph& graph = SharedNetwork();
@@ -178,7 +252,112 @@ void BM_StripMajorityStrengthLinks(benchmark::State& state) {
 }
 BENCHMARK(BM_StripMajorityStrengthLinks);
 
+// Console output plus capture of every run for the --json report.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchJsonEntry entry;
+      entry.name = run.benchmark_name();
+      entry.real_time_s =
+          run.iterations == 0
+              ? 0.0
+              : run.real_accumulated_time /
+                    static_cast<double>(run.iterations);
+      for (const auto& [name, counter] : run.counters) {
+        entry.counters.emplace_back(name, counter.value);
+      }
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<bench::BenchJsonEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<bench::BenchJsonEntry> entries_;
+};
+
+// Consumes this binary's own flags from argv (normalizing '-' to '_' in
+// flag names) and leaves the rest for benchmark::Initialize.
+void ExtractOwnFlags(int* argc, char** argv) {
+  MicroConfig& config = Config();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg(argv[i]);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (arg.rfind("--", 0) == 0) {
+      arg.remove_prefix(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        name = std::string(arg.substr(0, eq));
+        value = std::string(arg.substr(eq + 1));
+        has_value = true;
+      } else {
+        name = std::string(arg);
+      }
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+    }
+    auto take_value = [&]() -> std::string {
+      if (has_value) return value;
+      // A following "--flag" is the next flag, not this one's value.
+      if (i + 1 < *argc &&
+          std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        return argv[++i];
+      }
+      std::fprintf(stderr, "%s: error: flag --%s requires a value\n", argv[0],
+                   name.c_str());
+      std::exit(1);
+    };
+    auto take_count = [&]() -> size_t {
+      const std::string v = take_value();
+      char* end = nullptr;
+      const long long n = std::strtoll(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "%s: error: invalid value '%s' for flag --%s\n",
+                     argv[0], v.c_str(), name.c_str());
+        std::exit(1);
+      }
+      return static_cast<size_t>(n);
+    };
+    if (name == "json") {
+      config.json_path = take_value();
+    } else if (name == "aux_users") {
+      config.aux_users = take_count();
+    } else if (name == "target_size") {
+      config.target_size = take_count();
+    } else if (name == "no_prefilter") {
+      config.no_prefilter = true;
+    } else if (name == "no_shared_cache") {
+      config.no_shared_cache = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
 }  // namespace
 }  // namespace hinpriv
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hinpriv::ExtractOwnFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hinpriv::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string& json_path = hinpriv::Config().json_path;
+  if (!json_path.empty() &&
+      !hinpriv::bench::WriteBenchJson(json_path, reporter.entries())) {
+    return 1;
+  }
+  return 0;
+}

@@ -8,23 +8,16 @@
 
 namespace hinpriv::core {
 
-namespace {
-
-// Memo key for (target vertex, aux vertex, depth): target ids are sample-
-// scale (< 2^28), aux ids fit 32 bits, depth fits 4 bits.
-uint64_t MemoKey(hin::VertexId vt, hin::VertexId va, int depth) {
-  return (static_cast<uint64_t>(vt) << 36) |
-         (static_cast<uint64_t>(va) << 4) | static_cast<uint64_t>(depth);
-}
-
-}  // namespace
-
 Dehin::Dehin(const hin::Graph* auxiliary, DehinConfig config)
     : aux_(auxiliary), config_(std::move(config)) {
   // The index implements exactly the MatchOptions profile predicate, so a
   // custom entity matcher forces the full scan.
   if (config_.use_candidate_index && !config_.entity_match_override) {
     index_ = std::make_unique<CandidateIndex>(*aux_, config_.match);
+  }
+  if (prefilter_enabled()) {
+    aux_stats_ = std::make_unique<NeighborhoodStats>(
+        *aux_, config_.match.link_types, config_.match.use_in_edges);
   }
 }
 
@@ -45,13 +38,66 @@ bool Dehin::StrengthMatch(hin::Strength target_strength,
                            config_.match.growth_aware);
 }
 
+DehinStats Dehin::stats() const {
+  DehinStats s;
+  s.prefilter_rejects = prefilter_rejects_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.full_tests = full_tests_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Dehin::ResetStats() const {
+  prefilter_rejects_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  full_tests_.store(0, std::memory_order_relaxed);
+}
+
+const Dehin::TargetState& Dehin::GetTargetState(
+    const hin::Graph& target) const {
+  std::lock_guard<std::mutex> lock(target_mu_);
+  auto it = target_states_.find(&target);
+  if (it != target_states_.end() &&
+      it->second->num_vertices == target.num_vertices() &&
+      it->second->num_edges == target.num_edges()) {
+    return *it->second;
+  }
+  auto state = std::make_unique<TargetState>();
+  // The saturation threshold in absolute neighbor count (see DehinConfig);
+  // constant per target graph, so hoisted out of LinkMatch entirely.
+  state->saturation_limit = static_cast<size_t>(
+      config_.saturation_fraction *
+      static_cast<double>(target.num_vertices() > 0 ? target.num_vertices() - 1
+                                                    : 0));
+  if (prefilter_enabled()) {
+    state->stats = std::make_unique<NeighborhoodStats>(
+        target, config_.match.link_types, config_.match.use_in_edges);
+  }
+  if (config_.use_shared_cache) {
+    state->cache = std::make_unique<MatchCache>(/*num_shards=*/64);
+  }
+  state->num_vertices = target.num_vertices();
+  state->num_edges = target.num_edges();
+  auto& slot = target_states_[&target];
+  slot = std::move(state);
+  return *slot;
+}
+
 std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
                                               hin::VertexId vt,
                                               int max_distance) const {
+  const TargetState& state = GetTargetState(target);
+  // Per-call fallback memo when the cross-call cache is ablated.
+  std::unique_ptr<MatchCache> local_memo;
+  MatchCache* cache = state.cache.get();
+  if (cache == nullptr && max_distance > 0) {
+    local_memo = std::make_unique<MatchCache>(/*num_shards=*/1);
+    cache = local_memo.get();
+  }
+  LocalStats local;
   std::vector<hin::VertexId> candidates;
-  std::unordered_map<uint64_t, bool> memo;
   auto consider = [&](hin::VertexId va) {
-    if (max_distance > 0 && !LinkMatch(max_distance, target, vt, va, &memo)) {
+    if (max_distance > 0 && !LinkMatch(max_distance, target, vt, va, state,
+                                       cache, &local, /*is_root=*/true)) {
       return;
     }
     candidates.push_back(va);
@@ -64,23 +110,58 @@ std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
     }
   }
   std::sort(candidates.begin(), candidates.end());
+  if (local.prefilter_rejects + local.cache_hits + local.full_tests > 0) {
+    prefilter_rejects_.fetch_add(local.prefilter_rejects,
+                                 std::memory_order_relaxed);
+    cache_hits_.fetch_add(local.cache_hits, std::memory_order_relaxed);
+    full_tests_.fetch_add(local.full_tests, std::memory_order_relaxed);
+  }
   return candidates;
 }
 
-bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
-                      hin::VertexId va,
-                      std::unordered_map<uint64_t, bool>* memo) const {
-  const uint64_t key = MemoKey(vt, va, depth);
-  if (auto it = memo->find(key); it != memo->end()) return it->second;
+bool Dehin::PrefilterPass(hin::VertexId vt, hin::VertexId va,
+                          const TargetState& state) const {
+  const size_t slots = state.stats->num_slots();
+  for (size_t slot = 0; slot < slots; ++slot) {
+    const auto t_strengths = state.stats->SortedStrengths(slot, vt);
+    if (t_strengths.empty()) continue;
+    if (t_strengths.size() > state.saturation_limit) continue;  // saturated
+    const auto a_strengths = aux_stats_->SortedStrengths(slot, va);
+    if (!NeighborhoodStats::StrengthMultisetDominates(
+            t_strengths, a_strengths, config_.match.growth_aware)) {
+      return false;
+    }
+  }
+  return true;
+}
 
-  // The saturation threshold in absolute neighbor count (see DehinConfig).
-  const size_t saturation_limit = static_cast<size_t>(
-      config_.saturation_fraction *
-      static_cast<double>(target.num_vertices() > 0 ? target.num_vertices() - 1
-                                                    : 0));
+bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
+                      hin::VertexId va, const TargetState& state,
+                      MatchCache* cache, LocalStats* local,
+                      bool is_root) const {
+  // Layer 1 runs before the cache: the O(|T|+|A|) necessary-condition scan
+  // is about as cheap as a locked cache probe, so rejected pairs are never
+  // inserted (they would only displace entries whose recomputation is
+  // expensive) and the cache stays small and hot.
+  if (state.stats != nullptr && !PrefilterPass(vt, va, state)) {
+    // A sound necessary condition failed: the loop below would provably
+    // have ended with is_match == false for some link type.
+    ++local->prefilter_rejects;
+    return false;
+  }
+  const uint64_t key = MatchCache::PairKey(vt, va);
+  if (!is_root) {
+    if (auto hit = cache->Lookup(depth, key)) {
+      ++local->cache_hits;
+      return *hit;
+    }
+  }
+  ++local->full_tests;
 
   bool is_match = true;
-  for (hin::LinkTypeId lt : config_.match.link_types) {
+  for (size_t lt_index = 0;
+       is_match && lt_index < config_.match.link_types.size(); ++lt_index) {
+    const hin::LinkTypeId lt = config_.match.link_types[lt_index];
     const int directions = config_.match.use_in_edges ? 2 : 1;
     for (int dir = 0; dir < directions && is_match; ++dir) {
       const bool incoming = dir == 1;
@@ -89,7 +170,7 @@ bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
       if (t_neighbors.empty()) continue;
       // A near-complete neighborhood is fake-link saturation (VW-CGA);
       // it carries no signal, so the adversary ignores this link type.
-      if (t_neighbors.size() > saturation_limit) continue;
+      if (t_neighbors.size() > state.saturation_limit) continue;
       const auto a_neighbors =
           incoming ? aux_->InEdges(lt, va) : aux_->OutEdges(lt, va);
       if (a_neighbors.size() < t_neighbors.size()) {
@@ -108,7 +189,8 @@ bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
           if (!StrengthMatch(tb.strength, ab.strength)) continue;
           if (!EntityMatch(target, tb.neighbor, ab.neighbor)) continue;
           if (depth > 1 &&
-              !LinkMatch(depth - 1, target, tb.neighbor, ab.neighbor, memo)) {
+              !LinkMatch(depth - 1, target, tb.neighbor, ab.neighbor, state,
+                         cache, local, /*is_root=*/false)) {
             continue;
           }
           bipartite.AddEdge(i, j);
@@ -123,9 +205,8 @@ bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
         is_match = false;
       }
     }
-    if (!is_match) break;
   }
-  memo->emplace(key, is_match);
+  if (!is_root) cache->Insert(depth, key, is_match);
   return is_match;
 }
 

@@ -1,13 +1,18 @@
 #ifndef HINPRIV_CORE_DEHIN_H_
 #define HINPRIV_CORE_DEHIN_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/candidate_index.h"
+#include "core/match_cache.h"
 #include "core/matchers.h"
+#include "core/neighborhood_stats.h"
 #include "hin/graph.h"
 #include "util/status.h"
 
@@ -23,6 +28,23 @@ struct DehinConfig {
   // "foreach v in V" scan (differential-tested); turn off to measure the
   // scan cost.
   bool use_candidate_index = true;
+  // Layer-1 acceleration: precomputed NeighborhoodStats back a sound
+  // necessary-condition prefilter (per-type degree pigeonhole + sorted
+  // strength-multiset dominance) that rejects (target, candidate) pairs in
+  // O(|T| + |A|) before the O(|T|·|A|) bipartite construction. Answer-
+  // preserving by construction — the prefilter only rejects pairs the full
+  // test provably rejects (differential-tested); disabled automatically
+  // when link_match_override replaces the strength semantics it reasons
+  // about. Turn off (--no-prefilter in the benches) to measure its share.
+  bool use_prefilter = true;
+  // Layer-2 acceleration: memoize LinkMatch results in a sharded cache
+  // shared across all Deanonymize calls (and threads) instead of one
+  // std::unordered_map per call, so sub-results computed while scoring one
+  // target vertex are reused for every other target whose neighborhood
+  // touches the same pairs. Answer-preserving: LinkMatch(vt, va, depth) is
+  // a pure function of the two graphs and the config. Turn off
+  // (--no-shared-cache) to fall back to the per-call memo.
+  bool use_shared_cache = true;
   // A link type (and direction) whose target-side neighborhood covers more
   // than this fraction of the target graph is considered saturated by fake
   // links and skipped: a rational adversary knows real social networks
@@ -40,17 +62,69 @@ struct DehinConfig {
                      const hin::Graph& aux, hin::VertexId va)>
       entity_match_override;
   // Optional override of link_attribute_match (target strength, auxiliary
-  // strength) -> bool.
+  // strength) -> bool. Bypasses the strength prefilter, whose dominance
+  // reasoning is only sound for the built-in >= / == semantics.
   std::function<bool(hin::Strength, hin::Strength)> link_match_override;
 };
+
+// Observability counters for the two acceleration layers, snapshotted via
+// Dehin::stats(). Every LinkMatch invocation lands in exactly one of the
+// three buckets. Monotone across a Dehin's lifetime (reset with
+// Dehin::ResetStats); deltas around an evaluation give per-run rates.
+struct DehinStats {
+  // Rejected by the Layer-1 necessary-condition scan before any cache or
+  // bipartite work (rejected pairs are never cached, so re-visits count
+  // again — the scan is as cheap as a cache probe).
+  uint64_t prefilter_rejects = 0;
+  // Answered by the Layer-2 match cache (or the per-call fallback memo).
+  uint64_t cache_hits = 0;
+  // Went through the full candidate-set construction + Hopcroft-Karp test.
+  uint64_t full_tests = 0;
+
+  uint64_t TotalLinkMatchCalls() const {
+    return prefilter_rejects + cache_hits + full_tests;
+  }
+  // Fraction of cache probes (calls surviving the prefilter) answered from
+  // the cache.
+  double CacheHitRate() const {
+    const uint64_t probes = cache_hits + full_tests;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(probes);
+  }
+  // Fraction of all LinkMatch calls the prefilter rejected outright.
+  double PrefilterRejectRate() const {
+    const uint64_t total = TotalLinkMatchCalls();
+    return total == 0 ? 0.0
+                      : static_cast<double>(prefilter_rejects) /
+                            static_cast<double>(total);
+  }
+};
+
+// Counter delta (a - b), for before/after snapshots around one evaluation.
+inline DehinStats operator-(DehinStats a, const DehinStats& b) {
+  a.prefilter_rejects -= b.prefilter_rejects;
+  a.cache_hits -= b.cache_hits;
+  a.full_tests -= b.full_tests;
+  return a;
+}
 
 // The DeHIN de-anonymization attack (Section 5): given the non-anonymized
 // auxiliary graph G, de-anonymize entities of an anonymized target graph
 // G' by profile matching plus recursive typed-neighborhood matching
 // decided with Hopcroft-Karp maximum bipartite matching.
 //
-// Thread-compatible: one Dehin may be shared across threads for concurrent
-// Deanonymize calls (all state per call is local).
+// Thread-safe for concurrent Deanonymize calls on one shared Dehin: the
+// per-target-graph state (neighborhood stats, shared match cache) is built
+// under an internal mutex on first use and read-only afterwards; the match
+// cache itself is striped-locked.
+//
+// Target graphs are recognized by address, so a target passed to
+// Deanonymize must stay alive (and unchanged) for as long as this Dehin is
+// used with it — do not destroy a target graph and reuse its storage for a
+// different graph mid-lifetime. (A (num_vertices, num_edges) fingerprint
+// invalidates stale state for the common rebuild-in-place patterns, but
+// address reuse by an identically-sized different graph is undetectable.)
 class Dehin {
  public:
   // `auxiliary` must outlive the Dehin.
@@ -74,21 +148,72 @@ class Dehin {
   const DehinConfig& config() const { return config_; }
   const hin::Graph& auxiliary() const { return *aux_; }
 
+  // Snapshot of the acceleration counters accumulated so far.
+  DehinStats stats() const;
+  void ResetStats() const;
+
  private:
+  // Everything Deanonymize needs that is constant per target graph:
+  // the saturation threshold, the Layer-1 stats, and the Layer-2 shared
+  // cache. Built once on first use and cached by graph address.
+  struct TargetState {
+    size_t saturation_limit = 0;
+    std::unique_ptr<NeighborhoodStats> stats;  // null when prefilter is off
+    std::unique_ptr<MatchCache> cache;  // null when shared cache is off
+    // Weak identity fingerprint to invalidate stale state if a different
+    // graph reuses the address.
+    size_t num_vertices = 0;
+    size_t num_edges = 0;
+  };
+
+  // Per-call counter accumulator, flushed to the atomics once per
+  // Deanonymize so the recursion does not touch shared cache lines.
+  struct LocalStats {
+    uint64_t prefilter_rejects = 0;
+    uint64_t cache_hits = 0;
+    uint64_t full_tests = 0;
+  };
+
+  const TargetState& GetTargetState(const hin::Graph& target) const;
+
   // Algorithm 2, link_match(n, v', v, ...): recursive typed-neighborhood
-  // comparison with memoization on (target vertex, aux vertex, depth).
+  // comparison, memoized in `cache` (the shared per-target cache or a
+  // per-call local one). Root calls (is_root) skip the memo entirely: a
+  // depth-n entry could only ever be re-probed by another root call on the
+  // same (vt, va), which a candidate scan never issues, so probing and
+  // inserting there is pure overhead. Recursive calls at depth < n are the
+  // ones that repeat across candidates and targets.
   bool LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
-                 hin::VertexId va,
-                 std::unordered_map<uint64_t, bool>* memo) const;
+                 hin::VertexId va, const TargetState& state,
+                 MatchCache* cache, LocalStats* local, bool is_root) const;
+
+  // Layer-1 necessary-condition test; false proves LinkMatch would reject.
+  bool PrefilterPass(hin::VertexId vt, hin::VertexId va,
+                     const TargetState& state) const;
 
   bool EntityMatch(const hin::Graph& target, hin::VertexId vt,
                    hin::VertexId va) const;
   bool StrengthMatch(hin::Strength target_strength,
                      hin::Strength aux_strength) const;
 
+  bool prefilter_enabled() const {
+    return config_.use_prefilter && !config_.link_match_override;
+  }
+
   const hin::Graph* aux_;
   DehinConfig config_;
   std::unique_ptr<CandidateIndex> index_;
+  // Auxiliary-side Layer-1 stats, built at construction (null when the
+  // prefilter is disabled).
+  std::unique_ptr<NeighborhoodStats> aux_stats_;
+
+  mutable std::mutex target_mu_;
+  mutable std::unordered_map<const hin::Graph*, std::unique_ptr<TargetState>>
+      target_states_;
+
+  mutable std::atomic<uint64_t> prefilter_rejects_{0};
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> full_tests_{0};
 };
 
 // Section 6.2 reconfiguration: returns a copy of `graph` with every link

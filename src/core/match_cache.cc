@@ -1,0 +1,28 @@
+#include "core/match_cache.h"
+
+namespace hinpriv::core {
+
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+MatchCache::MatchCache(size_t num_shards)
+    : shards_(RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards)),
+      shard_mask_(shards_.size() - 1) {}
+
+size_t MatchCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& map : shard.by_depth) total += map.size();
+  }
+  return total;
+}
+
+}  // namespace hinpriv::core

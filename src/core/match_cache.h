@@ -1,0 +1,86 @@
+#ifndef HINPRIV_CORE_MATCH_CACHE_H_
+#define HINPRIV_CORE_MATCH_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hin/types.h"
+#include "util/hashing.h"
+
+namespace hinpriv::core {
+
+// Concurrent memo table for Dehin::LinkMatch results, keyed by
+// (target vertex, aux vertex, depth). Replaces the per-Deanonymize-call
+// std::unordered_map so depth-(n-1) sub-results computed while scoring one
+// target vertex are reused by every later call whose neighborhood touches
+// the same pair — within one thread and across the worker threads of
+// EvaluateAttackParallel.
+//
+// The key never packs depth and vertex ids into shared bits: the vertex
+// pair occupies a full 64-bit word (two uint32 ids) and depth selects a
+// separate table, so no combination of max_distance or graph size can
+// alias two distinct (vt, va, depth) triples. (The legacy packed key
+// silently collided for max_distance > 15 or target ids >= 2^28.)
+//
+// Striped locking: entries hash to one of num_shards shards, each guarded
+// by its own mutex, so concurrent Deanonymize calls rarely contend. A
+// single-shard instance doubles as the per-call local memo when the shared
+// cache is ablated.
+class MatchCache {
+ public:
+  explicit MatchCache(size_t num_shards = 1);
+
+  MatchCache(const MatchCache&) = delete;
+  MatchCache& operator=(const MatchCache&) = delete;
+
+  static uint64_t PairKey(hin::VertexId vt, hin::VertexId va) {
+    return (static_cast<uint64_t>(vt) << 32) | static_cast<uint64_t>(va);
+  }
+
+  // depth must be >= 1 (depth-0 queries never reach LinkMatch).
+  std::optional<bool> Lookup(int depth, uint64_t pair_key) const {
+    const Shard& shard = shards_[ShardIndex(pair_key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t d = static_cast<size_t>(depth) - 1;
+    if (d >= shard.by_depth.size()) return std::nullopt;
+    const auto& map = shard.by_depth[d];
+    if (auto it = map.find(pair_key); it != map.end()) return it->second;
+    return std::nullopt;
+  }
+
+  void Insert(int depth, uint64_t pair_key, bool value) {
+    Shard& shard = shards_[ShardIndex(pair_key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t d = static_cast<size_t>(depth) - 1;
+    if (d >= shard.by_depth.size()) shard.by_depth.resize(d + 1);
+    shard.by_depth[d].emplace(pair_key, value);
+  }
+
+  // Total entries across shards and depths (takes every shard lock; for
+  // observability, not the hot path).
+  size_t size() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // by_depth[d] memoizes depth d+1; depths appear lazily as the recursion
+    // reaches them, so the vector stays as short as max_distance.
+    std::vector<std::unordered_map<uint64_t, bool>> by_depth;
+  };
+
+  size_t ShardIndex(uint64_t pair_key) const {
+    return util::Mix64(pair_key) & shard_mask_;
+  }
+
+  std::vector<Shard> shards_;
+  size_t shard_mask_;
+};
+
+}  // namespace hinpriv::core
+
+#endif  // HINPRIV_CORE_MATCH_CACHE_H_

@@ -1,0 +1,74 @@
+#include "core/neighborhood_stats.h"
+
+#include <algorithm>
+
+namespace hinpriv::core {
+
+namespace {
+
+void BuildSlot(const hin::Graph& graph, hin::LinkTypeId lt, bool incoming,
+               std::vector<uint64_t>* offsets,
+               std::vector<hin::Strength>* strengths) {
+  const size_t n = graph.num_vertices();
+  offsets->resize(n + 1);
+  size_t total = 0;
+  for (hin::VertexId v = 0; v < n; ++v) {
+    (*offsets)[v] = total;
+    total += incoming ? graph.InDegree(lt, v) : graph.OutDegree(lt, v);
+  }
+  (*offsets)[n] = total;
+  strengths->resize(total);
+  for (hin::VertexId v = 0; v < n; ++v) {
+    const auto edges = incoming ? graph.InEdges(lt, v) : graph.OutEdges(lt, v);
+    hin::Strength* out = strengths->data() + (*offsets)[v];
+    for (size_t i = 0; i < edges.size(); ++i) out[i] = edges[i].strength;
+    std::sort(out, out + edges.size());
+  }
+}
+
+}  // namespace
+
+NeighborhoodStats::NeighborhoodStats(
+    const hin::Graph& graph, const std::vector<hin::LinkTypeId>& link_types,
+    bool use_in_edges) {
+  slots_.resize(link_types.size() * (use_in_edges ? 2 : 1));
+  size_t slot = 0;
+  for (hin::LinkTypeId lt : link_types) {
+    BuildSlot(graph, lt, /*incoming=*/false, &slots_[slot].offsets,
+              &slots_[slot].strengths);
+    ++slot;
+    if (use_in_edges) {
+      BuildSlot(graph, lt, /*incoming=*/true, &slots_[slot].offsets,
+                &slots_[slot].strengths);
+      ++slot;
+    }
+  }
+}
+
+bool NeighborhoodStats::StrengthMultisetDominates(
+    std::span<const hin::Strength> target_sorted,
+    std::span<const hin::Strength> aux_sorted, bool growth_aware) {
+  const size_t k = target_sorted.size();
+  const size_t m = aux_sorted.size();
+  if (m < k) return false;
+  if (growth_aware) {
+    // The i-th smallest of the k largest auxiliary strengths dominates the
+    // i-th smallest strength of ANY k-subset, so if even that assignment
+    // fails somewhere, no injective aux >= target assignment exists.
+    for (size_t i = 0; i < k; ++i) {
+      if (aux_sorted[m - k + i] < target_sorted[i]) return false;
+    }
+    return true;
+  }
+  // Exact semantics: every target strength needs a distinct equal auxiliary
+  // strength, i.e. multiset containment; merged scan over the sorted spans.
+  size_t j = 0;
+  for (size_t i = 0; i < k; ++i) {
+    while (j < m && aux_sorted[j] < target_sorted[i]) ++j;
+    if (j == m || aux_sorted[j] != target_sorted[i]) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace hinpriv::core

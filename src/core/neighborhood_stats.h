@@ -1,0 +1,69 @@
+#ifndef HINPRIV_CORE_NEIGHBORHOOD_STATS_H_
+#define HINPRIV_CORE_NEIGHBORHOOD_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hin/graph.h"
+#include "hin/types.h"
+
+namespace hinpriv::core {
+
+// Precomputed per-vertex neighborhood statistics for the link types (and
+// directions) a DeHIN configuration utilizes: for every vertex and every
+// (link type, direction) slot, the neighborhood's strength multiset sorted
+// ascending. Built once per graph (O(E log deg)) and then queried in O(1)
+// per slot, this backs the Layer-1 prefilter of Dehin::LinkMatch — a sound
+// necessary-condition test that rejects (target, candidate) pairs without
+// touching the O(|T|·|A|) bipartite candidate-set construction.
+//
+// Slot layout: link type i of the configured list occupies slot i (out
+// direction) when in-edges are unused, or slots 2i (out) / 2i+1 (in) when
+// they are. Two stats built from the same configuration therefore agree on
+// slot meaning, which is all the prefilter needs.
+class NeighborhoodStats {
+ public:
+  NeighborhoodStats(const hin::Graph& graph,
+                    const std::vector<hin::LinkTypeId>& link_types,
+                    bool use_in_edges);
+
+  NeighborhoodStats(const NeighborhoodStats&) = delete;
+  NeighborhoodStats& operator=(const NeighborhoodStats&) = delete;
+
+  size_t num_slots() const { return slots_.size(); }
+
+  // The strength multiset of v's neighborhood in `slot`, sorted ascending.
+  // The span's size is the per-type degree, so no separate degree query is
+  // needed.
+  std::span<const hin::Strength> SortedStrengths(size_t slot,
+                                                 hin::VertexId v) const {
+    const Slot& s = slots_[slot];
+    return {s.strengths.data() + s.offsets[v],
+            s.offsets[v + 1] - s.offsets[v]};
+  }
+
+  // Necessary condition for Algorithm 2's per-type acceptance test: a
+  // perfect left matching assigns each target edge a distinct auxiliary
+  // edge whose strength passes LinkStrengthMatch. Under growth-aware
+  // (aux >= target) semantics that requires the top-|T| auxiliary strengths
+  // to dominate the sorted target strengths element-wise; under exact
+  // semantics it requires multiset containment. Both are decided by one
+  // merged scan over the sorted spans, O(|T| + |A|). Returns true when a
+  // matching is still possible (the pair must proceed to the full test);
+  // false is a proof that Dehin::LinkMatch would reject.
+  static bool StrengthMultisetDominates(
+      std::span<const hin::Strength> target_sorted,
+      std::span<const hin::Strength> aux_sorted, bool growth_aware);
+
+ private:
+  struct Slot {
+    std::vector<uint64_t> offsets;  // size num_vertices + 1
+    std::vector<hin::Strength> strengths;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace hinpriv::core
+
+#endif  // HINPRIV_CORE_NEIGHBORHOOD_STATS_H_

@@ -1,5 +1,8 @@
 #include "eval/experiment.h"
 
+#include <chrono>
+
+#include "eval/parallel_metrics.h"
 #include "hin/tqq_schema.h"
 
 namespace hinpriv::eval {
@@ -34,6 +37,24 @@ util::Result<ExperimentDataset> BuildExperimentDataset(
   return ExperimentDataset{std::move(dataset.value().auxiliary),
                            std::move(published), std::move(ground_truth),
                            dataset.value().target_density};
+}
+
+AttackEvaluation TimedEvaluateAttack(const core::Dehin& dehin,
+                                     const ExperimentDataset& dataset,
+                                     int max_distance, size_t num_threads) {
+  AttackEvaluation result;
+  const auto start = std::chrono::steady_clock::now();
+  result.metrics =
+      num_threads <= 1
+          ? EvaluateAttack(dehin, dataset.target, dataset.ground_truth,
+                           max_distance)
+          : EvaluateAttackParallel(dehin, dataset.target,
+                                   dataset.ground_truth, max_distance,
+                                   num_threads);
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
 }
 
 std::vector<LinkTypeSubset> TqqLinkTypeSubsets() {

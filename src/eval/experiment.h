@@ -38,6 +38,24 @@ util::Result<ExperimentDataset> BuildExperimentDataset(
     const synth::GrowthConfig& growth, const anon::Anonymizer& anonymizer,
     bool strip_majority, util::Rng* rng);
 
+// One scored attack run plus its wall time: the metrics carry the
+// acceleration-layer counters (prefilter rejects, cache hit rate), so a
+// bench row can report quality, cost, and the layers' contribution from a
+// single call.
+struct AttackEvaluation {
+  AttackMetrics metrics;
+  double seconds = 0.0;
+};
+
+// Times EvaluateAttack (num_threads <= 1) or EvaluateAttackParallel over
+// the dataset's target graph. The Dehin's shared cache (if enabled)
+// persists inside `dehin`, so consecutive calls at increasing distance
+// reuse lower-depth sub-results the way one EvaluateAttackParallel run
+// shares them across targets.
+AttackEvaluation TimedEvaluateAttack(const core::Dehin& dehin,
+                                     const ExperimentDataset& dataset,
+                                     int max_distance, size_t num_threads = 1);
+
 // All 15 nonempty subsets of the four t.qq link types in the paper's
 // Table 1 / Table 3 row order: f, m, c, r, f-m, f-c, f-r, m-c, m-r, c-r,
 // f-m-c, f-m-r, f-c-r, m-c-r, f-m-c-r.

@@ -11,6 +11,7 @@ AttackMetrics EvaluateAttack(const core::Dehin& dehin,
   AttackMetrics metrics;
   metrics.num_targets = target.num_vertices();
   if (metrics.num_targets == 0) return metrics;
+  const core::DehinStats stats_before = dehin.stats();
   const double aux_size =
       static_cast<double>(dehin.auxiliary().num_vertices());
   double reduction_sum = 0.0;
@@ -31,6 +32,7 @@ AttackMetrics EvaluateAttack(const core::Dehin& dehin,
   metrics.precision = static_cast<double>(metrics.num_unique_correct) / n;
   metrics.reduction_rate = reduction_sum / n;
   metrics.mean_candidate_count = candidate_sum / n;
+  metrics.dehin_stats = dehin.stats() - stats_before;
   return metrics;
 }
 

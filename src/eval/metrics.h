@@ -25,6 +25,10 @@ struct AttackMetrics {
   // deletion).
   size_t num_containing_truth = 0;
   double mean_candidate_count = 0.0;
+  // Acceleration-layer counters accumulated by the Dehin over this
+  // evaluation (delta of Dehin::stats() around the run): prefilter reject
+  // rate and match-cache hit rate for observability and the bench JSON.
+  core::DehinStats dehin_stats;
 };
 
 // Runs dehin.Deanonymize on every vertex of `target` at `max_distance` and

@@ -13,6 +13,7 @@ AttackMetrics EvaluateAttackParallel(
   AttackMetrics metrics;
   metrics.num_targets = target.num_vertices();
   if (metrics.num_targets == 0) return metrics;
+  const core::DehinStats stats_before = dehin.stats();
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -61,6 +62,7 @@ AttackMetrics EvaluateAttackParallel(
   metrics.precision = static_cast<double>(metrics.num_unique_correct) / n;
   metrics.reduction_rate = reduction_sum / n;
   metrics.mean_candidate_count = candidate_sum / n;
+  metrics.dehin_stats = dehin.stats() - stats_before;
   return metrics;
 }
 

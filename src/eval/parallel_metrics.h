@@ -7,9 +7,11 @@
 
 namespace hinpriv::eval {
 
-// Multi-threaded EvaluateAttack. Dehin::Deanonymize is const and keeps all
-// per-call state local, so target vertices can be scored concurrently;
-// results are bit-identical to the serial EvaluateAttack (verified by the
+// Multi-threaded EvaluateAttack. Dehin::Deanonymize is thread-safe, so
+// target vertices can be scored concurrently; with the shared match cache
+// enabled (DehinConfig::use_shared_cache) the workers additionally reuse
+// each other's LinkMatch sub-results through the striped-lock cache.
+// Results are bit-identical to the serial EvaluateAttack (verified by the
 // unit tests). `num_threads` == 0 picks the hardware concurrency.
 AttackMetrics EvaluateAttackParallel(
     const core::Dehin& dehin, const hin::Graph& target,

@@ -45,6 +45,15 @@ Status FlagParser::Parse(int argc, const char* const* argv) {
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {
+      // Accept "--no-prefilter" for a flag defined as "no_prefilter":
+      // hyphens and underscores are interchangeable on the command line.
+      std::string normalized = name;
+      for (char& c : normalized) {
+        if (c == '-') c = '_';
+      }
+      it = flags_.find(normalized);
+    }
+    if (it == flags_.end()) {
       return Status::InvalidArgument("unknown flag: --" + name);
     }
     it->second.value = value;

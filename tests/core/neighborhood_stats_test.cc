@@ -1,0 +1,177 @@
+#include "core/neighborhood_stats.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/match_cache.h"
+#include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
+
+namespace hinpriv::core {
+namespace {
+
+using hin::Strength;
+using hin::VertexId;
+
+hin::Graph BuildSmallGraph() {
+  hin::GraphBuilder builder(hin::TqqTargetSchema());
+  builder.AddVertices(0, 4);
+  // Vertex 0 mentions with strengths {5, 2, 9} and follows {1}.
+  EXPECT_TRUE(builder.AddEdge(0, 1, hin::kMentionLink, 5).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 2, hin::kMentionLink, 2).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 3, hin::kMentionLink, 9).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 2, hin::kFollowLink).ok());
+  // Vertex 1 mentions {7}; vertices 2 and 3 have no out-edges.
+  EXPECT_TRUE(builder.AddEdge(1, 3, hin::kMentionLink, 7).ok());
+  auto graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(NeighborhoodStatsTest, SortedStrengthsPerSlot) {
+  const hin::Graph graph = BuildSmallGraph();
+  const std::vector<hin::LinkTypeId> types = {hin::kMentionLink,
+                                              hin::kFollowLink};
+  NeighborhoodStats stats(graph, types, /*use_in_edges=*/false);
+  ASSERT_EQ(stats.num_slots(), 2u);
+
+  const auto mention0 = stats.SortedStrengths(0, 0);
+  ASSERT_EQ(mention0.size(), 3u);
+  EXPECT_EQ(mention0[0], 2u);
+  EXPECT_EQ(mention0[1], 5u);
+  EXPECT_EQ(mention0[2], 9u);
+
+  const auto follow0 = stats.SortedStrengths(1, 0);
+  ASSERT_EQ(follow0.size(), 1u);
+  EXPECT_TRUE(stats.SortedStrengths(0, 2).empty());
+  EXPECT_TRUE(stats.SortedStrengths(1, 3).empty());
+}
+
+TEST(NeighborhoodStatsTest, InEdgeSlotsInterleave) {
+  const hin::Graph graph = BuildSmallGraph();
+  const std::vector<hin::LinkTypeId> types = {hin::kMentionLink};
+  NeighborhoodStats stats(graph, types, /*use_in_edges=*/true);
+  ASSERT_EQ(stats.num_slots(), 2u);
+  // Slot 0 = mention out, slot 1 = mention in. Vertex 3 is mentioned by 0
+  // (strength 9) and 1 (strength 7).
+  const auto in3 = stats.SortedStrengths(1, 3);
+  ASSERT_EQ(in3.size(), 2u);
+  EXPECT_EQ(in3[0], 7u);
+  EXPECT_EQ(in3[1], 9u);
+  EXPECT_TRUE(stats.SortedStrengths(0, 3).empty());
+}
+
+TEST(NeighborhoodStatsTest, GrowthAwareDominance) {
+  using NS = NeighborhoodStats;
+  const std::vector<Strength> target = {2, 5, 9};
+  // Top-3 of aux must dominate {2, 5, 9} element-wise.
+  const std::vector<Strength> enough = {1, 3, 6, 9};   // top-3 {3,6,9}
+  const std::vector<Strength> too_low = {1, 3, 4, 9};  // top-3 {3,4,9}: 4 < 5
+  EXPECT_TRUE(NS::StrengthMultisetDominates(target, enough, true));
+  EXPECT_FALSE(NS::StrengthMultisetDominates(target, too_low, true));
+  // Pigeonhole: fewer aux strengths than target strengths.
+  const std::vector<Strength> short_aux = {9, 9};
+  EXPECT_FALSE(NS::StrengthMultisetDominates(target, short_aux, true));
+  // Empty target always passes.
+  EXPECT_TRUE(NS::StrengthMultisetDominates({}, short_aux, true));
+  EXPECT_TRUE(NS::StrengthMultisetDominates({}, {}, true));
+}
+
+TEST(NeighborhoodStatsTest, ExactSemanticsRequireContainment) {
+  using NS = NeighborhoodStats;
+  const std::vector<Strength> target = {2, 5, 5};
+  const std::vector<Strength> contains = {2, 3, 5, 5, 7};
+  const std::vector<Strength> one_five = {2, 3, 5, 7, 8};
+  const std::vector<Strength> dominates_only = {3, 6, 6, 9};
+  EXPECT_TRUE(NS::StrengthMultisetDominates(target, contains, false));
+  EXPECT_FALSE(NS::StrengthMultisetDominates(target, one_five, false));
+  EXPECT_FALSE(NS::StrengthMultisetDominates(target, dominates_only, false));
+}
+
+// Growth-aware dominance is exactly "a perfect matching exists in the
+// bipartite graph with an edge wherever aux >= target" — cross-check the
+// greedy merged scan against a brute-force matching on small multisets.
+TEST(NeighborhoodStatsTest, DominanceMatchesBruteForceMatching) {
+  auto brute_force = [](const std::vector<Strength>& t,
+                        const std::vector<Strength>& a) {
+    // Greedy on sorted inputs is optimal; verify via permutations of
+    // assignment order instead: try all injective assignments (inputs are
+    // tiny).
+    std::vector<size_t> perm(a.size());
+    for (size_t i = 0; i < a.size(); ++i) perm[i] = i;
+    if (t.size() > a.size()) return false;
+    std::sort(perm.begin(), perm.end());
+    do {
+      bool ok = true;
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (a[perm[i]] < t[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return false;
+  };
+  const std::vector<std::vector<Strength>> cases = {
+      {}, {1}, {3}, {1, 1}, {2, 4}, {4, 4}, {1, 3, 5}, {5, 5, 5}};
+  for (const auto& t : cases) {
+    for (const auto& a : cases) {
+      std::vector<Strength> ts = t, as = a;
+      std::sort(ts.begin(), ts.end());
+      std::sort(as.begin(), as.end());
+      EXPECT_EQ(NeighborhoodStats::StrengthMultisetDominates(ts, as, true),
+                brute_force(ts, as))
+          << "t.size=" << t.size() << " a.size=" << a.size();
+    }
+  }
+}
+
+TEST(MatchCacheTest, DepthsDoNotAlias) {
+  MatchCache cache(4);
+  const uint64_t key = MatchCache::PairKey(7, 9);
+  cache.Insert(1, key, true);
+  cache.Insert(17, key, false);  // would collide under 4-bit depth packing
+  EXPECT_EQ(cache.Lookup(1, key), std::optional<bool>(true));
+  EXPECT_EQ(cache.Lookup(17, key), std::optional<bool>(false));
+  EXPECT_EQ(cache.Lookup(2, key), std::nullopt);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MatchCacheTest, LargeVertexIdsDoNotAlias) {
+  MatchCache cache(1);
+  // Under the legacy 36-bit shift, vt and vt + 2^28 collided.
+  const VertexId big = (1u << 28) + 3;
+  cache.Insert(1, MatchCache::PairKey(3, 5), true);
+  cache.Insert(1, MatchCache::PairKey(big, 5), false);
+  EXPECT_EQ(cache.Lookup(1, MatchCache::PairKey(3, 5)),
+            std::optional<bool>(true));
+  EXPECT_EQ(cache.Lookup(1, MatchCache::PairKey(big, 5)),
+            std::optional<bool>(false));
+}
+
+TEST(MatchCacheTest, ConcurrentInsertsAndLookups) {
+  MatchCache cache(8);
+  constexpr int kThreads = 4;
+  constexpr uint32_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint32_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = MatchCache::PairKey(t, i);
+        cache.Insert(1 + static_cast<int>(i % 3), key, i % 2 == 0);
+        auto hit = cache.Lookup(1 + static_cast<int>(i % 3), key);
+        ASSERT_TRUE(hit.has_value());
+        ASSERT_EQ(*hit, i % 2 == 0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace hinpriv::core

@@ -60,6 +60,16 @@ TEST(FlagParserTest, BoolSpellings) {
   EXPECT_FALSE(flags.GetBool("verbose"));
 }
 
+TEST(FlagParserTest, HyphensNormalizeToUnderscores) {
+  FlagParser flags;
+  flags.Define("no_prefilter", "false", "an ablation-style flag");
+  flags.Define("aux_users", "10", "an int flag");
+  ASSERT_TRUE(
+      ParseArgs(&flags, {"--no-prefilter", "--aux-users=25"}).ok());
+  EXPECT_TRUE(flags.GetBool("no_prefilter"));
+  EXPECT_EQ(flags.GetInt("aux_users"), 25);
+}
+
 TEST(FlagParserTest, UnknownFlagIsError) {
   FlagParser flags = MakeParser();
   const Status s = ParseArgs(&flags, {"--nope=1"});
