@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   util::FlagParser flags;
   bench::DefineCommonFlags(&flags);
   flags.Define("density", "0.01", "target density for all ablations");
+  flags.Define("json", "", "also write machine-readable results to this path");
   bench::ParseFlagsOrDie(&flags, argc, argv);
 
   const double density = flags.GetDouble("density");
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   }
   const auto& base = baseline_dataset.value();
 
+  std::vector<bench::BenchJsonEntry> json_entries;
   auto run = [&](const std::string& label,
                  const eval::ExperimentDataset& dataset,
                  core::DehinConfig config, int distance) {
@@ -59,6 +61,16 @@ int main(int argc, char** argv) {
                   util::FormatDouble(evaluation.seconds, 2),
                   bench::Pct(metrics.dehin_stats.PrefilterRejectRate()),
                   bench::Pct(metrics.dehin_stats.CacheHitRate())});
+    bench::BenchJsonEntry entry;
+    entry.name = label;
+    entry.real_time_s = evaluation.seconds;
+    entry.counters = {
+        {"precision", metrics.precision},
+        {"reduction_rate", metrics.reduction_rate},
+        {"prefilter_reject_rate", metrics.dehin_stats.PrefilterRejectRate()},
+        {"cache_hit_rate", metrics.dehin_stats.CacheHitRate()},
+    };
+    json_entries.push_back(std::move(entry));
   };
 
   // Baseline: growth-aware, index, out-edges only, distance 1.
@@ -177,6 +189,18 @@ int main(int argc, char** argv) {
   }
 
   table.Print(std::cout);
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    const core::ResolvedDominanceKernel kernel = core::ResolveDominanceKernel(
+        bench::DominanceKernelFromFlags(flags));
+    const std::vector<std::pair<std::string, std::string>> context = {
+        {"dominance_kernel", kernel.name},
+        {"aux_users", flags.GetString("aux_users")},
+        {"target_size", flags.GetString("target_size")},
+        {"density", flags.GetString("density")},
+    };
+    if (!bench::WriteBenchJson(json_path, json_entries, context)) return 1;
+  }
   std::printf("\nNotes: edge perturbation deletes real links, so it breaks "
               "DeHIN's soundness guarantee (the truth may leave the "
               "candidate set) at a direct utility cost; VW-CGA defends by "

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.Define("density", "0.01", "target density");
   flags.Define("scales", "10000,25000,50000,100000,200000",
                "comma-separated auxiliary sizes to sweep");
+  flags.Define("json", "", "also write machine-readable results to this path");
   bench::ParseFlagsOrDie(&flags, argc, argv);
 
   std::vector<size_t> scales;
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
                             "n=1 prec%", "n=1 candidates", "n=2 prec%"});
 
   anon::KddAnonymizer anonymizer;
+  std::vector<bench::BenchJsonEntry> json_entries;
   for (size_t scale : scales) {
     synth::TqqConfig config = bench::AuxConfigFromFlags(flags);
     config.num_users = scale;
@@ -56,7 +58,8 @@ int main(int argc, char** argv) {
                    dataset.status().ToString().c_str());
       return 1;
     }
-    core::Dehin dehin(&dataset.value().auxiliary, bench::AttackConfig(false));
+    core::Dehin dehin(&dataset.value().auxiliary,
+                      bench::AttackConfig(false, flags));
     const auto d0 = eval::EvaluateAttackParallel(
         dehin, dataset.value().target, dataset.value().ground_truth, 0);
     const auto d1 = eval::EvaluateAttackParallel(
@@ -68,11 +71,33 @@ int main(int argc, char** argv) {
                   bench::Pct(d1.precision),
                   util::FormatDouble(d1.mean_candidate_count, 1),
                   bench::Pct(d2.precision)});
+    bench::BenchJsonEntry entry;
+    entry.name = "aux_scaling/" + std::to_string(scale);
+    entry.counters = {
+        {"d0_precision", d0.precision},
+        {"d0_candidates", d0.mean_candidate_count},
+        {"d1_precision", d1.precision},
+        {"d1_candidates", d1.mean_candidate_count},
+        {"d2_precision", d2.precision},
+    };
+    json_entries.push_back(std::move(entry));
   }
   if (flags.GetBool("tsv")) {
     table.PrintTsv(std::cout);
   } else {
     table.Print(std::cout);
+  }
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    const core::ResolvedDominanceKernel kernel = core::ResolveDominanceKernel(
+        bench::DominanceKernelFromFlags(flags));
+    const std::vector<std::pair<std::string, std::string>> context = {
+        {"dominance_kernel", kernel.name},
+        {"target_size", flags.GetString("target_size")},
+        {"density", flags.GetString("density")},
+        {"scales", scales_flag},
+    };
+    if (!bench::WriteBenchJson(json_path, json_entries, context)) return 1;
   }
   std::printf("\nExpected shape: distance-0 candidate sets grow linearly "
               "with the auxiliary (precision falls toward the paper's 5.4%% "

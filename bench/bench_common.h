@@ -38,6 +38,25 @@ inline void DefineCommonFlags(util::FlagParser* flags) {
                 "disable the neighborhood-stats prefilter (Layer 1)");
   flags->Define("no_shared_cache", "false",
                 "disable the cross-call match cache (Layer 2)");
+  flags->Define("dominance_kernel", "auto",
+                "Layer-1 strength-dominance kernel: auto|scalar|sse2|avx2 "
+                "(ablation knob; results are identical across kernels)");
+}
+
+// Parses the --dominance-kernel flag; exits with a usage error on an
+// unknown spelling so sweep-script typos fail loudly.
+inline core::DominanceKernel DominanceKernelFromFlags(
+    const util::FlagParser& flags) {
+  core::DominanceKernel kernel;
+  const std::string value = flags.GetString("dominance_kernel");
+  if (!core::ParseDominanceKernel(value, &kernel)) {
+    std::fprintf(stderr,
+                 "invalid --dominance-kernel '%s' (want auto|scalar|sse2|"
+                 "avx2)\n",
+                 value.c_str());
+    std::exit(2);
+  }
+  return kernel;
 }
 
 // Parses argv; on --help or error prints and exits.
@@ -84,6 +103,7 @@ inline core::DehinConfig AttackConfig(bool reconfigured,
   core::DehinConfig config = AttackConfig(reconfigured);
   config.use_prefilter = !flags.GetBool("no_prefilter");
   config.use_shared_cache = !flags.GetBool("no_shared_cache");
+  config.dominance_kernel = DominanceKernelFromFlags(flags);
   return config;
 }
 
@@ -110,16 +130,28 @@ inline std::string JsonEscape(const std::string& s) {
 
 // Writes `entries` as a stable, diffable JSON document so future PRs have
 // a perf trajectory to regress against (the acceptance flow stores it as
-// BENCH_dehin.json). Returns false (with a message on stderr) when the
-// file cannot be written.
-inline bool WriteBenchJson(const std::string& path,
-                           const std::vector<BenchJsonEntry>& entries) {
+// BENCH_dehin.json). `context` holds run-level string facts — notably the
+// resolved dominance kernel — as a top-level "context" object. Returns
+// false (with a message on stderr) when the file cannot be written.
+inline bool WriteBenchJson(
+    const std::string& path, const std::vector<BenchJsonEntry>& entries,
+    const std::vector<std::pair<std::string, std::string>>& context = {}) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write bench json to '%s'\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  std::fprintf(f, "{\n");
+  if (!context.empty()) {
+    std::fprintf(f, "  \"context\": {");
+    for (size_t i = 0; i < context.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                   JsonEscape(context[i].first).c_str(),
+                   JsonEscape(context[i].second).c_str());
+    }
+    std::fprintf(f, "},\n");
+  }
+  std::fprintf(f, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {
     const BenchJsonEntry& e = entries[i];
     std::fprintf(f, "    {\"name\": \"%s\", \"real_time_s\": %.9g",

@@ -9,7 +9,9 @@
 //   --target_size N      planted target size (default 1000)
 //   --no-prefilter       ablate acceleration Layer 1 (neighborhood stats)
 //   --no-shared-cache    ablate acceleration Layer 2 (cross-call cache)
+//   --dominance-kernel K Layer-1 dominance kernel: auto|scalar|sse2|avx2
 //   --json PATH          write per-benchmark wall time + counters as JSON
+//                        (the resolved kernel lands in its "context" block)
 // (hyphens and underscores are interchangeable in flag names).
 
 #include <benchmark/benchmark.h>
@@ -23,6 +25,7 @@
 #include "bench/bench_common.h"
 #include "core/candidate_index.h"
 #include "core/dehin.h"
+#include "core/dominance_kernels.h"
 #include "core/signature.h"
 #include "eval/metrics.h"
 #include "hin/subgraph.h"
@@ -40,6 +43,7 @@ struct MicroConfig {
   size_t target_size = 1000;
   bool no_prefilter = false;
   bool no_shared_cache = false;
+  core::DominanceKernel dominance_kernel = core::DominanceKernel::kAuto;
   std::string json_path;
 };
 
@@ -53,6 +57,7 @@ core::DehinConfig DehinConfigFromFlags() {
   config.match = core::DefaultTqqMatchOptions();
   config.use_prefilter = !Config().no_prefilter;
   config.use_shared_cache = !Config().no_shared_cache;
+  config.dominance_kernel = Config().dominance_kernel;
   return config;
 }
 
@@ -176,6 +181,43 @@ void BM_NeighborhoodStatsBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * graph.num_vertices());
 }
 BENCHMARK(BM_NeighborhoodStatsBuild);
+
+// Raw dominance-kernel throughput across tiers: scalar vs. every SIMD tier
+// the CPU supports, on sorted spans sized like real prefilter inputs
+// (arg = target span size; aux spans are 2x). Pairs are built to pass, so
+// the early-exit never fires and the full scan cost is measured.
+void BM_StrengthDominance(benchmark::State& state) {
+  const auto kernels = core::SupportedDominanceKernels();
+  const size_t tier = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  if (tier >= kernels.size()) {
+    state.SkipWithError("kernel tier unsupported on this CPU");
+    return;
+  }
+  const core::ResolvedDominanceKernel& kernel = kernels[tier];
+  util::Rng rng(5);
+  const size_t m = 2 * k + 1;
+  std::vector<hin::Strength> target(k);
+  std::vector<hin::Strength> aux(m);
+  for (auto& s : target) s = static_cast<hin::Strength>(rng.UniformU64(100));
+  // Every aux strength dominates every target strength: worst case scan.
+  for (auto& s : aux) {
+    s = static_cast<hin::Strength>(100 + rng.UniformU64(100));
+  }
+  std::sort(target.begin(), target.end());
+  std::sort(aux.begin(), aux.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.growth_aware(target.data(), target.size(),
+                                                 aux.data(), aux.size()));
+    benchmark::DoNotOptimize(
+        kernel.exact(target.data(), target.size(), aux.data(), aux.size()));
+  }
+  state.SetLabel(kernel.name);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_StrengthDominance)
+    ->ArgsProduct({{0, 1, 2}, {8, 64, 1024}});
 
 // Steady-state per-query latency on one long-lived Dehin: with the shared
 // cache enabled, repeat queries amortize toward cache lookups — ablate
@@ -337,6 +379,15 @@ void ExtractOwnFlags(int* argc, char** argv) {
       config.no_prefilter = true;
     } else if (name == "no_shared_cache") {
       config.no_shared_cache = true;
+    } else if (name == "dominance_kernel") {
+      const std::string v = take_value();
+      if (!core::ParseDominanceKernel(v, &config.dominance_kernel)) {
+        std::fprintf(stderr,
+                     "%s: error: invalid value '%s' for flag "
+                     "--dominance_kernel (want auto|scalar|sse2|avx2)\n",
+                     argv[0], v.c_str());
+        std::exit(1);
+      }
     } else {
       argv[out++] = argv[i];
     }
@@ -355,9 +406,22 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   const std::string& json_path = hinpriv::Config().json_path;
-  if (!json_path.empty() &&
-      !hinpriv::bench::WriteBenchJson(json_path, reporter.entries())) {
-    return 1;
+  if (!json_path.empty()) {
+    const hinpriv::core::ResolvedDominanceKernel kernel =
+        hinpriv::core::ResolveDominanceKernel(
+            hinpriv::Config().dominance_kernel);
+    const std::vector<std::pair<std::string, std::string>> context = {
+        {"dominance_kernel", kernel.name},
+        {"dominance_kernel_requested",
+         hinpriv::core::DominanceKernelChoiceName(
+             hinpriv::Config().dominance_kernel)},
+        {"aux_users", std::to_string(hinpriv::Config().aux_users)},
+        {"target_size", std::to_string(hinpriv::Config().target_size)},
+    };
+    if (!hinpriv::bench::WriteBenchJson(json_path, reporter.entries(),
+                                        context)) {
+      return 1;
+    }
   }
   return 0;
 }

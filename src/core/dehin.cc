@@ -18,7 +18,14 @@ Dehin::Dehin(const hin::Graph* auxiliary, DehinConfig config)
   if (prefilter_enabled()) {
     aux_stats_ = std::make_unique<NeighborhoodStats>(
         *aux_, config_.match.link_types, config_.match.use_in_edges);
+    kernel_ = ResolveDominanceKernel(config_.dominance_kernel);
+    dominance_fn_ =
+        config_.match.growth_aware ? kernel_.growth_aware : kernel_.exact;
   }
+}
+
+const char* Dehin::dominance_kernel_name() const {
+  return prefilter_enabled() ? kernel_.name : "off";
 }
 
 bool Dehin::EntityMatch(const hin::Graph& target, hin::VertexId vt,
@@ -43,6 +50,7 @@ DehinStats Dehin::stats() const {
   s.prefilter_rejects = prefilter_rejects_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.full_tests = full_tests_.load(std::memory_order_relaxed);
+  s.dominance_kernel = dominance_kernel_name();
   return s;
 }
 
@@ -52,16 +60,16 @@ void Dehin::ResetStats() const {
   full_tests_.store(0, std::memory_order_relaxed);
 }
 
-const Dehin::TargetState& Dehin::GetTargetState(
+std::shared_ptr<const Dehin::TargetState> Dehin::GetTargetState(
     const hin::Graph& target) const {
   std::lock_guard<std::mutex> lock(target_mu_);
   auto it = target_states_.find(&target);
   if (it != target_states_.end() &&
       it->second->num_vertices == target.num_vertices() &&
       it->second->num_edges == target.num_edges()) {
-    return *it->second;
+    return it->second;
   }
-  auto state = std::make_unique<TargetState>();
+  auto state = std::make_shared<TargetState>();
   // The saturation threshold in absolute neighbor count (see DehinConfig);
   // constant per target graph, so hoisted out of LinkMatch entirely.
   state->saturation_limit = static_cast<size_t>(
@@ -77,15 +85,29 @@ const Dehin::TargetState& Dehin::GetTargetState(
   }
   state->num_vertices = target.num_vertices();
   state->num_edges = target.num_edges();
-  auto& slot = target_states_[&target];
-  slot = std::move(state);
-  return *slot;
+  // Replacing a stale entry only drops the map's reference; calls that
+  // already pinned the old state keep it alive until they finish.
+  target_states_[&target] = state;
+  return state;
+}
+
+void Dehin::InvalidateTarget(const hin::Graph& target) const {
+  std::lock_guard<std::mutex> lock(target_mu_);
+  target_states_.erase(&target);
+}
+
+size_t Dehin::num_cached_target_states() const {
+  std::lock_guard<std::mutex> lock(target_mu_);
+  return target_states_.size();
 }
 
 std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
                                               hin::VertexId vt,
                                               int max_distance) const {
-  const TargetState& state = GetTargetState(target);
+  // Pin the state for this whole call: a concurrent InvalidateTarget or
+  // stale-fingerprint rebuild must not free it out from under us.
+  const std::shared_ptr<const TargetState> pinned = GetTargetState(target);
+  const TargetState& state = *pinned;
   // Per-call fallback memo when the cross-call cache is ablated.
   std::unique_ptr<MatchCache> local_memo;
   MatchCache* cache = state.cache.get();
@@ -121,18 +143,8 @@ std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
 
 bool Dehin::PrefilterPass(hin::VertexId vt, hin::VertexId va,
                           const TargetState& state) const {
-  const size_t slots = state.stats->num_slots();
-  for (size_t slot = 0; slot < slots; ++slot) {
-    const auto t_strengths = state.stats->SortedStrengths(slot, vt);
-    if (t_strengths.empty()) continue;
-    if (t_strengths.size() > state.saturation_limit) continue;  // saturated
-    const auto a_strengths = aux_stats_->SortedStrengths(slot, va);
-    if (!NeighborhoodStats::StrengthMultisetDominates(
-            t_strengths, a_strengths, config_.match.growth_aware)) {
-      return false;
-    }
-  }
-  return true;
+  return state.stats->PrefilterPass(*aux_stats_, vt, va,
+                                    state.saturation_limit, dominance_fn_);
 }
 
 bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,

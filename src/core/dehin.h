@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/candidate_index.h"
+#include "core/dominance_kernels.h"
 #include "core/match_cache.h"
 #include "core/matchers.h"
 #include "core/neighborhood_stats.h"
@@ -45,6 +46,14 @@ struct DehinConfig {
   // a pure function of the two graphs and the config. Turn off
   // (--no-shared-cache) to fall back to the per-call memo.
   bool use_shared_cache = true;
+  // Which implementation of the Layer-1 strength-dominance compare the
+  // prefilter runs — the hottest loop of the accelerated attack. kAuto
+  // resolves once at Dehin construction to the best tier the CPU supports
+  // (AVX2 > SSE2 > scalar); explicit tiers exist for ablation
+  // (--dominance-kernel on the benches) and degrade to the best supported
+  // tier when the CPU lacks them. All tiers are bit-identical (pinned by
+  // the differential fuzz suite), so this knob never changes results.
+  DominanceKernel dominance_kernel = DominanceKernel::kAuto;
   // A link type (and direction) whose target-side neighborhood covers more
   // than this fraction of the target graph is considered saturated by fake
   // links and skipped: a rational adversary knows real social networks
@@ -80,6 +89,10 @@ struct DehinStats {
   uint64_t cache_hits = 0;
   // Went through the full candidate-set construction + Hopcroft-Karp test.
   uint64_t full_tests = 0;
+  // Name of the dominance-kernel tier the prefilter ran with ("scalar",
+  // "sse2", "avx2", or "off" when the prefilter is disabled). Not a
+  // counter: snapshots and deltas carry it through unchanged.
+  const char* dominance_kernel = "off";
 
   uint64_t TotalLinkMatchCalls() const {
     return prefilter_rejects + cache_hits + full_tests;
@@ -116,15 +129,19 @@ inline DehinStats operator-(DehinStats a, const DehinStats& b) {
 //
 // Thread-safe for concurrent Deanonymize calls on one shared Dehin: the
 // per-target-graph state (neighborhood stats, shared match cache) is built
-// under an internal mutex on first use and read-only afterwards; the match
-// cache itself is striped-locked.
+// under an internal mutex on first use, read-only afterwards, and held by
+// shared_ptr — each Deanonymize call pins the state it resolved, so
+// concurrent invalidation or replacement (stale-fingerprint rebuild,
+// InvalidateTarget) can never free state another thread is still reading.
 //
 // Target graphs are recognized by address, so a target passed to
 // Deanonymize must stay alive (and unchanged) for as long as this Dehin is
 // used with it — do not destroy a target graph and reuse its storage for a
 // different graph mid-lifetime. (A (num_vertices, num_edges) fingerprint
 // invalidates stale state for the common rebuild-in-place patterns, but
-// address reuse by an identically-sized different graph is undetectable.)
+// address reuse by an identically-sized different graph is undetectable —
+// call InvalidateTarget before retiring a target graph to both drop its
+// cached state and keep the per-target map from growing unboundedly.)
 class Dehin {
  public:
   // `auxiliary` must outlive the Dehin.
@@ -152,6 +169,23 @@ class Dehin {
   DehinStats stats() const;
   void ResetStats() const;
 
+  // Drops the cached per-target state (neighborhood stats, shared match
+  // cache) for `target`, if any. Safe to call while other threads are mid-
+  // Deanonymize on the same graph: they pinned their state and keep using
+  // it; only the map entry is released here. Call this when retiring a
+  // target graph so target_states_ cannot grow unboundedly across many
+  // targets (and before reusing a graph object's address for a different
+  // graph, which the fingerprint cannot always detect).
+  void InvalidateTarget(const hin::Graph& target) const;
+
+  // Number of target graphs with live cached state (observability; takes
+  // the internal mutex).
+  size_t num_cached_target_states() const;
+
+  // Name of the resolved dominance-kernel tier the Layer-1 prefilter runs
+  // ("scalar", "sse2", "avx2"), or "off" when the prefilter is disabled.
+  const char* dominance_kernel_name() const;
+
  private:
   // Everything Deanonymize needs that is constant per target graph:
   // the saturation threshold, the Layer-1 stats, and the Layer-2 shared
@@ -174,7 +208,11 @@ class Dehin {
     uint64_t full_tests = 0;
   };
 
-  const TargetState& GetTargetState(const hin::Graph& target) const;
+  // Resolves (building on first use) the state for `target`. The returned
+  // shared_ptr pins the state for the caller's whole evaluation, so a
+  // concurrent rebuild or InvalidateTarget only unlinks it from the map.
+  std::shared_ptr<const TargetState> GetTargetState(
+      const hin::Graph& target) const;
 
   // Algorithm 2, link_match(n, v', v, ...): recursive typed-neighborhood
   // comparison, memoized in `cache` (the shared per-target cache or a
@@ -206,9 +244,15 @@ class Dehin {
   // Auxiliary-side Layer-1 stats, built at construction (null when the
   // prefilter is disabled).
   std::unique_ptr<NeighborhoodStats> aux_stats_;
+  // Dominance kernel resolved once at construction; dominance_fn_ is the
+  // semantics-appropriate entry point (growth-aware vs. exact) the
+  // prefilter calls.
+  ResolvedDominanceKernel kernel_;
+  DominanceFn dominance_fn_ = nullptr;
 
   mutable std::mutex target_mu_;
-  mutable std::unordered_map<const hin::Graph*, std::unique_ptr<TargetState>>
+  mutable std::unordered_map<const hin::Graph*,
+                             std::shared_ptr<const TargetState>>
       target_states_;
 
   mutable std::atomic<uint64_t> prefilter_rejects_{0};

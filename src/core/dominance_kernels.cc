@@ -1,0 +1,246 @@
+#include "core/dominance_kernels.h"
+
+#include <bit>
+#include <cstdint>
+
+#if defined(HINPRIV_X86)
+#include <immintrin.h>
+#endif
+
+namespace hinpriv::core {
+
+namespace {
+
+using hin::Strength;
+
+// --- scalar reference tier -------------------------------------------------
+
+bool GrowthScalar(const Strength* target, size_t k, const Strength* aux,
+                  size_t m) {
+  if (m < k) return false;  // pigeonhole: growth only adds links
+  // The i-th smallest of the k largest auxiliary strengths dominates the
+  // i-th smallest strength of ANY k-subset, so if even that assignment
+  // fails somewhere, no injective aux >= target assignment exists.
+  const Strength* aux_tail = aux + (m - k);
+  for (size_t i = 0; i < k; ++i) {
+    if (aux_tail[i] < target[i]) return false;
+  }
+  return true;
+}
+
+bool ExactScalar(const Strength* target, size_t k, const Strength* aux,
+                 size_t m) {
+  if (m < k) return false;
+  // Multiset containment: every target strength needs a distinct equal
+  // auxiliary strength; merged scan over the sorted spans.
+  size_t j = 0;
+  for (size_t i = 0; i < k; ++i) {
+    while (j < m && aux[j] < target[i]) ++j;
+    if (j == m || aux[j] != target[i]) return false;
+    ++j;
+  }
+  return true;
+}
+
+#if defined(HINPRIV_X86)
+
+// --- SSE2 tier -------------------------------------------------------------
+//
+// SSE2 has no unsigned 32-bit compare, so both kernels flip the sign bit
+// and use the signed compare: a <u b  <=>  (a ^ 0x80000000) <s
+// (b ^ 0x80000000). x86-64 guarantees SSE2, but the functions still carry
+// the target attribute so an i386 build dispatches correctly.
+
+__attribute__((target("sse2"))) bool GrowthSse2(const Strength* target,
+                                                size_t k, const Strength* aux,
+                                                size_t m) {
+  if (m < k) return false;
+  const Strength* aux_tail = aux + (m - k);
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  size_t i = 0;
+  for (; i + 4 <= k; i += 4) {
+    const __m128i t = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(target + i)), sign);
+    const __m128i a = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(aux_tail + i)), sign);
+    // Any lane with target > aux refutes dominance; movemask early-exit.
+    if (_mm_movemask_epi8(_mm_cmpgt_epi32(t, a)) != 0) return false;
+  }
+  for (; i < k; ++i) {
+    if (aux_tail[i] < target[i]) return false;
+  }
+  return true;
+}
+
+__attribute__((target("sse2"))) bool ExactSse2(const Strength* target,
+                                               size_t k, const Strength* aux,
+                                               size_t m) {
+  if (m < k) return false;
+  const __m128i sign = _mm_set1_epi32(INT32_MIN);
+  size_t j = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const Strength ti = target[i];
+    // Vectorized skip over aux values < ti: in a sorted span the lanes
+    // below ti form a prefix, so trailing-ones of the compare mask counts
+    // exactly how far to advance.
+    const __m128i vt = _mm_set1_epi32(static_cast<int32_t>(ti ^ 0x80000000u));
+    while (j + 4 <= m) {
+      const __m128i a = _mm_xor_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(aux + j)), sign);
+      const uint32_t below = static_cast<uint32_t>(
+          _mm_movemask_epi8(_mm_cmpgt_epi32(vt, a)));
+      if (below == 0xFFFFu) {
+        j += 4;
+        continue;
+      }
+      j += std::countr_one(below) / 4;
+      break;
+    }
+    while (j < m && aux[j] < ti) ++j;
+    if (j == m || aux[j] != ti) return false;
+    ++j;
+  }
+  return true;
+}
+
+// --- AVX2 tier -------------------------------------------------------------
+
+__attribute__((target("avx2"))) bool GrowthAvx2(const Strength* target,
+                                                size_t k, const Strength* aux,
+                                                size_t m) {
+  if (m < k) return false;
+  const Strength* aux_tail = aux + (m - k);
+  size_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(target + i));
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(aux_tail + i));
+    // Unsigned a >= t  <=>  max_u(a, t) == a; all-ones movemask means all
+    // eight lanes dominate, anything else is an early exit.
+    const __m256i dominated = _mm256_cmpeq_epi32(_mm256_max_epu32(a, t), a);
+    if (_mm256_movemask_epi8(dominated) != -1) return false;
+  }
+  for (; i < k; ++i) {
+    if (aux_tail[i] < target[i]) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) bool ExactAvx2(const Strength* target,
+                                               size_t k, const Strength* aux,
+                                               size_t m) {
+  if (m < k) return false;
+  size_t j = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const Strength ti = target[i];
+    const __m256i vt = _mm256_set1_epi32(static_cast<int32_t>(ti));
+    while (j + 8 <= m) {
+      const __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(aux + j));
+      // Unsigned aux < ti  <=>  max_u(aux, ti) != aux; sorted input makes
+      // the below-ti lanes a prefix, counted by trailing-ones.
+      const __m256i dominated =
+          _mm256_cmpeq_epi32(_mm256_max_epu32(a, vt), a);
+      const uint32_t below =
+          ~static_cast<uint32_t>(_mm256_movemask_epi8(dominated));
+      if (below == 0xFFFFFFFFu) {
+        j += 8;
+        continue;
+      }
+      j += std::countr_one(below) / 4;
+      break;
+    }
+    while (j < m && aux[j] < ti) ++j;
+    if (j == m || aux[j] != ti) return false;
+    ++j;
+  }
+  return true;
+}
+
+#endif  // HINPRIV_X86
+
+ResolvedDominanceKernel KernelForLevel(util::SimdLevel level) {
+#if defined(HINPRIV_X86)
+  switch (level) {
+    case util::SimdLevel::kAvx2:
+      return {GrowthAvx2, ExactAvx2, "avx2"};
+    case util::SimdLevel::kSse2:
+      return {GrowthSse2, ExactSse2, "sse2"};
+    case util::SimdLevel::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return {GrowthScalar, ExactScalar, "scalar"};
+}
+
+}  // namespace
+
+ResolvedDominanceKernel ResolveDominanceKernel(DominanceKernel choice) {
+  const util::SimdLevel supported = util::DetectSimdLevel();
+  util::SimdLevel requested = supported;
+  switch (choice) {
+    case DominanceKernel::kAuto:
+      break;
+    case DominanceKernel::kScalar:
+      requested = util::SimdLevel::kScalar;
+      break;
+    case DominanceKernel::kSse2:
+      requested = util::SimdLevel::kSse2;
+      break;
+    case DominanceKernel::kAvx2:
+      requested = util::SimdLevel::kAvx2;
+      break;
+  }
+  // Degrade an unsupported explicit request to the CPU's best tier.
+  if (static_cast<int>(requested) > static_cast<int>(supported)) {
+    requested = supported;
+  }
+  return KernelForLevel(requested);
+}
+
+std::vector<ResolvedDominanceKernel> SupportedDominanceKernels() {
+  std::vector<ResolvedDominanceKernel> kernels;
+  kernels.push_back(KernelForLevel(util::SimdLevel::kScalar));
+  const util::SimdLevel supported = util::DetectSimdLevel();
+  if (static_cast<int>(supported) >= static_cast<int>(util::SimdLevel::kSse2)) {
+    kernels.push_back(KernelForLevel(util::SimdLevel::kSse2));
+  }
+  if (static_cast<int>(supported) >= static_cast<int>(util::SimdLevel::kAvx2)) {
+    kernels.push_back(KernelForLevel(util::SimdLevel::kAvx2));
+  }
+  return kernels;
+}
+
+bool ParseDominanceKernel(std::string_view value, DominanceKernel* out) {
+  if (value == "auto") {
+    *out = DominanceKernel::kAuto;
+  } else if (value == "scalar") {
+    *out = DominanceKernel::kScalar;
+  } else if (value == "sse2") {
+    *out = DominanceKernel::kSse2;
+  } else if (value == "avx2") {
+    *out = DominanceKernel::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* DominanceKernelChoiceName(DominanceKernel choice) {
+  switch (choice) {
+    case DominanceKernel::kAuto:
+      return "auto";
+    case DominanceKernel::kScalar:
+      return "scalar";
+    case DominanceKernel::kSse2:
+      return "sse2";
+    case DominanceKernel::kAvx2:
+      return "avx2";
+  }
+  return "auto";
+}
+
+}  // namespace hinpriv::core

@@ -1,0 +1,70 @@
+#ifndef HINPRIV_CORE_DOMINANCE_KERNELS_H_
+#define HINPRIV_CORE_DOMINANCE_KERNELS_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "hin/types.h"
+#include "util/simd.h"
+
+namespace hinpriv::core {
+
+// Runtime-dispatched implementations of the Layer-1 strength-dominance
+// compare (NeighborhoodStats::StrengthMultisetDominates) — the hottest loop
+// of the DeHIN prefilter, executed once per (target, candidate) pair per
+// slot. Each tier implements both semantics:
+//
+//   * growth-aware: the top-|T| auxiliary strengths must dominate the
+//     sorted target strengths element-wise (a tail-aligned `>=` scan over
+//     two sorted spans, vectorized with an early-exit movemask);
+//   * exact: multiset containment, decided by a merged scan whose
+//     skip-ahead over small auxiliary strengths is vectorized.
+//
+// Every kernel is bit-identical to the scalar reference on all inputs
+// (pinned by the differential fuzz suite); selection is therefore purely a
+// performance choice, made once at startup from DehinConfig (or forced via
+// --dominance-kernel for ablation). Kernels take raw pointers and use
+// unaligned loads: spans may start at any offset inside a
+// util::kSimdAlignment-aligned arena.
+
+// The user-facing kernel choice. kAuto resolves to the best tier the
+// running CPU supports; an explicit tier the CPU lacks degrades to the best
+// supported one below it so ablation runs never crash.
+enum class DominanceKernel {
+  kAuto,
+  kScalar,
+  kSse2,
+  kAvx2,
+};
+
+// Shared kernel signature: does a sorted target strength span admit an
+// injective strength-compatible assignment into a sorted auxiliary span?
+using DominanceFn = bool (*)(const hin::Strength* target, size_t target_size,
+                             const hin::Strength* aux, size_t aux_size);
+
+// One resolved tier: both semantics plus the tier's name for logs, stats,
+// and the bench JSON ("scalar", "sse2", "avx2").
+struct ResolvedDominanceKernel {
+  DominanceFn growth_aware = nullptr;
+  DominanceFn exact = nullptr;
+  const char* name = "scalar";
+};
+
+// Resolves `choice` against the running CPU (util::DetectSimdLevel).
+ResolvedDominanceKernel ResolveDominanceKernel(DominanceKernel choice);
+
+// Every tier the running CPU supports, scalar first — the differential test
+// surface.
+std::vector<ResolvedDominanceKernel> SupportedDominanceKernels();
+
+// Parses a --dominance-kernel flag value ("auto", "scalar", "sse2",
+// "avx2"); returns false on anything else.
+bool ParseDominanceKernel(std::string_view value, DominanceKernel* out);
+
+// The flag spelling of a choice (inverse of ParseDominanceKernel).
+const char* DominanceKernelChoiceName(DominanceKernel choice);
+
+}  // namespace hinpriv::core
+
+#endif  // HINPRIV_CORE_DOMINANCE_KERNELS_H_

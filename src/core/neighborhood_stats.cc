@@ -4,44 +4,50 @@
 
 namespace hinpriv::core {
 
-namespace {
-
-void BuildSlot(const hin::Graph& graph, hin::LinkTypeId lt, bool incoming,
-               std::vector<uint64_t>* offsets,
-               std::vector<hin::Strength>* strengths) {
-  const size_t n = graph.num_vertices();
-  offsets->resize(n + 1);
-  size_t total = 0;
-  for (hin::VertexId v = 0; v < n; ++v) {
-    (*offsets)[v] = total;
-    total += incoming ? graph.InDegree(lt, v) : graph.OutDegree(lt, v);
-  }
-  (*offsets)[n] = total;
-  strengths->resize(total);
-  for (hin::VertexId v = 0; v < n; ++v) {
-    const auto edges = incoming ? graph.InEdges(lt, v) : graph.OutEdges(lt, v);
-    hin::Strength* out = strengths->data() + (*offsets)[v];
-    for (size_t i = 0; i < edges.size(); ++i) out[i] = edges[i].strength;
-    std::sort(out, out + edges.size());
-  }
-}
-
-}  // namespace
-
 NeighborhoodStats::NeighborhoodStats(
     const hin::Graph& graph, const std::vector<hin::LinkTypeId>& link_types,
     bool use_in_edges) {
-  slots_.resize(link_types.size() * (use_in_edges ? 2 : 1));
+  const size_t n = graph.num_vertices();
+  num_slots_ = link_types.size() * (use_in_edges ? 2 : 1);
+  offsets_stride_ = n + 1;
+  offsets_.Reset(num_slots_ * offsets_stride_);
+
+  // Pass 1: per-slot degrees -> one absolute offset table over the shared
+  // strengths arena (slot boundaries are just where the previous slot's
+  // running total left off).
+  uint64_t total = 0;
   size_t slot = 0;
-  for (hin::LinkTypeId lt : link_types) {
-    BuildSlot(graph, lt, /*incoming=*/false, &slots_[slot].offsets,
-              &slots_[slot].strengths);
-    ++slot;
-    if (use_in_edges) {
-      BuildSlot(graph, lt, /*incoming=*/true, &slots_[slot].offsets,
-                &slots_[slot].strengths);
-      ++slot;
+  auto lay_out_slot = [&](hin::LinkTypeId lt, bool incoming) {
+    uint64_t* off = offsets_.data() + slot * offsets_stride_;
+    for (hin::VertexId v = 0; v < n; ++v) {
+      off[v] = total;
+      total += incoming ? graph.InDegree(lt, v) : graph.OutDegree(lt, v);
     }
+    off[n] = total;
+    ++slot;
+  };
+  for (hin::LinkTypeId lt : link_types) {
+    lay_out_slot(lt, /*incoming=*/false);
+    if (use_in_edges) lay_out_slot(lt, /*incoming=*/true);
+  }
+
+  // Pass 2: fill and sort each vertex's strength run in place.
+  strengths_.Reset(total);
+  slot = 0;
+  auto fill_slot = [&](hin::LinkTypeId lt, bool incoming) {
+    const uint64_t* off = SlotOffsets(slot);
+    for (hin::VertexId v = 0; v < n; ++v) {
+      const auto edges =
+          incoming ? graph.InEdges(lt, v) : graph.OutEdges(lt, v);
+      hin::Strength* out = strengths_.data() + off[v];
+      for (size_t i = 0; i < edges.size(); ++i) out[i] = edges[i].strength;
+      std::sort(out, out + edges.size());
+    }
+    ++slot;
+  };
+  for (hin::LinkTypeId lt : link_types) {
+    fill_slot(lt, /*incoming=*/false);
+    if (use_in_edges) fill_slot(lt, /*incoming=*/true);
   }
 }
 

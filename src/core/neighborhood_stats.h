@@ -5,8 +5,10 @@
 #include <span>
 #include <vector>
 
+#include "core/dominance_kernels.h"
 #include "hin/graph.h"
 #include "hin/types.h"
+#include "util/simd.h"
 
 namespace hinpriv::core {
 
@@ -22,6 +24,12 @@ namespace hinpriv::core {
 // direction) when in-edges are unused, or slots 2i (out) / 2i+1 (in) when
 // they are. Two stats built from the same configuration therefore agree on
 // slot meaning, which is all the prefilter needs.
+//
+// Storage is two contiguous arenas shared by every slot — one offsets
+// array (slot-major, absolute into the strengths arena) and one strengths
+// array — both util::kSimdAlignment-aligned with zeroed padding, so the
+// dominance kernels (core/dominance_kernels.h) can run full-width loads at
+// any span offset without faulting.
 class NeighborhoodStats {
  public:
   NeighborhoodStats(const hin::Graph& graph,
@@ -31,16 +39,40 @@ class NeighborhoodStats {
   NeighborhoodStats(const NeighborhoodStats&) = delete;
   NeighborhoodStats& operator=(const NeighborhoodStats&) = delete;
 
-  size_t num_slots() const { return slots_.size(); }
+  size_t num_slots() const { return num_slots_; }
 
   // The strength multiset of v's neighborhood in `slot`, sorted ascending.
   // The span's size is the per-type degree, so no separate degree query is
   // needed.
   std::span<const hin::Strength> SortedStrengths(size_t slot,
                                                  hin::VertexId v) const {
-    const Slot& s = slots_[slot];
-    return {s.strengths.data() + s.offsets[v],
-            s.offsets[v + 1] - s.offsets[v]};
+    const uint64_t* off = SlotOffsets(slot) + v;
+    return {strengths_.data() + off[0], off[1] - off[0]};
+  }
+
+  // Batched Layer-1 test for one (vt, va) pair: every slot's target span
+  // (this object, vertex vt) must be dominated by the same slot's
+  // auxiliary span (aux_stats, vertex va) under `dominates` — the kernel
+  // Dehin resolved once at startup, so the per-slot loop is two pointer
+  // fetches and one indirect call, with no per-slot dispatch. Slots whose
+  // target span is empty or larger than `saturation_limit` (fake-link
+  // saturation, see DehinConfig) are skipped, mirroring LinkMatch. False
+  // proves LinkMatch would reject the pair.
+  bool PrefilterPass(const NeighborhoodStats& aux_stats, hin::VertexId vt,
+                     hin::VertexId va, size_t saturation_limit,
+                     DominanceFn dominates) const {
+    for (size_t slot = 0; slot < num_slots_; ++slot) {
+      const uint64_t* t_off = SlotOffsets(slot) + vt;
+      const size_t t_size = t_off[1] - t_off[0];
+      if (t_size == 0 || t_size > saturation_limit) continue;
+      const uint64_t* a_off = aux_stats.SlotOffsets(slot) + va;
+      if (!dominates(strengths_.data() + t_off[0], t_size,
+                     aux_stats.strengths_.data() + a_off[0],
+                     a_off[1] - a_off[0])) {
+        return false;
+      }
+    }
+    return true;
   }
 
   // Necessary condition for Algorithm 2's per-type acceptance test: a
@@ -52,16 +84,24 @@ class NeighborhoodStats {
   // merged scan over the sorted spans, O(|T| + |A|). Returns true when a
   // matching is still possible (the pair must proceed to the full test);
   // false is a proof that Dehin::LinkMatch would reject.
+  //
+  // This is the scalar reference the SIMD tiers in dominance_kernels.cc
+  // are differentially pinned against.
   static bool StrengthMultisetDominates(
       std::span<const hin::Strength> target_sorted,
       std::span<const hin::Strength> aux_sorted, bool growth_aware);
 
  private:
-  struct Slot {
-    std::vector<uint64_t> offsets;  // size num_vertices + 1
-    std::vector<hin::Strength> strengths;
-  };
-  std::vector<Slot> slots_;
+  // Offsets of `slot`: num_vertices + 1 absolute positions into the shared
+  // strengths arena.
+  const uint64_t* SlotOffsets(size_t slot) const {
+    return offsets_.data() + slot * offsets_stride_;
+  }
+
+  size_t num_slots_ = 0;
+  size_t offsets_stride_ = 0;  // num_vertices + 1
+  util::AlignedBuffer<uint64_t> offsets_;
+  util::AlignedBuffer<hin::Strength> strengths_;
 };
 
 }  // namespace hinpriv::core

@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace hinpriv::eval {
 
@@ -11,6 +12,15 @@ AttackMetrics EvaluateAttack(const core::Dehin& dehin,
   AttackMetrics metrics;
   metrics.num_targets = target.num_vertices();
   if (metrics.num_targets == 0) return metrics;
+  // Mismatched inputs would read ground_truth out of bounds below; report
+  // "nothing evaluated" instead of scoring garbage.
+  if (ground_truth.size() < target.num_vertices()) {
+    std::fprintf(stderr,
+                 "EvaluateAttack: ground truth covers %zu of %zu target "
+                 "vertices; refusing to evaluate\n",
+                 ground_truth.size(), static_cast<size_t>(target.num_vertices()));
+    return AttackMetrics{};
+  }
   const core::DehinStats stats_before = dehin.stats();
   const double aux_size =
       static_cast<double>(dehin.auxiliary().num_vertices());

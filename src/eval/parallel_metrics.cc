@@ -2,9 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 namespace hinpriv::eval {
+
+namespace {
+
+// Joins every joinable thread on scope exit. Without this, an exception
+// thrown while workers are running (a failed thread spawn, or a worker
+// error rethrown below) would destroy joinable std::threads and
+// std::terminate the process.
+class ScopedJoiner {
+ public:
+  explicit ScopedJoiner(std::vector<std::thread>* threads)
+      : threads_(threads) {}
+  ~ScopedJoiner() {
+    for (std::thread& thread : *threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+  ScopedJoiner(const ScopedJoiner&) = delete;
+  ScopedJoiner& operator=(const ScopedJoiner&) = delete;
+
+ private:
+  std::vector<std::thread>* threads_;
+};
+
+}  // namespace
 
 AttackMetrics EvaluateAttackParallel(
     const core::Dehin& dehin, const hin::Graph& target,
@@ -13,6 +40,17 @@ AttackMetrics EvaluateAttackParallel(
   AttackMetrics metrics;
   metrics.num_targets = target.num_vertices();
   if (metrics.num_targets == 0) return metrics;
+  // Mismatched inputs would read ground_truth[vt] out of bounds in the
+  // workers; validate up front (same contract as the serial
+  // EvaluateAttack) and report "nothing evaluated".
+  if (ground_truth.size() < target.num_vertices()) {
+    std::fprintf(stderr,
+                 "EvaluateAttackParallel: ground truth covers %zu of %zu "
+                 "target vertices; refusing to evaluate\n",
+                 ground_truth.size(),
+                 static_cast<size_t>(target.num_vertices()));
+    return AttackMetrics{};
+  }
   const core::DehinStats stats_before = dehin.stats();
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -30,25 +68,43 @@ AttackMetrics EvaluateAttackParallel(
   const double aux_size =
       static_cast<double>(dehin.auxiliary().num_vertices());
 
+  // First exception thrown by any worker, rethrown on the caller's thread
+  // after the join — an uncaught throw inside a std::thread body would
+  // std::terminate.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
   auto worker = [&](size_t tid) {
-    Partial& p = partials[tid];
-    while (true) {
-      const hin::VertexId vt = next.fetch_add(1, std::memory_order_relaxed);
-      if (vt >= target.num_vertices()) break;
-      const auto candidates = dehin.Deanonymize(target, vt, max_distance);
-      const bool contains_truth = std::binary_search(
-          candidates.begin(), candidates.end(), ground_truth[vt]);
-      if (contains_truth) ++p.containing_truth;
-      if (contains_truth && candidates.size() == 1) ++p.unique_correct;
-      p.reduction_sum +=
-          1.0 - static_cast<double>(candidates.size()) / aux_size;
-      p.candidate_sum += static_cast<double>(candidates.size());
+    try {
+      Partial& p = partials[tid];
+      while (true) {
+        const hin::VertexId vt = next.fetch_add(1, std::memory_order_relaxed);
+        if (vt >= target.num_vertices()) break;
+        const auto candidates = dehin.Deanonymize(target, vt, max_distance);
+        const bool contains_truth = std::binary_search(
+            candidates.begin(), candidates.end(), ground_truth[vt]);
+        if (contains_truth) ++p.containing_truth;
+        if (contains_truth && candidates.size() == 1) ++p.unique_correct;
+        p.reduction_sum +=
+            1.0 - static_cast<double>(candidates.size()) / aux_size;
+        p.candidate_sum += static_cast<double>(candidates.size());
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Drain the work queue so the other workers wind down promptly.
+      next.store(target.num_vertices(), std::memory_order_relaxed);
     }
   };
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
-  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-  for (auto& thread : threads) thread.join();
+  {
+    ScopedJoiner joiner(&threads);
+    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  }
+  if (first_error) std::rethrow_exception(first_error);
 
   double reduction_sum = 0.0;
   double candidate_sum = 0.0;

@@ -9,12 +9,25 @@ namespace {
 
 constexpr uint32_t kInfDistance = std::numeric_limits<uint32_t>::max();
 
-// Hopcroft-Karp working state: match arrays for both sides and the BFS
-// layering over left vertices.
+// Both augmenting-path searches below use an explicit frame stack instead
+// of recursion: one frame per path edge means CGA's near-complete
+// neighborhoods (and long alternating chains in general) produce paths
+// proportional to the matching size, deep enough to overflow the call
+// stack when recursing.
+struct AugmentFrame {
+  uint32_t u;           // left vertex this frame explores
+  uint32_t edge_index;  // next neighbor of u to try
+  uint32_t pending_right;  // right vertex we descended through (valid once
+                           // a deeper frame has been pushed)
+};
+
+// Hopcroft-Karp working state: match arrays for both sides, the BFS
+// layering over left vertices, and the reusable DFS stack.
 struct HkState {
   std::vector<int32_t> match_left;
   std::vector<int32_t> match_right;
   std::vector<uint32_t> dist;
+  std::vector<AugmentFrame> stack;
 
   explicit HkState(const BipartiteGraph& g)
       : match_left(g.num_left(), kUnmatched),
@@ -52,19 +65,50 @@ bool Bfs(const BipartiteGraph& g, HkState* s) {
 }
 
 // DFS along the BFS layering; augments if a free right vertex is reached.
-bool Dfs(const BipartiteGraph& g, uint32_t u, HkState* s) {
-  for (uint32_t v : g.Neighbors(u)) {
-    const int32_t w = s->match_right[v];
-    if (w == kUnmatched ||
-        (s->dist[static_cast<uint32_t>(w)] == s->dist[u] + 1 &&
-         Dfs(g, static_cast<uint32_t>(w), s))) {
-      s->match_left[u] = static_cast<int32_t>(v);
-      s->match_right[v] = static_cast<int32_t>(u);
-      return true;
+// Once the deepest frame finds a free right vertex, `augmented` stays set
+// and every frame left on the stack completes its pending edge on the way
+// out — flipping the whole alternating path, exactly as the recursive
+// unwind did.
+bool Dfs(const BipartiteGraph& g, uint32_t root, HkState* s) {
+  std::vector<AugmentFrame>& stack = s->stack;
+  stack.clear();
+  stack.push_back({root, 0, 0});
+  bool augmented = false;
+  while (!stack.empty()) {
+    AugmentFrame& f = stack.back();
+    if (augmented) {
+      s->match_left[f.u] = static_cast<int32_t>(f.pending_right);
+      s->match_right[f.pending_right] = static_cast<int32_t>(f.u);
+      stack.pop_back();
+      continue;
+    }
+    const auto neighbors = g.Neighbors(f.u);
+    bool handled = false;
+    while (f.edge_index < neighbors.size()) {
+      const uint32_t v = neighbors[f.edge_index++];
+      const int32_t w = s->match_right[v];
+      if (w == kUnmatched) {
+        s->match_left[f.u] = static_cast<int32_t>(v);
+        s->match_right[v] = static_cast<int32_t>(f.u);
+        augmented = true;
+        stack.pop_back();
+        handled = true;
+        break;
+      }
+      if (s->dist[static_cast<uint32_t>(w)] == s->dist[f.u] + 1) {
+        f.pending_right = v;
+        // Invalidates f; the next loop iteration re-reads back().
+        stack.push_back({static_cast<uint32_t>(w), 0, 0});
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) {
+      s->dist[f.u] = kInfDistance;  // dead end; prune for this phase
+      stack.pop_back();
     }
   }
-  s->dist[u] = kInfDistance;  // dead end; prune for this phase
-  return false;
+  return augmented;
 }
 
 }  // namespace
@@ -86,20 +130,46 @@ size_t HopcroftKarpMaximumMatching(const BipartiteGraph& graph,
 
 namespace {
 
-bool KuhnTryAugment(const BipartiteGraph& g, uint32_t u,
+// Kuhn's augmenting search, explicit-stack form (see AugmentFrame above):
+// on success every frame still on the stack rebinds its pending right
+// vertex to its own left vertex, reproducing the recursive unwind.
+bool KuhnTryAugment(const BipartiteGraph& g, uint32_t root,
                     std::vector<int32_t>* match_right,
-                    std::vector<bool>* visited) {
-  for (uint32_t v : g.Neighbors(u)) {
-    if ((*visited)[v]) continue;
-    (*visited)[v] = true;
-    const int32_t w = (*match_right)[v];
-    if (w == kUnmatched ||
-        KuhnTryAugment(g, static_cast<uint32_t>(w), match_right, visited)) {
-      (*match_right)[v] = static_cast<int32_t>(u);
-      return true;
+                    std::vector<bool>* visited,
+                    std::vector<AugmentFrame>* stack) {
+  stack->clear();
+  stack->push_back({root, 0, 0});
+  bool augmented = false;
+  while (!stack->empty()) {
+    AugmentFrame& f = stack->back();
+    if (augmented) {
+      (*match_right)[f.pending_right] = static_cast<int32_t>(f.u);
+      stack->pop_back();
+      continue;
     }
+    const auto neighbors = g.Neighbors(f.u);
+    bool handled = false;
+    while (f.edge_index < neighbors.size()) {
+      const uint32_t v = neighbors[f.edge_index++];
+      if ((*visited)[v]) continue;
+      (*visited)[v] = true;
+      const int32_t w = (*match_right)[v];
+      if (w == kUnmatched) {
+        (*match_right)[v] = static_cast<int32_t>(f.u);
+        augmented = true;
+        stack->pop_back();
+        handled = true;
+        break;
+      }
+      f.pending_right = v;
+      // Invalidates f; the next loop iteration re-reads back().
+      stack->push_back({static_cast<uint32_t>(w), 0, 0});
+      handled = true;
+      break;
+    }
+    if (!handled) stack->pop_back();
   }
-  return false;
+  return augmented;
 }
 
 }  // namespace
@@ -107,10 +177,11 @@ bool KuhnTryAugment(const BipartiteGraph& g, uint32_t u,
 size_t KuhnMaximumMatching(const BipartiteGraph& graph,
                            std::vector<int32_t>* match_left) {
   std::vector<int32_t> match_right(graph.num_right(), kUnmatched);
+  std::vector<AugmentFrame> stack;
   size_t matching = 0;
   for (uint32_t u = 0; u < graph.num_left(); ++u) {
     std::vector<bool> visited(graph.num_right(), false);
-    if (KuhnTryAugment(graph, u, &match_right, &visited)) ++matching;
+    if (KuhnTryAugment(graph, u, &match_right, &visited, &stack)) ++matching;
   }
   if (match_left != nullptr) {
     match_left->assign(graph.num_left(), kUnmatched);

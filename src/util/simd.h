@@ -1,0 +1,122 @@
+#ifndef HINPRIV_UTIL_SIMD_H_
+#define HINPRIV_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+// Runtime SIMD capability detection plus the aligned storage the kernel
+// layer builds on. Kernels themselves live in core/dominance_kernels.cc;
+// this header owns the two contracts they share:
+//
+//   * Detection: DetectSimdLevel() probes the running CPU once (via the
+//     compiler's cpuid builtins) and the result is cached, so dispatch is a
+//     startup decision, never a per-call branch on cpuid.
+//   * Alignment: arenas handed to kernels are allocated on
+//     kSimdAlignment-byte boundaries and padded to a multiple of
+//     kSimdAlignment bytes. Kernels still use unaligned loads — a span
+//     handed to them may start anywhere inside an arena — but an aligned,
+//     padded arena guarantees a full-width load at any in-bounds offset
+//     never crosses into an unmapped page.
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HINPRIV_X86 1
+#endif
+
+namespace hinpriv::util {
+
+// SIMD capability tiers the dominance kernels are compiled for, ordered so
+// that a larger value strictly extends a smaller one.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+inline const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+// Highest tier the running CPU supports. Cached after the first call, so
+// callers may treat this as free.
+inline SimdLevel DetectSimdLevel() {
+#if defined(HINPRIV_X86)
+  static const SimdLevel level = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+    return SimdLevel::kScalar;
+  }();
+  return level;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+// Alignment (and padding granularity) of kernel-layer arenas: one AVX2
+// vector.
+inline constexpr size_t kSimdAlignment = 32;
+
+// Fixed-capacity array of trivially-copyable elements whose base address is
+// kSimdAlignment-aligned and whose allocation is padded to a multiple of
+// kSimdAlignment bytes (padding is zeroed, so full-width loads over the
+// tail read defined values). Reset-then-fill is the only mutation pattern
+// the kernel arenas need, so there is no incremental growth.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer holds raw kernel-arena scalars");
+
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t size) { Reset(size); }
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  // Discards the contents and allocates `size` zeroed elements.
+  void Reset(size_t size) {
+    size_ = size;
+    if (size == 0) {
+      data_.reset();
+      return;
+    }
+    const size_t bytes =
+        (size * sizeof(T) + kSimdAlignment - 1) / kSimdAlignment *
+        kSimdAlignment;
+    data_.reset(static_cast<T*>(std::aligned_alloc(kSimdAlignment, bytes)));
+    std::memset(data_.get(), 0, bytes);
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) { return data_.get()[i]; }
+  const T& operator[](size_t i) const { return data_.get()[i]; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(T* p) const { std::free(p); }
+  };
+  std::unique_ptr<T, FreeDeleter> data_;
+  size_t size_ = 0;
+};
+
+}  // namespace hinpriv::util
+
+#endif  // HINPRIV_UTIL_SIMD_H_

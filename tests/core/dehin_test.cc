@@ -1,6 +1,9 @@
 #include "core/dehin.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -382,6 +385,104 @@ TEST(DehinTest, SaturatedNeighborhoodsFallBackToProfileMatching) {
   unreconfigured.saturation_fraction = 1.0;
   Dehin strict(&aux.value(), unreconfigured);
   EXPECT_TRUE(strict.Deanonymize(target.value(), 0, 1).empty());
+}
+
+// Every configured kernel must produce the same candidate sets — the
+// dominance kernel is a pure performance knob.
+TEST(DehinTest, KernelChoiceNeverChangesResults) {
+  Figure6 fixture = BuildFigure6();
+  DehinConfig scalar_config;
+  scalar_config.match = DefaultTqqMatchOptions();
+  scalar_config.dominance_kernel = DominanceKernel::kScalar;
+  Dehin scalar(&fixture.aux, scalar_config);
+  for (DominanceKernel choice :
+       {DominanceKernel::kAuto, DominanceKernel::kSse2,
+        DominanceKernel::kAvx2}) {
+    DehinConfig config = scalar_config;
+    config.dominance_kernel = choice;
+    Dehin dehin(&fixture.aux, config);
+    for (VertexId v = 0; v < fixture.target.num_vertices(); ++v) {
+      for (int n = 0; n <= 2; ++n) {
+        EXPECT_EQ(dehin.Deanonymize(fixture.target, v, n),
+                  scalar.Deanonymize(fixture.target, v, n))
+            << "kernel=" << DominanceKernelChoiceName(choice) << " v=" << v
+            << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(DehinTest, StatsReportResolvedKernel) {
+  Figure6 fixture = BuildFigure6();
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  config.dominance_kernel = DominanceKernel::kScalar;
+  Dehin dehin(&fixture.aux, config);
+  EXPECT_STREQ(dehin.dominance_kernel_name(), "scalar");
+  EXPECT_STREQ(dehin.stats().dominance_kernel, "scalar");
+  DehinConfig no_prefilter = config;
+  no_prefilter.use_prefilter = false;
+  Dehin off(&fixture.aux, no_prefilter);
+  EXPECT_STREQ(off.dominance_kernel_name(), "off");
+}
+
+// Regression for the target-state use-after-free: concurrent Deanonymize
+// calls race InvalidateTarget on the same (immutable) graph. The old code
+// handed out a raw pointer into the cache, so an invalidation freed the
+// NeighborhoodStats another thread was scanning; shared_ptr pinning must
+// keep every in-flight state alive. Run under ASan to make any regression
+// loud.
+TEST(DehinTest, ConcurrentInvalidationDoesNotInvalidateInFlightReads) {
+  Figure6 fixture = BuildFigure6();
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  Dehin dehin(&fixture.aux, config);
+  const auto expected = dehin.Deanonymize(fixture.target, 3, 2);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (dehin.Deanonymize(fixture.target, 3, 2) != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 400; ++i) {
+    dehin.InvalidateTarget(fixture.target);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : readers) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  // The cache never holds more than one entry for the one live graph.
+  EXPECT_LE(dehin.num_cached_target_states(), 1u);
+}
+
+// Retiring a target graph and building a new one at the same address must
+// not resurrect stale cached state: InvalidateTarget drops the entry, and
+// a rebuilt graph gets a fresh fingerprint-consistent analysis.
+TEST(DehinTest, InvalidateTargetDropsCachedState) {
+  Figure6 fixture = BuildFigure6();
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  Dehin dehin(&fixture.aux, config);
+  EXPECT_EQ(dehin.num_cached_target_states(), 0u);
+  (void)dehin.Deanonymize(fixture.target, 3, 1);
+  EXPECT_EQ(dehin.num_cached_target_states(), 1u);
+  dehin.InvalidateTarget(fixture.target);
+  EXPECT_EQ(dehin.num_cached_target_states(), 0u);
+  // Invalidating an unknown graph is a no-op, not an error.
+  dehin.InvalidateTarget(fixture.aux);
+  EXPECT_EQ(dehin.num_cached_target_states(), 0u);
+  // Re-analysis after invalidation still yields the Figure 6 answer.
+  const auto candidates = dehin.Deanonymize(fixture.target, 3, 1);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 4u);
+  EXPECT_EQ(dehin.num_cached_target_states(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,232 @@
+#include "core/dominance_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/neighborhood_stats.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace hinpriv::core {
+namespace {
+
+// The prefilter's correctness rests on every SIMD tier being bit-identical
+// to the scalar reference (NeighborhoodStats::StrengthMultisetDominates) —
+// kernel choice must never change attack results. This suite pins that
+// equivalence differentially: random sorted spans across sizes 0..4096,
+// both semantics, unaligned start offsets, plus deterministic
+// single-element perturbations that target each kernel's edge lanes.
+
+bool Reference(const std::vector<hin::Strength>& target,
+               const std::vector<hin::Strength>& aux, bool growth_aware) {
+  return NeighborhoodStats::StrengthMultisetDominates(
+      std::span<const hin::Strength>(target),
+      std::span<const hin::Strength>(aux), growth_aware);
+}
+
+// Runs every supported kernel on (target, aux) at several start offsets
+// inside an aligned arena and checks both semantics against the scalar
+// reference. Offsets 0..7 cover every lane phase of an 8-wide AVX2 pass.
+void CheckAllKernels(const std::vector<hin::Strength>& target,
+                     const std::vector<hin::Strength>& aux,
+                     const std::string& context) {
+  const bool want_growth = Reference(target, aux, /*growth_aware=*/true);
+  const bool want_exact = Reference(target, aux, /*growth_aware=*/false);
+  const auto kernels = SupportedDominanceKernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels.front().name, "scalar");
+  for (size_t offset : {size_t{0}, size_t{1}, size_t{3}, size_t{7}}) {
+    util::AlignedBuffer<hin::Strength> t_buf;
+    util::AlignedBuffer<hin::Strength> a_buf;
+    t_buf.Reset(target.size() + offset);
+    a_buf.Reset(aux.size() + offset);
+    std::copy(target.begin(), target.end(), t_buf.data() + offset);
+    std::copy(aux.begin(), aux.end(), a_buf.data() + offset);
+    for (const ResolvedDominanceKernel& kernel : kernels) {
+      EXPECT_EQ(kernel.growth_aware(t_buf.data() + offset, target.size(),
+                                    a_buf.data() + offset, aux.size()),
+                want_growth)
+          << context << " kernel=" << kernel.name << " offset=" << offset
+          << " semantics=growth";
+      EXPECT_EQ(kernel.exact(t_buf.data() + offset, target.size(),
+                             a_buf.data() + offset, aux.size()),
+                want_exact)
+          << context << " kernel=" << kernel.name << " offset=" << offset
+          << " semantics=exact";
+    }
+  }
+}
+
+std::vector<hin::Strength> RandomSorted(util::Rng* rng, size_t size,
+                                        uint64_t value_range) {
+  std::vector<hin::Strength> values(size);
+  for (auto& v : values) {
+    v = static_cast<hin::Strength>(rng->UniformU64(value_range));
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+TEST(DominanceKernelsTest, ScalarAlwaysSupported) {
+  const auto kernels = SupportedDominanceKernels();
+  ASSERT_GE(kernels.size(), 1u);
+  EXPECT_STREQ(kernels[0].name, "scalar");
+  for (const auto& kernel : kernels) {
+    EXPECT_NE(kernel.growth_aware, nullptr);
+    EXPECT_NE(kernel.exact, nullptr);
+  }
+}
+
+TEST(DominanceKernelsTest, EmptyAndTrivialSpans) {
+  CheckAllKernels({}, {}, "empty/empty");
+  CheckAllKernels({}, {1, 2, 3}, "empty target");
+  CheckAllKernels({5}, {}, "empty aux");
+  CheckAllKernels({5}, {5}, "equal singleton");
+  CheckAllKernels({5}, {4}, "smaller singleton");
+  CheckAllKernels({5}, {6}, "larger singleton");
+}
+
+TEST(DominanceKernelsTest, PigeonholeWhenAuxSmaller) {
+  // m < k can never dominate under either semantics.
+  CheckAllKernels({1, 2, 3}, {9, 9}, "aux too small");
+  CheckAllKernels({0, 0, 0, 0, 0, 0, 0, 0, 0}, {9, 9, 9, 9, 9, 9, 9, 9},
+                  "aux one short of a full vector");
+}
+
+TEST(DominanceKernelsTest, RandomDifferentialFuzz) {
+  util::Rng rng(20140324);
+  const size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                          31, 32, 33, 63, 64, 100, 255, 256, 1000, 4096};
+  // Narrow ranges force many equal strengths (ties exercise the exact
+  // semantics' merged scan); wide ranges exercise the unsigned compares.
+  const uint64_t ranges[] = {2, 5, 100, 1u << 31, 0xFFFFFFFFull};
+  for (size_t k : sizes) {
+    for (uint64_t range : ranges) {
+      for (int rep = 0; rep < 4; ++rep) {
+        const size_t m = k + rng.UniformU64(2 * k + 4);
+        const auto target = RandomSorted(&rng, k, range);
+        const auto aux = RandomSorted(&rng, m, range);
+        CheckAllKernels(target, aux,
+                        "fuzz k=" + std::to_string(k) +
+                            " m=" + std::to_string(m) +
+                            " range=" + std::to_string(range));
+      }
+    }
+  }
+}
+
+TEST(DominanceKernelsTest, BiasedPassingPairsStayEquivalent) {
+  // Random pairs overwhelmingly fail; build aux = target + noise so a large
+  // fraction passes and the kernels' full-scan paths are exercised too.
+  util::Rng rng(7);
+  for (size_t k : {1u, 8u, 9u, 64u, 257u, 2048u}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      auto target = RandomSorted(&rng, k, 1000);
+      std::vector<hin::Strength> aux = target;
+      for (auto& v : aux) {
+        v += static_cast<hin::Strength>(rng.UniformU64(3));  // 0..2 growth
+      }
+      const size_t extra = rng.UniformU64(k + 1);
+      for (size_t i = 0; i < extra; ++i) {
+        aux.push_back(static_cast<hin::Strength>(rng.UniformU64(1500)));
+      }
+      std::sort(aux.begin(), aux.end());
+      CheckAllKernels(target, aux, "biased k=" + std::to_string(k));
+    }
+  }
+}
+
+TEST(DominanceKernelsTest, SingleMismatchAtEveryPosition) {
+  // A pair that passes except for exactly one deficient position, swept
+  // across the span: catches any kernel that mishandles one lane of a
+  // vector (first, last, or interior) or the scalar tail.
+  for (size_t k : {1u, 7u, 8u, 9u, 16u, 33u}) {
+    std::vector<hin::Strength> target(k);
+    for (size_t i = 0; i < k; ++i) {
+      target[i] = static_cast<hin::Strength>(10 * (i + 1));
+    }
+    for (size_t deficient = 0; deficient < k; ++deficient) {
+      std::vector<hin::Strength> aux = target;  // equal => passes both
+      aux[deficient] -= 1;
+      std::sort(aux.begin(), aux.end());
+      CheckAllKernels(target, aux,
+                      "mismatch k=" + std::to_string(k) + " at " +
+                          std::to_string(deficient));
+    }
+  }
+}
+
+TEST(DominanceKernelsTest, ExtremeValuesNoOverflow) {
+  // Values at the top of the unsigned range: the SSE2 sign-flip trick and
+  // the AVX2 max-compare must not wrap.
+  const hin::Strength big = 0xFFFFFFFFu;
+  CheckAllKernels({big}, {big}, "max/max");
+  CheckAllKernels({big}, {big - 1}, "max vs max-1");
+  CheckAllKernels({0, big}, {0, big}, "span of extremes");
+  CheckAllKernels({big - 1, big, big, big, big, big, big, big},
+                  {big, big, big, big, big, big, big, big},
+                  "full vector of extremes");
+}
+
+TEST(DominanceKernelsTest, ParseRoundTrip) {
+  const std::pair<const char*, DominanceKernel> cases[] = {
+      {"auto", DominanceKernel::kAuto},
+      {"scalar", DominanceKernel::kScalar},
+      {"sse2", DominanceKernel::kSse2},
+      {"avx2", DominanceKernel::kAvx2},
+  };
+  for (const auto& [name, want] : cases) {
+    DominanceKernel got;
+    ASSERT_TRUE(ParseDominanceKernel(name, &got)) << name;
+    EXPECT_EQ(got, want);
+    EXPECT_STREQ(DominanceKernelChoiceName(want), name);
+  }
+  DominanceKernel ignored;
+  EXPECT_FALSE(ParseDominanceKernel("", &ignored));
+  EXPECT_FALSE(ParseDominanceKernel("avx512", &ignored));
+  EXPECT_FALSE(ParseDominanceKernel("Scalar", &ignored));
+}
+
+TEST(DominanceKernelsTest, ResolveDegradesGracefully) {
+  // Whatever the CPU, resolving any choice must yield usable kernels, and
+  // kAuto must match the best supported tier.
+  for (DominanceKernel choice :
+       {DominanceKernel::kAuto, DominanceKernel::kScalar,
+        DominanceKernel::kSse2, DominanceKernel::kAvx2}) {
+    const ResolvedDominanceKernel kernel = ResolveDominanceKernel(choice);
+    EXPECT_NE(kernel.growth_aware, nullptr);
+    EXPECT_NE(kernel.exact, nullptr);
+    EXPECT_NE(kernel.name, nullptr);
+  }
+  const auto kernels = SupportedDominanceKernels();
+  EXPECT_STREQ(ResolveDominanceKernel(DominanceKernel::kAuto).name,
+               kernels.back().name);
+  EXPECT_STREQ(ResolveDominanceKernel(DominanceKernel::kScalar).name,
+               "scalar");
+}
+
+TEST(AlignedBufferTest, AlignmentAndZeroedPadding) {
+  util::AlignedBuffer<hin::Strength> buf;
+  buf.Reset(13);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % util::kSimdAlignment,
+            0u);
+  EXPECT_EQ(buf.size(), 13u);
+  // Padding up to the alignment boundary is zeroed, so full-width loads
+  // past size() read defined bytes.
+  const size_t padded =
+      (13 * sizeof(hin::Strength) + util::kSimdAlignment - 1) /
+      util::kSimdAlignment * util::kSimdAlignment / sizeof(hin::Strength);
+  for (size_t i = 0; i < padded; ++i) {
+    EXPECT_EQ(buf.data()[i], 0u) << i;
+  }
+  buf.Reset(0);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hinpriv::core

@@ -1,5 +1,8 @@
 #include "eval/parallel_metrics.h"
 
+#include <stdexcept>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "anon/kdd_anonymizer.h"
@@ -60,6 +63,44 @@ TEST(ParallelMetricsTest, EmptyTarget) {
   const AttackMetrics metrics =
       EvaluateAttackParallel(dehin, empty.value(), {}, 1, 4);
   EXPECT_EQ(metrics.num_targets, 0u);
+}
+
+// Regression: a ground-truth vector shorter than the target used to send
+// workers reading ground_truth[vt] past the end. Both evaluators must now
+// refuse up front and report "nothing evaluated" instead.
+TEST(ParallelMetricsTest, ShortGroundTruthIsRejected) {
+  const ExperimentDataset dataset = MakeDataset(3);
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&dataset.auxiliary, config);
+  ASSERT_GT(dataset.target.num_vertices(), 1u);
+  std::vector<hin::VertexId> truncated(dataset.ground_truth.begin(),
+                                       dataset.ground_truth.end() - 1);
+  const AttackMetrics parallel =
+      EvaluateAttackParallel(dehin, dataset.target, truncated, 1, 4);
+  EXPECT_EQ(parallel.num_targets, 0u);
+  EXPECT_EQ(parallel.num_unique_correct, 0u);
+  const AttackMetrics serial =
+      EvaluateAttack(dehin, dataset.target, truncated, 1);
+  EXPECT_EQ(serial.num_targets, 0u);
+}
+
+// Regression: an exception escaping a worker used to std::terminate the
+// process (uncaught throw on a std::thread). It must now propagate to the
+// caller after all threads have been joined.
+TEST(ParallelMetricsTest, WorkerExceptionPropagates) {
+  const ExperimentDataset dataset = MakeDataset(4);
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  config.entity_match_override =
+      [](const hin::Graph&, hin::VertexId, const hin::Graph&,
+         hin::VertexId) -> bool {
+    throw std::runtime_error("injected matcher failure");
+  };
+  core::Dehin dehin(&dataset.auxiliary, config);
+  EXPECT_THROW(EvaluateAttackParallel(dehin, dataset.target,
+                                      dataset.ground_truth, 1, 4),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -159,5 +159,53 @@ TEST(HopcroftKarpTest, LargeSparseGraphTerminatesCorrectly) {
   EXPECT_TRUE(HasPerfectLeftMatching(g));
 }
 
+// Builds the chain graph u_i -> {v_{i+1}, v_i} (last u only -> v_{n-1}).
+// Greedy/early phases match every u_i to v_{i+1}, so the final free left
+// vertex's only augmenting path alternates through the entire chain —
+// depth n. With the old recursive DFS this overflowed the call stack; the
+// explicit-stack form must complete the perfect matching.
+BipartiteGraph DeepChainGraph(size_t n) {
+  BipartiteGraph g(n, n);
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    g.AddEdge(i, i + 1);
+    g.AddEdge(i, i);
+  }
+  g.AddEdge(static_cast<uint32_t>(n - 1), static_cast<uint32_t>(n - 1));
+  return g;
+}
+
+TEST(HopcroftKarpTest, DeepAugmentingPathDoesNotOverflowStack) {
+  const size_t n = 250000;
+  const BipartiteGraph g = DeepChainGraph(n);
+  std::vector<int32_t> match_left;
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g, &match_left), n);
+  for (size_t u = 0; u < n; ++u) {
+    EXPECT_NE(match_left[u], kUnmatched) << u;
+  }
+}
+
+TEST(KuhnTest, DeepAugmentingPathDoesNotOverflowStack) {
+  // Kuhn re-allocates its visited set per left vertex (O(n^2) total here),
+  // so the chain is kept shorter than the HK variant — still far beyond
+  // any recursive implementation's stack budget.
+  const size_t n = 100000;
+  const BipartiteGraph g = DeepChainGraph(n);
+  EXPECT_EQ(KuhnMaximumMatching(g), n);
+}
+
+// CGA-style wide case: a near-complete bipartite block produces fan-out
+// rather than depth; both matchers must still find the perfect matching
+// and agree.
+TEST(HopcroftKarpTest, WideCompleteBipartiteBlock) {
+  const size_t n = 1200;
+  BipartiteGraph g(n, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) g.AddEdge(i, j);
+  }
+  EXPECT_EQ(HopcroftKarpMaximumMatching(g), n);
+  EXPECT_EQ(KuhnMaximumMatching(g), n);
+  EXPECT_TRUE(HasPerfectLeftMatching(g));
+}
+
 }  // namespace
 }  // namespace hinpriv::matching

@@ -225,6 +225,9 @@ int RunAttack(int argc, char** argv) {
                "reconfigured attack: strip majority strengths + saturation "
                "fallback (Section 6.2)");
   flags.Define("out", "", "optional TSV: target id -> candidate count");
+  flags.Define("dominance_kernel", "auto",
+               "prefilter strength-dominance kernel: auto|scalar|sse2|avx2 "
+               "(results are identical across kernels)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) return Fail(status);
   if (flags.help_requested()) {
@@ -239,6 +242,12 @@ int RunAttack(int argc, char** argv) {
   hin::Graph published = std::move(target).value();
   core::DehinConfig config;
   config.match = core::DefaultTqqMatchOptions();
+  if (!core::ParseDominanceKernel(flags.GetString("dominance_kernel"),
+                                  &config.dominance_kernel)) {
+    return Fail(util::Status::InvalidArgument(
+        "invalid --dominance-kernel '" + flags.GetString("dominance_kernel") +
+        "' (want auto|scalar|sse2|avx2)"));
+  }
   if (flags.GetBool("strip")) {
     auto stripped = core::StripMajorityStrengthLinks(published);
     if (!stripped.ok()) return Fail(stripped.status());
