@@ -191,14 +191,8 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
-    const core::ResolvedDominanceKernel kernel = core::ResolveDominanceKernel(
-        bench::DominanceKernelFromFlags(flags));
-    const std::vector<std::pair<std::string, std::string>> context = {
-        {"dominance_kernel", kernel.name},
-        {"aux_users", flags.GetString("aux_users")},
-        {"target_size", flags.GetString("target_size")},
-        {"density", flags.GetString("density")},
-    };
+    const auto context = bench::CommonBenchContext(
+        flags, {{"density", flags.GetString("density")}});
     if (!bench::WriteBenchJson(json_path, json_entries, context)) return 1;
   }
   std::printf("\nNotes: edge perturbation deletes real links, so it breaks "

@@ -89,14 +89,9 @@ int main(int argc, char** argv) {
   }
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
-    const core::ResolvedDominanceKernel kernel = core::ResolveDominanceKernel(
-        bench::DominanceKernelFromFlags(flags));
-    const std::vector<std::pair<std::string, std::string>> context = {
-        {"dominance_kernel", kernel.name},
-        {"target_size", flags.GetString("target_size")},
-        {"density", flags.GetString("density")},
-        {"scales", scales_flag},
-    };
+    const auto context = bench::CommonBenchContext(
+        flags,
+        {{"density", flags.GetString("density")}, {"scales", scales_flag}});
     if (!bench::WriteBenchJson(json_path, json_entries, context)) return 1;
   }
   std::printf("\nExpected shape: distance-0 candidate sets grow linearly "

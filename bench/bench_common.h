@@ -17,6 +17,7 @@
 #include "core/dehin.h"
 #include "core/matchers.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -128,11 +129,39 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// The context facts every bench's --json output shares, so sweep tooling
+// can rely on one schema: the resolved and requested dominance kernels plus
+// the common sizing flags. `extra` appends bench-specific pairs. This is
+// the single home of what used to be copy-pasted per bench.
+inline std::vector<std::pair<std::string, std::string>> KernelContext(
+    core::DominanceKernel requested) {
+  const core::ResolvedDominanceKernel kernel =
+      core::ResolveDominanceKernel(requested);
+  return {{"dominance_kernel", kernel.name},
+          {"dominance_kernel_requested",
+           core::DominanceKernelChoiceName(requested)}};
+}
+
+inline std::vector<std::pair<std::string, std::string>> CommonBenchContext(
+    const util::FlagParser& flags,
+    std::vector<std::pair<std::string, std::string>> extra = {}) {
+  std::vector<std::pair<std::string, std::string>> context =
+      KernelContext(DominanceKernelFromFlags(flags));
+  context.emplace_back("aux_users", flags.GetString("aux_users"));
+  context.emplace_back("target_size", flags.GetString("target_size"));
+  context.emplace_back("seed", flags.GetString("seed"));
+  for (auto& pair : extra) context.push_back(std::move(pair));
+  return context;
+}
+
 // Writes `entries` as a stable, diffable JSON document so future PRs have
 // a perf trajectory to regress against (the acceptance flow stores it as
 // BENCH_dehin.json). `context` holds run-level string facts — notably the
-// resolved dominance kernel — as a top-level "context" object. Returns
-// false (with a message on stderr) when the file cannot be written.
+// resolved dominance kernel — as a top-level "context" object, and a
+// snapshot of the process-wide obs::MetricsRegistry (every counter/gauge/
+// histogram the run touched) is embedded under "metrics", giving all
+// benches one uniform context+metrics block. Returns false (with a message
+// on stderr) when the file cannot be written.
 inline bool WriteBenchJson(
     const std::string& path, const std::vector<BenchJsonEntry>& entries,
     const std::vector<std::pair<std::string, std::string>>& context = {}) {
@@ -150,6 +179,11 @@ inline bool WriteBenchJson(
                    JsonEscape(context[i].second).c_str());
     }
     std::fprintf(f, "},\n");
+  }
+  {
+    const std::string metrics_obj = std::string(util::Trim(
+        obs::MetricsRegistry::Global().Snapshot().ToJson()));
+    std::fprintf(f, "  \"metrics\": %s,\n", metrics_obj.c_str());
   }
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {

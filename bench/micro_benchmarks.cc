@@ -407,17 +407,12 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   const std::string& json_path = hinpriv::Config().json_path;
   if (!json_path.empty()) {
-    const hinpriv::core::ResolvedDominanceKernel kernel =
-        hinpriv::core::ResolveDominanceKernel(
-            hinpriv::Config().dominance_kernel);
-    const std::vector<std::pair<std::string, std::string>> context = {
-        {"dominance_kernel", kernel.name},
-        {"dominance_kernel_requested",
-         hinpriv::core::DominanceKernelChoiceName(
-             hinpriv::Config().dominance_kernel)},
-        {"aux_users", std::to_string(hinpriv::Config().aux_users)},
-        {"target_size", std::to_string(hinpriv::Config().target_size)},
-    };
+    auto context =
+        hinpriv::bench::KernelContext(hinpriv::Config().dominance_kernel);
+    context.emplace_back("aux_users",
+                         std::to_string(hinpriv::Config().aux_users));
+    context.emplace_back("target_size",
+                         std::to_string(hinpriv::Config().target_size));
     if (!hinpriv::bench::WriteBenchJson(json_path, reporter.entries(),
                                         context)) {
       return 1;

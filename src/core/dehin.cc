@@ -1,12 +1,66 @@
 #include "core/dehin.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <string>
 #include <unordered_map>
 
 #include "hin/graph_builder.h"
 #include "matching/hopcroft_karp.h"
+#include "obs/trace.h"
 
 namespace hinpriv::core {
+
+namespace {
+
+// Process-wide instruments the hot path mirrors into (resolved once; see
+// DESIGN.md "Observability" for the naming scheme). The per-instance
+// counters remain the source of truth for Dehin::stats().
+struct GlobalDehinMetrics {
+  obs::Counter* prefilter_rejects;
+  obs::Counter* cache_hits;
+  obs::Counter* full_tests;
+  // Dimensions of every bipartite graph handed to Hopcroft-Karp (left =
+  // target neighbors, right = auxiliary neighbors).
+  obs::Histogram* bipartite_left;
+  obs::Histogram* bipartite_right;
+};
+
+const GlobalDehinMetrics& GlobalMetrics() {
+  static const GlobalDehinMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return GlobalDehinMetrics{
+        registry.GetCounter("dehin/prefilter_rejects"),
+        registry.GetCounter("dehin/cache_hits"),
+        registry.GetCounter("dehin/full_tests"),
+        registry.GetHistogram("dehin/bipartite_left"),
+        registry.GetHistogram("dehin/bipartite_right"),
+    };
+  }();
+  return metrics;
+}
+
+// Candidate-set-size histogram per utilized distance ("dehin/
+// candidate_set_size/d<N>", distances above 8 pooled into d8+). Resolved
+// lazily and cached lock-free: one registry lookup per distance per
+// process, one relaxed load afterwards.
+obs::Histogram* CandidateSetHistogram(int max_distance) {
+  constexpr int kMaxTracked = 8;
+  static std::array<std::atomic<obs::Histogram*>, kMaxTracked + 1> cache{};
+  const int d = std::clamp(max_distance, 0, kMaxTracked);
+  obs::Histogram* histogram = cache[d].load(std::memory_order_acquire);
+  if (histogram == nullptr) {
+    const std::string name =
+        "dehin/candidate_set_size/d" + std::to_string(d) +
+        (d == kMaxTracked ? "+" : "");
+    histogram = obs::MetricsRegistry::Global().GetHistogram(name);
+    cache[d].store(histogram, std::memory_order_release);
+  }
+  return histogram;
+}
+
+}  // namespace
 
 Dehin::Dehin(const hin::Graph* auxiliary, DehinConfig config)
     : aux_(auxiliary), config_(std::move(config)) {
@@ -47,17 +101,17 @@ bool Dehin::StrengthMatch(hin::Strength target_strength,
 
 DehinStats Dehin::stats() const {
   DehinStats s;
-  s.prefilter_rejects = prefilter_rejects_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.full_tests = full_tests_.load(std::memory_order_relaxed);
+  s.prefilter_rejects = prefilter_rejects_.Value();
+  s.cache_hits = cache_hits_.Value();
+  s.full_tests = full_tests_.Value();
   s.dominance_kernel = dominance_kernel_name();
   return s;
 }
 
 void Dehin::ResetStats() const {
-  prefilter_rejects_.store(0, std::memory_order_relaxed);
-  cache_hits_.store(0, std::memory_order_relaxed);
-  full_tests_.store(0, std::memory_order_relaxed);
+  prefilter_rejects_.Reset();
+  cache_hits_.Reset();
+  full_tests_.Reset();
 }
 
 std::shared_ptr<const Dehin::TargetState> Dehin::GetTargetState(
@@ -69,6 +123,7 @@ std::shared_ptr<const Dehin::TargetState> Dehin::GetTargetState(
       it->second->num_edges == target.num_edges()) {
     return it->second;
   }
+  HINPRIV_SPAN("dehin/build_target_state");
   auto state = std::make_shared<TargetState>();
   // The saturation threshold in absolute neighbor count (see DehinConfig);
   // constant per target graph, so hoisted out of LinkMatch entirely.
@@ -104,6 +159,7 @@ size_t Dehin::num_cached_target_states() const {
 std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
                                               hin::VertexId vt,
                                               int max_distance) const {
+  HINPRIV_SPAN("dehin/deanonymize");
   // Pin the state for this whole call: a concurrent InvalidateTarget or
   // stale-fingerprint rebuild must not free it out from under us.
   const std::shared_ptr<const TargetState> pinned = GetTargetState(target);
@@ -133,11 +189,15 @@ std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
   }
   std::sort(candidates.begin(), candidates.end());
   if (local.prefilter_rejects + local.cache_hits + local.full_tests > 0) {
-    prefilter_rejects_.fetch_add(local.prefilter_rejects,
-                                 std::memory_order_relaxed);
-    cache_hits_.fetch_add(local.cache_hits, std::memory_order_relaxed);
-    full_tests_.fetch_add(local.full_tests, std::memory_order_relaxed);
+    prefilter_rejects_.Add(local.prefilter_rejects);
+    cache_hits_.Add(local.cache_hits);
+    full_tests_.Add(local.full_tests);
+    const GlobalDehinMetrics& global = GlobalMetrics();
+    global.prefilter_rejects->Add(local.prefilter_rejects);
+    global.cache_hits->Add(local.cache_hits);
+    global.full_tests->Add(local.full_tests);
   }
+  CandidateSetHistogram(max_distance)->Record(candidates.size());
   return candidates;
 }
 
@@ -191,6 +251,8 @@ bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
       }
       // Bipartite candidate sets C(b') for each target neighbor
       // (Algorithm 2), then the Hopcroft-Karp acceptance test.
+      GlobalMetrics().bipartite_left->Record(t_neighbors.size());
+      GlobalMetrics().bipartite_right->Record(a_neighbors.size());
       matching::BipartiteGraph bipartite(t_neighbors.size(),
                                          a_neighbors.size());
       for (uint32_t i = 0; i < t_neighbors.size(); ++i) {

@@ -1,7 +1,6 @@
 #ifndef HINPRIV_CORE_DEHIN_H_
 #define HINPRIV_CORE_DEHIN_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -15,6 +14,7 @@
 #include "core/matchers.h"
 #include "core/neighborhood_stats.h"
 #include "hin/graph.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace hinpriv::core {
@@ -115,10 +115,15 @@ struct DehinStats {
 };
 
 // Counter delta (a - b), for before/after snapshots around one evaluation.
+// The counters are monotone, so a well-ordered delta is nonnegative;
+// subtracting a *later* snapshot from an earlier one (or snapshots that
+// straddle a ResetStats) clamps at zero instead of silently wrapping to a
+// huge unsigned value.
 inline DehinStats operator-(DehinStats a, const DehinStats& b) {
-  a.prefilter_rejects -= b.prefilter_rejects;
-  a.cache_hits -= b.cache_hits;
-  a.full_tests -= b.full_tests;
+  auto clamped_sub = [](uint64_t x, uint64_t y) { return x > y ? x - y : 0; };
+  a.prefilter_rejects = clamped_sub(a.prefilter_rejects, b.prefilter_rejects);
+  a.cache_hits = clamped_sub(a.cache_hits, b.cache_hits);
+  a.full_tests = clamped_sub(a.full_tests, b.full_tests);
   return a;
 }
 
@@ -255,9 +260,15 @@ class Dehin {
                              std::shared_ptr<const TargetState>>
       target_states_;
 
-  mutable std::atomic<uint64_t> prefilter_rejects_{0};
-  mutable std::atomic<uint64_t> cache_hits_{0};
-  mutable std::atomic<uint64_t> full_tests_{0};
+  // Acceleration counters, kept per instance (so differently-configured
+  // Dehins in one process stay separable, e.g. in the ablation benches) but
+  // backed by the telemetry layer's striped lock-free obs::Counter instead
+  // of bare atomics. Flushes additionally mirror into the process-wide
+  // obs::MetricsRegistry under "dehin/...", which is what --metrics-json
+  // and the bench metrics block export.
+  mutable obs::Counter prefilter_rejects_{"dehin/prefilter_rejects"};
+  mutable obs::Counter cache_hits_{"dehin/cache_hits"};
+  mutable obs::Counter full_tests_{"dehin/full_tests"};
 };
 
 // Section 6.2 reconfiguration: returns a copy of `graph` with every link

@@ -25,4 +25,41 @@ size_t MatchCache::size() const {
   return total;
 }
 
+std::vector<MatchCacheShardStats> MatchCache::ShardStats() const {
+  std::vector<MatchCacheShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.push_back(shard.stats);
+  }
+  return stats;
+}
+
+MatchCacheShardStats MatchCache::TotalStats() const {
+  MatchCacheShardStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.stats;
+  }
+  return total;
+}
+
+obs::Counter* MatchCache::GlobalHitCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("match_cache/hits");
+  return counter;
+}
+
+obs::Counter* MatchCache::GlobalMissCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("match_cache/misses");
+  return counter;
+}
+
+obs::Counter* MatchCache::GlobalInsertCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("match_cache/inserts");
+  return counter;
+}
+
 }  // namespace hinpriv::core

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hin/types.h"
+#include "obs/metrics.h"
 #include "util/hashing.h"
 
 namespace hinpriv::core {
@@ -29,6 +30,22 @@ namespace hinpriv::core {
 // by its own mutex, so concurrent Deanonymize calls rarely contend. A
 // single-shard instance doubles as the per-call local memo when the shared
 // cache is ablated.
+// Per-shard probe accounting (see MatchCache::ShardStats). There are no
+// evictions to count: the cache is unbounded by design and dropped
+// wholesale with its owning Dehin target state.
+struct MatchCacheShardStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+
+  MatchCacheShardStats& operator+=(const MatchCacheShardStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    inserts += o.inserts;
+    return *this;
+  }
+};
+
 class MatchCache {
  public:
   explicit MatchCache(size_t num_shards = 1);
@@ -43,20 +60,41 @@ class MatchCache {
   // depth must be >= 1 (depth-0 queries never reach LinkMatch).
   std::optional<bool> Lookup(int depth, uint64_t pair_key) const {
     const Shard& shard = shards_[ShardIndex(pair_key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const size_t d = static_cast<size_t>(depth) - 1;
-    if (d >= shard.by_depth.size()) return std::nullopt;
-    const auto& map = shard.by_depth[d];
-    if (auto it = map.find(pair_key); it != map.end()) return it->second;
-    return std::nullopt;
+    std::optional<bool> result;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const size_t d = static_cast<size_t>(depth) - 1;
+      if (d < shard.by_depth.size()) {
+        const auto& map = shard.by_depth[d];
+        if (auto it = map.find(pair_key); it != map.end()) {
+          result = it->second;
+        }
+      }
+      // Per-shard tallies ride the lock already held, so they cost nothing
+      // extra in synchronization.
+      if (result.has_value()) {
+        ++shard.stats.hits;
+      } else {
+        ++shard.stats.misses;
+      }
+    }
+    // Process-wide mirror for --metrics-json; striped and relaxed, outside
+    // the shard lock.
+    (result.has_value() ? GlobalHitCounter() : GlobalMissCounter())
+        ->Increment();
+    return result;
   }
 
   void Insert(int depth, uint64_t pair_key, bool value) {
     Shard& shard = shards_[ShardIndex(pair_key)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const size_t d = static_cast<size_t>(depth) - 1;
-    if (d >= shard.by_depth.size()) shard.by_depth.resize(d + 1);
-    shard.by_depth[d].emplace(pair_key, value);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const size_t d = static_cast<size_t>(depth) - 1;
+      if (d >= shard.by_depth.size()) shard.by_depth.resize(d + 1);
+      shard.by_depth[d].emplace(pair_key, value);
+      ++shard.stats.inserts;
+    }
+    GlobalInsertCounter()->Increment();
   }
 
   // Total entries across shards and depths (takes every shard lock; for
@@ -65,13 +103,27 @@ class MatchCache {
 
   size_t num_shards() const { return shards_.size(); }
 
+  // Per-shard probe outcomes, index-aligned with the shard array — the
+  // spread across entries shows whether the striped locking is balanced.
+  std::vector<MatchCacheShardStats> ShardStats() const;
+  // Sum over shards.
+  MatchCacheShardStats TotalStats() const;
+
  private:
   struct Shard {
     mutable std::mutex mu;
     // by_depth[d] memoizes depth d+1; depths appear lazily as the recursion
     // reaches them, so the vector stays as short as max_distance.
     std::vector<std::unordered_map<uint64_t, bool>> by_depth;
+    // Guarded by mu (mutable: Lookup is const).
+    mutable MatchCacheShardStats stats;
   };
+
+  // Registry instruments shared by every MatchCache in the process,
+  // resolved once ("match_cache/hits|misses|inserts").
+  static obs::Counter* GlobalHitCounter();
+  static obs::Counter* GlobalMissCounter();
+  static obs::Counter* GlobalInsertCounter();
 
   size_t ShardIndex(uint64_t pair_key) const {
     return util::Mix64(pair_key) & shard_mask_;

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hinpriv::eval {
 
@@ -36,7 +41,9 @@ class ScopedJoiner {
 AttackMetrics EvaluateAttackParallel(
     const core::Dehin& dehin, const hin::Graph& target,
     const std::vector<hin::VertexId>& ground_truth, int max_distance,
-    size_t num_threads) {
+    const ParallelEvalOptions& options) {
+  HINPRIV_SPAN("eval/attack_parallel");
+  size_t num_threads = options.num_threads;
   AttackMetrics metrics;
   metrics.num_targets = target.num_vertices();
   if (metrics.num_targets == 0) return metrics;
@@ -74,8 +81,23 @@ AttackMetrics EvaluateAttackParallel(
   std::mutex error_mu;
   std::exception_ptr first_error;
 
+  // Heartbeat state shared by the workers: whichever worker first notices
+  // the interval elapsed claims the beat with a CAS and prints one line, so
+  // long runs emit a liveness signal without a dedicated reporter thread.
+  using Clock = std::chrono::steady_clock;
+  const int64_t heartbeat_ns = static_cast<int64_t>(
+      options.heartbeat_seconds * 1e9);
+  const Clock::time_point run_start = Clock::now();
+  std::atomic<int64_t> last_beat_ns{0};
+  std::atomic<size_t> completed{0};
+  obs::Gauge* progress_gauge =
+      obs::MetricsRegistry::Global().GetGauge("eval/progress");
+  progress_gauge->Set(0.0);
+
   auto worker = [&](size_t tid) {
     try {
+      obs::SetCurrentThreadName("attack-worker-" + std::to_string(tid));
+      HINPRIV_SPAN("eval/worker");
       Partial& p = partials[tid];
       while (true) {
         const hin::VertexId vt = next.fetch_add(1, std::memory_order_relaxed);
@@ -88,6 +110,28 @@ AttackMetrics EvaluateAttackParallel(
         p.reduction_sum +=
             1.0 - static_cast<double>(candidates.size()) / aux_size;
         p.candidate_sum += static_cast<double>(candidates.size());
+        const size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (heartbeat_ns > 0) {
+          const int64_t elapsed_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - run_start)
+                  .count();
+          int64_t last = last_beat_ns.load(std::memory_order_relaxed);
+          if (elapsed_ns - last >= heartbeat_ns &&
+              last_beat_ns.compare_exchange_strong(
+                  last, elapsed_ns, std::memory_order_relaxed)) {
+            const double fraction =
+                static_cast<double>(done) /
+                static_cast<double>(target.num_vertices());
+            progress_gauge->Set(fraction);
+            std::fprintf(stderr,
+                         "[hinpriv] attack progress: %zu/%zu targets "
+                         "(%.1f%%), %.1fs elapsed\n",
+                         done, static_cast<size_t>(target.num_vertices()),
+                         100.0 * fraction,
+                         static_cast<double>(elapsed_ns) / 1e9);
+          }
+        }
       }
     } catch (...) {
       {
@@ -105,6 +149,7 @@ AttackMetrics EvaluateAttackParallel(
     for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
   }
   if (first_error) std::rethrow_exception(first_error);
+  progress_gauge->Set(1.0);
 
   double reduction_sum = 0.0;
   double candidate_sum = 0.0;

@@ -7,16 +7,40 @@
 
 namespace hinpriv::eval {
 
+// Telemetry knobs for EvaluateAttackParallel. Worker threads always record
+// spans ("eval/worker", plus the per-call "dehin/deanonymize" spans) when
+// obs tracing is on; the heartbeat is opt-in because it writes to stderr.
+struct ParallelEvalOptions {
+  // 0 picks the hardware concurrency.
+  size_t num_threads = 0;
+  // > 0: any worker that notices this many seconds elapsed since the last
+  // beat prints one "attack progress: done/total" line to stderr and
+  // updates the "eval/progress" gauge — the liveness signal for
+  // multi-minute runs. 0 disables.
+  double heartbeat_seconds = 0.0;
+};
+
 // Multi-threaded EvaluateAttack. Dehin::Deanonymize is thread-safe, so
 // target vertices can be scored concurrently; with the shared match cache
 // enabled (DehinConfig::use_shared_cache) the workers additionally reuse
 // each other's LinkMatch sub-results through the striped-lock cache.
 // Results are bit-identical to the serial EvaluateAttack (verified by the
-// unit tests). `num_threads` == 0 picks the hardware concurrency.
+// unit tests).
 AttackMetrics EvaluateAttackParallel(
     const core::Dehin& dehin, const hin::Graph& target,
     const std::vector<hin::VertexId>& ground_truth, int max_distance,
-    size_t num_threads = 0);
+    const ParallelEvalOptions& options);
+
+// Compatibility shim: `num_threads` == 0 picks the hardware concurrency.
+inline AttackMetrics EvaluateAttackParallel(
+    const core::Dehin& dehin, const hin::Graph& target,
+    const std::vector<hin::VertexId>& ground_truth, int max_distance,
+    size_t num_threads = 0) {
+  ParallelEvalOptions options;
+  options.num_threads = num_threads;
+  return EvaluateAttackParallel(dehin, target, ground_truth, max_distance,
+                                options);
+}
 
 }  // namespace hinpriv::eval
 

@@ -6,6 +6,7 @@
 
 #include "hin/graph_builder.h"
 #include "hin/tqq_schema.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace hinpriv::hin {
@@ -38,6 +39,7 @@ util::Result<KddLoadReport> LoadKddCupDataset(const KddCupFiles& files,
 
   // --- user_profile.txt ----------------------------------------------------
   {
+    HINPRIV_SPAN("kdd_load/user_profile");
     auto in = OpenForRead(files.user_profile);
     if (!in.ok()) return in.status();
     std::string line;
@@ -89,6 +91,7 @@ util::Result<KddLoadReport> LoadKddCupDataset(const KddCupFiles& files,
 
   // --- user_sns.txt (follow) ----------------------------------------------
   {
+    HINPRIV_SPAN("kdd_load/user_sns");
     auto in = OpenForRead(files.user_sns);
     if (!in.ok()) return in.status();
     std::string line;
@@ -131,6 +134,7 @@ util::Result<KddLoadReport> LoadKddCupDataset(const KddCupFiles& files,
 
   // --- user_action.txt (mention / retweet / comment strengths) -------------
   {
+    HINPRIV_SPAN("kdd_load/user_action");
     auto in = OpenForRead(files.user_action);
     if (!in.ok()) return in.status();
     std::string line;
@@ -194,6 +198,7 @@ util::Result<KddLoadReport> LoadKddCupDataset(const KddCupFiles& files,
   }
 
   const size_t num_users = builder.num_vertices();
+  HINPRIV_SPAN("kdd_load/build_graph");
   auto graph = std::move(builder).Build();
   if (!graph.ok()) return graph.status();
   return KddLoadReport{std::move(graph).value(), num_users, skipped};

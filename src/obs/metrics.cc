@@ -1,0 +1,269 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace hinpriv::obs {
+
+namespace internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next_shard{0};
+  thread_local const size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) %
+      kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<uint64_t>::max(),
+                    std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the percentile sample (nearest-rank with ceil).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] < rank) {
+      seen += buckets[b];
+      continue;
+    }
+    // The rank-th sample lies in bucket b; interpolate at the midpoint of
+    // its position among the bucket's samples.
+    const double lo = static_cast<double>(Histogram::BucketLow(b));
+    const double hi = static_cast<double>(Histogram::BucketHigh(b));
+    const double within =
+        (static_cast<double>(rank - seen) - 0.5) /
+        static_cast<double>(buckets[b]);
+    const double value = lo + within * (hi - lo);
+    // The true sample can't lie outside the observed extremes.
+    return std::clamp(value, static_cast<double>(min),
+                      static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // JSON has no inf/nan literals; gauges never should produce them, but
+  // don't emit an unparseable file if one does.
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  out->append(buf);
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  out += "{\n  \"schema\": \"hinpriv-metrics-v1\",\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, counters[i].name);
+    out += ": ";
+    AppendUint(&out, counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, gauges[i].name);
+    out += ": ";
+    AppendDouble(&out, gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendJsonString(&out, h.name);
+    out += ": {\"count\": ";
+    AppendUint(&out, h.count);
+    out += ", \"sum\": ";
+    AppendUint(&out, h.sum);
+    out += ", \"mean\": ";
+    AppendDouble(&out, h.Mean());
+    out += ", \"min\": ";
+    AppendUint(&out, h.min);
+    out += ", \"max\": ";
+    AppendUint(&out, h.max);
+    out += ", \"p50\": ";
+    AppendDouble(&out, h.Percentile(50));
+    out += ", \"p90\": ";
+    AppendDouble(&out, h.Percentile(90));
+    out += ", \"p99\": ";
+    AppendDouble(&out, h.Percentile(99));
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"lo\": ";
+      AppendUint(&out, Histogram::BucketLow(b));
+      out += ", \"hi\": ";
+      AppendUint(&out, Histogram::BucketHigh(b));
+      out += ", \"count\": ";
+      AppendUint(&out, h.buckets[b]);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(std::string(name));
+  if (it != counters_.end()) return it->second.get();
+  assert(!gauges_.contains(std::string(name)) &&
+         !histograms_.contains(std::string(name)));
+  auto counter = std::make_unique<Counter>(std::string(name));
+  Counter* ptr = counter.get();
+  counters_.emplace(std::string(name), std::move(counter));
+  return ptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(std::string(name));
+  if (it != gauges_.end()) return it->second.get();
+  assert(!counters_.contains(std::string(name)) &&
+         !histograms_.contains(std::string(name)));
+  auto gauge = std::make_unique<Gauge>(std::string(name));
+  Gauge* ptr = gauge.get();
+  gauges_.emplace(std::string(name), std::move(gauge));
+  return ptr;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(std::string(name));
+  if (it != histograms_.end()) return it->second.get();
+  assert(!counters_.contains(std::string(name)) &&
+         !gauges_.contains(std::string(name)));
+  auto histogram = std::make_unique<Histogram>(std::string(name));
+  Histogram* ptr = histogram.get();
+  histograms_.emplace(std::string(name), std::move(histogram));
+  return ptr;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    uint64_t min = std::numeric_limits<uint64_t>::max();
+    for (const Histogram::Shard& shard : histogram->shards_) {
+      for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+        h.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      }
+      h.count += shard.count.load(std::memory_order_relaxed);
+      h.sum += shard.sum.load(std::memory_order_relaxed);
+      min = std::min(min, shard.min.load(std::memory_order_relaxed));
+      h.max = std::max(h.max, shard.max.load(std::memory_order_relaxed));
+    }
+    h.min = h.count == 0 ? 0 : min;
+    snapshot.histograms.push_back(std::move(h));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+util::Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                              const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot write metrics json to: " + path);
+  }
+  const std::string json = snapshot.ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return util::Status::IoError("short write of metrics json to: " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace hinpriv::obs

@@ -1,0 +1,257 @@
+#ifndef HINPRIV_OBS_METRICS_H_
+#define HINPRIV_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hinpriv::obs {
+
+// Lock-free metrics instruments for the DeHIN pipeline. Each instrument
+// stripes its state over kMetricShards cache-line-sized cells; a thread is
+// pinned to one cell on first use (round-robin, same striping discipline as
+// core::MatchCache but without the locks), so concurrent updates from the
+// EvaluateAttackParallel workers never contend or false-share. Reads
+// (Value(), MetricsRegistry::Snapshot()) sum over the shards; they are
+// racy-but-atomic per cell, which is exactly the monotone-counter contract
+// the exporters need.
+//
+// Instrument handles are stable for the life of the registry: resolve once
+// (static local or member), then update through the pointer on the hot path.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+
+// One cache line per shard cell so writers on different shards never
+// invalidate each other.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+// The calling thread's shard index, assigned round-robin on first use and
+// cached in a thread_local. Threads beyond kMetricShards share cells —
+// updates stay lock-free, they just ride the same cache line.
+size_t ThisThreadShard();
+
+}  // namespace internal
+
+// Monotone counter. Add() is one relaxed fetch_add on the caller's shard.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    shards_[internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  // Sum over shards; monotone between updates.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const internal::ShardCell& cell : shards_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (internal::ShardCell& cell : shards_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::array<internal::ShardCell, kMetricShards> shards_;
+};
+
+// Last-writer-wins scalar. Set() is rare (progress fractions, config
+// facts), so a single atomic cell suffices.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() { Set(0.0); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+// Log2-bucketed histogram of nonnegative integer samples (candidate-set
+// sizes, bipartite dimensions, ...). Bucket 0 holds exactly the value 0;
+// bucket b in [1, 64] holds [2^(b-1), 2^b - 1], so the full uint64 range is
+// covered with no overflow bucket. Record() is three relaxed adds on the
+// caller's shard (bucket count, total count, sum) plus two relaxed CAS
+// min/max updates.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // 0 -> 0; v >= 1 -> floor(log2(v)) + 1.
+  static size_t BucketIndex(uint64_t v) {
+    return v == 0 ? 0 : 64 - static_cast<size_t>(std::countl_zero(v));
+  }
+  // Inclusive bounds of bucket b.
+  static uint64_t BucketLow(size_t b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+  static uint64_t BucketHigh(size_t b) {
+    if (b == 0) return 0;
+    if (b == 64) return std::numeric_limits<uint64_t>::max();
+    return (uint64_t{1} << b) - 1;
+  }
+
+  void Record(uint64_t v) {
+    Shard& shard = shards_[internal::ThisThreadShard()];
+    shard.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+    AtomicMin(&shard.min, v);
+    AtomicMax(&shard.max, v);
+  }
+
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  friend struct HistogramSnapshot;
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{std::numeric_limits<uint64_t>::max()};
+    std::atomic<uint64_t> max{0};
+  };
+
+  static void AtomicMin(std::atomic<uint64_t>* cell, uint64_t v) {
+    uint64_t cur = cell->load(std::memory_order_relaxed);
+    while (v < cur &&
+           !cell->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<uint64_t>* cell, uint64_t v) {
+    uint64_t cur = cell->load(std::memory_order_relaxed);
+    while (v > cur &&
+           !cell->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::string name_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// --- snapshots --------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when empty
+  uint64_t max = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Linear interpolation inside the winning log2 bucket, clamped to the
+  // observed [min, max]. p in [0, 100]; 0.0 for an empty histogram.
+  double Percentile(double p) const;
+};
+
+// Point-in-time aggregate of every registered instrument, sorted by name
+// within each kind so the JSON export is stable and diffable.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // Convenience lookups for tests and differential checks; 0 / nullptr when
+  // the instrument is absent.
+  uint64_t CounterValue(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  // {"schema": "hinpriv-metrics-v1", "counters": {...}, "gauges": {...},
+  //  "histograms": {name: {count, sum, mean, min, max, p50, p90, p99,
+  //                        buckets: [{lo, hi, count}, ...nonzero...]}}}
+  std::string ToJson() const;
+};
+
+// Named-instrument registry. Registration (Get*) takes a mutex and is meant
+// for cold paths; the returned pointers are stable until the registry dies,
+// so hot paths cache them. One process-wide instance backs the pipeline
+// (MetricsRegistry::Global()); tests may build private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  // Finds or creates; a name maps to the same instrument forever. Asserts
+  // in debug mode if the name is already bound to a different kind.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every instrument (handles stay valid). For per-run deltas and
+  // test isolation; not thread-safe against concurrent updates in the sense
+  // that racing increments may survive the reset — callers quiesce first.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Writes snapshot.ToJson() to `path`.
+util::Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                              const std::string& path);
+
+}  // namespace hinpriv::obs
+
+#endif  // HINPRIV_OBS_METRICS_H_

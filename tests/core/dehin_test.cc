@@ -9,6 +9,7 @@
 
 #include "anon/kdd_anonymizer.h"
 #include "hin/graph_builder.h"
+#include "obs/metrics.h"
 #include "hin/tqq_schema.h"
 #include "synth/growth.h"
 #include "synth/planted_target.h"
@@ -356,7 +357,9 @@ TEST(DehinTest, SaturatedNeighborhoodsFallBackToProfileMatching) {
   t_builder.AddVertices(0, 10);
   for (VertexId a = 0; a < 10; ++a) {
     for (VertexId b = 0; b < 10; ++b) {
-      if (a != b) ASSERT_TRUE(t_builder.AddEdge(a, b, hin::kFollowLink).ok());
+      if (a != b) {
+        ASSERT_TRUE(t_builder.AddEdge(a, b, hin::kFollowLink).ok());
+      }
     }
   }
   auto target = std::move(t_builder).Build();
@@ -410,6 +413,53 @@ TEST(DehinTest, KernelChoiceNeverChangesResults) {
       }
     }
   }
+}
+
+// stats() deltas are computed with DehinStats::operator-; a "later" snapshot
+// taken after ResetStats() used to wrap around to huge values.
+TEST(DehinStatsTest, SubtractionClampsAtZero) {
+  DehinStats before;
+  before.prefilter_rejects = 100;
+  before.cache_hits = 50;
+  before.full_tests = 10;
+  DehinStats after;  // all zero, as after a ResetStats()
+  after.full_tests = 25;
+  const DehinStats delta = after - before;
+  EXPECT_EQ(delta.prefilter_rejects, 0u);
+  EXPECT_EQ(delta.cache_hits, 0u);
+  EXPECT_EQ(delta.full_tests, 15u);
+}
+
+// Differential check for the telemetry layer: the per-instance DehinStats and
+// the process-wide metrics registry are fed from the same batched flush, so
+// over a run their deltas must agree exactly.
+TEST(DehinTest, StatsMatchGlobalRegistryDeltas) {
+  Figure6 fixture = BuildFigure6();
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  Dehin dehin(&fixture.aux, config);
+
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (VertexId v = 0; v < fixture.target.num_vertices(); ++v) {
+    for (int n = 0; n <= 2; ++n) {
+      (void)dehin.Deanonymize(fixture.target, v, n);
+    }
+  }
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+
+  const DehinStats stats = dehin.stats();
+  EXPECT_EQ(after.CounterValue("dehin/prefilter_rejects") -
+                before.CounterValue("dehin/prefilter_rejects"),
+            stats.prefilter_rejects);
+  EXPECT_EQ(after.CounterValue("dehin/cache_hits") -
+                before.CounterValue("dehin/cache_hits"),
+            stats.cache_hits);
+  EXPECT_EQ(after.CounterValue("dehin/full_tests") -
+                before.CounterValue("dehin/full_tests"),
+            stats.full_tests);
+  // The attack exercised the matcher, so something was counted and the
+  // candidate-set histograms saw every Deanonymize call.
+  EXPECT_GT(stats.full_tests + stats.prefilter_rejects + stats.cache_hits, 0u);
 }
 
 TEST(DehinTest, StatsReportResolvedKernel) {

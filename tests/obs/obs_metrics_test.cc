@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hinpriv::obs {
+namespace {
+
+// --- log2 bucketing ---------------------------------------------------------
+
+TEST(HistogramBucketsTest, BucketIndexEdges) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()), 64u);
+}
+
+TEST(HistogramBucketsTest, PowerOfTwoBoundaries) {
+  // 2^k opens bucket k+1; 2^k - 1 closes bucket k.
+  for (size_t k = 1; k < 64; ++k) {
+    const uint64_t pow = uint64_t{1} << k;
+    EXPECT_EQ(Histogram::BucketIndex(pow), k + 1) << "v=2^" << k;
+    EXPECT_EQ(Histogram::BucketIndex(pow - 1), k) << "v=2^" << k << "-1";
+  }
+}
+
+TEST(HistogramBucketsTest, BoundsRoundTrip) {
+  // Every bucket's inclusive bounds map back into the bucket, and adjacent
+  // buckets tile the uint64 range with no gap or overlap.
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLow(b)), b);
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketHigh(b)), b);
+    if (b + 1 < Histogram::kNumBuckets) {
+      EXPECT_EQ(Histogram::BucketHigh(b) + 1, Histogram::BucketLow(b + 1));
+    }
+  }
+  EXPECT_EQ(Histogram::BucketHigh(64), std::numeric_limits<uint64_t>::max());
+}
+
+// --- histogram recording & percentiles --------------------------------------
+
+HistogramSnapshot SnapshotOf(MetricsRegistry& registry,
+                             const std::string& name) {
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* h = snapshot.FindHistogram(name);
+  EXPECT_NE(h, nullptr);
+  return h == nullptr ? HistogramSnapshot{} : *h;
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  MetricsRegistry registry;
+  registry.GetHistogram("h");
+  const HistogramSnapshot snap = SnapshotOf(registry, "h");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, ZeroOnlySamples) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  for (int i = 0; i < 10; ++i) h->Record(0);
+  const HistogramSnapshot snap = SnapshotOf(registry, "h");
+  EXPECT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.buckets[0], 10u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  for (uint64_t v : {3u, 5u, 9u, 17u, 120u}) h->Record(v);
+  const HistogramSnapshot snap = SnapshotOf(registry, "h");
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 3u + 5u + 9u + 17u + 120u);
+  EXPECT_EQ(snap.min, 3u);
+  EXPECT_EQ(snap.max, 120u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 154.0 / 5.0);
+}
+
+TEST(HistogramTest, PercentileClampedToObservedRange) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  // All mass in bucket 7 ([64, 127]) but the observed range is [100, 100]:
+  // interpolation inside the bucket must clamp to what was actually seen.
+  for (int i = 0; i < 100; ++i) h->Record(100);
+  const HistogramSnapshot snap = SnapshotOf(registry, "h");
+  EXPECT_DOUBLE_EQ(snap.Percentile(0), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, PercentileMonotoneAndOrdered) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  // 90 small samples, 10 large: p50 must land in the small cluster, p99 in
+  // the large one, and percentiles must be monotone in p.
+  for (int i = 0; i < 90; ++i) h->Record(2);
+  for (int i = 0; i < 10; ++i) h->Record(1000);
+  const HistogramSnapshot snap = SnapshotOf(registry, "h");
+  const double p50 = snap.Percentile(50);
+  const double p90 = snap.Percentile(90);
+  const double p99 = snap.Percentile(99);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p50, 3.0);  // bucket 2 is [2, 3]
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);  // clamped to observed max
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+}
+
+TEST(HistogramTest, HugeValueLandsInTopBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(std::numeric_limits<uint64_t>::max());
+  const HistogramSnapshot snap = SnapshotOf(registry, "h");
+  EXPECT_EQ(snap.buckets[64], 1u);
+  EXPECT_EQ(snap.max, std::numeric_limits<uint64_t>::max());
+  // Percentile stays clamped to the observed range even in the open-ended
+  // top bucket.
+  EXPECT_DOUBLE_EQ(
+      snap.Percentile(100),
+      static_cast<double>(std::numeric_limits<uint64_t>::max()));
+}
+
+// --- multi-threaded aggregation ---------------------------------------------
+
+TEST(CounterTest, MultiThreadedAggregation) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  EXPECT_EQ(registry.Snapshot().CounterValue("c"), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, MultiThreadedRecording) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h->Record(static_cast<uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const HistogramSnapshot snap = SnapshotOf(registry, "h");
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += (static_cast<uint64_t>(t) + 1) * kPerThread;
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, static_cast<uint64_t>(kThreads));
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, StableHandlesAndLookup) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name(), "x");
+  Gauge* g = registry.GetGauge("y");
+  g->Set(0.75);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.75);
+  EXPECT_EQ(registry.Snapshot().CounterValue("absent"), 0u);
+  EXPECT_EQ(registry.Snapshot().FindHistogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  c->Add(7);
+  g->Set(1.5);
+  h->Record(42);
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  const HistogramSnapshot snap = SnapshotOf(registry, "h");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  // The handle still works after the reset.
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[1].name, "mid");
+  EXPECT_EQ(snapshot.counters[2].name, "zeta");
+}
+
+TEST(MetricsRegistryTest, ToJsonContainsInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests")->Add(3);
+  registry.GetGauge("progress")->Set(0.5);
+  registry.GetHistogram("sizes")->Record(16);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"schema\": \"hinpriv-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"progress\""), std::string::npos);
+  EXPECT_NE(json.find("\"sizes\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hinpriv::obs

@@ -1,10 +1,12 @@
 // hinpriv — command-line front end to the library.
 //
 //   hinpriv_cli generate  --users=50000 --out=net.graph [--kdd_prefix=dir/]
-//   hinpriv_cli anonymize --in=net.graph --scheme=cga --out=anon.graph \
+//   hinpriv_cli anonymize --in=net.graph --scheme=cga --out=anon.graph
 //                         --mapping=mapping.tsv
-//   hinpriv_cli attack    --target=anon.graph --aux=net.graph \
+//   hinpriv_cli attack    --target=anon.graph --aux=net.graph
 //                         [--mapping=mapping.tsv] [--max_distance=2] [--strip]
+//                         [--threads=4] [--metrics-json=m.json]
+//                         [--trace-out=run.trace.json]
 //   hinpriv_cli audit     --in=net.graph [--max_distance=3]
 //   hinpriv_cli stats     --in=net.graph
 //
@@ -12,6 +14,7 @@
 // (hin/io.h); `generate` can additionally emit the KDD Cup 2012 three-file
 // layout for tools built against the original release.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +28,7 @@
 #include "core/dehin.h"
 #include "core/privacy_risk.h"
 #include "eval/metrics.h"
+#include "eval/parallel_metrics.h"
 #include "hin/binary_io.h"
 #include "hin/density.h"
 #include "hin/graph_stats.h"
@@ -32,6 +36,8 @@
 #include "hin/projection.h"
 #include "hin/kdd_loader.h"
 #include "hin/tqq_schema.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/tqq_generator.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -213,6 +219,27 @@ util::Result<std::vector<hin::VertexId>> LoadMapping(const std::string& path,
   return mapping;
 }
 
+// Writes the telemetry outputs the attack subcommand was asked for; called
+// once at the end of the run (on the success paths).
+int EmitAttackTelemetry(const std::string& metrics_path,
+                        const std::string& trace_path) {
+  if (!trace_path.empty()) {
+    obs::StopTracing();
+    const util::Status written = obs::WriteChromeTrace(trace_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("trace written to %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const util::Status written = obs::WriteMetricsJson(
+        obs::MetricsRegistry::Global().Snapshot(), metrics_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 int RunAttack(int argc, char** argv) {
   util::FlagParser flags;
   flags.Define("target", "", "published (anonymized) graph");
@@ -228,11 +255,28 @@ int RunAttack(int argc, char** argv) {
   flags.Define("dominance_kernel", "auto",
                "prefilter strength-dominance kernel: auto|scalar|sse2|avx2 "
                "(results are identical across kernels)");
+  flags.Define("threads", "1",
+               "worker threads; >1 or 0 (= hardware concurrency) runs the "
+               "parallel evaluator and requires --mapping");
+  flags.Define("metrics_json", "",
+               "write a metrics snapshot (counters/gauges/histograms) to "
+               "this path after the attack");
+  flags.Define("trace_out", "",
+               "record phase spans and write Chrome trace-event JSON to "
+               "this path (load in chrome://tracing or Perfetto)");
+  flags.Define("heartbeat_sec", "30",
+               "progress line to stderr every N seconds (0 = off)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) return Fail(status);
   if (flags.help_requested()) {
     std::printf("%s", flags.Usage("hinpriv_cli attack").c_str());
     return 0;
+  }
+  const std::string metrics_path = flags.GetString("metrics_json");
+  const std::string trace_path = flags.GetString("trace_out");
+  if (!trace_path.empty()) {
+    obs::SetCurrentThreadName("main");
+    obs::StartTracing();
   }
   auto target = LoadAnyGraph(flags.GetString("target"));
   if (!target.ok()) return Fail(target.status());
@@ -256,6 +300,42 @@ int RunAttack(int argc, char** argv) {
   }
   core::Dehin dehin(&aux.value(), config);
   const int n = static_cast<int>(flags.GetInt("max_distance"));
+  const double heartbeat_sec = flags.GetDouble("heartbeat_sec");
+
+  // Parallel path: score every target through eval::EvaluateAttackParallel
+  // (per-worker spans, shared match cache across workers). It reports
+  // aggregates only, so the per-target TSV stays on the serial path.
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
+  if (threads != 1) {
+    const std::string mapping_path = flags.GetString("mapping");
+    if (mapping_path.empty()) {
+      return Fail(util::Status::InvalidArgument(
+          "--threads != 1 runs the parallel evaluator, which scores against "
+          "ground truth; pass --mapping"));
+    }
+    if (!flags.GetString("out").empty()) {
+      return Fail(util::Status::InvalidArgument(
+          "--out (per-target TSV) requires the serial path (--threads=1)"));
+    }
+    auto mapping = LoadMapping(mapping_path, published.num_vertices());
+    if (!mapping.ok()) return Fail(mapping.status());
+    eval::ParallelEvalOptions options;
+    options.num_threads = threads;
+    options.heartbeat_seconds = heartbeat_sec;
+    const eval::AttackMetrics metrics = eval::EvaluateAttackParallel(
+        dehin, published, mapping.value(), n, options);
+    std::printf(
+        "targets: %zu; precision: %.1f%%; truth contained: %zu; mean "
+        "candidate set: %.1f of %zu\n",
+        metrics.num_targets, 100.0 * metrics.precision,
+        metrics.num_containing_truth, metrics.mean_candidate_count,
+        aux.value().num_vertices());
+    std::printf("prefilter rejects: %.1f%%; cache hits: %.1f%% (kernel %s)\n",
+                100.0 * metrics.dehin_stats.PrefilterRejectRate(),
+                100.0 * metrics.dehin_stats.CacheHitRate(),
+                metrics.dehin_stats.dominance_kernel);
+    return EmitAttackTelemetry(metrics_path, trace_path);
+  }
 
   size_t unique = 0;
   double candidate_sum = 0.0;
@@ -269,6 +349,8 @@ int RunAttack(int argc, char** argv) {
   std::vector<size_t> candidate_counts(published.num_vertices());
   std::vector<hin::VertexId> unique_match(published.num_vertices(),
                                           hin::kInvalidVertex);
+  const auto run_start = std::chrono::steady_clock::now();
+  auto last_beat = run_start;
   for (hin::VertexId v = 0; v < published.num_vertices(); ++v) {
     const auto candidates = dehin.Deanonymize(published, v, n);
     candidate_counts[v] = candidates.size();
@@ -281,6 +363,21 @@ int RunAttack(int argc, char** argv) {
       out << v << '\t' << candidates.size() << '\t';
       if (candidates.size() == 1) out << candidates[0];
       out << '\n';
+    }
+    if (heartbeat_sec > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_beat).count() >=
+          heartbeat_sec) {
+        last_beat = now;
+        std::fprintf(stderr,
+                     "[hinpriv] attack progress: %zu/%zu targets (%.1f%%), "
+                     "%.1fs elapsed\n",
+                     static_cast<size_t>(v) + 1,
+                     static_cast<size_t>(published.num_vertices()),
+                     100.0 * static_cast<double>(v + 1) /
+                         static_cast<double>(published.num_vertices()),
+                     std::chrono::duration<double>(now - run_start).count());
+      }
     }
   }
   std::printf("targets: %zu; uniquely matched: %zu (%.1f%%); mean candidate "
@@ -309,7 +406,7 @@ int RunAttack(int argc, char** argv) {
                 100.0 * static_cast<double>(correct) /
                     static_cast<double>(published.num_vertices()));
   }
-  return 0;
+  return EmitAttackTelemetry(metrics_path, trace_path);
 }
 
 int RunAudit(int argc, char** argv) {
