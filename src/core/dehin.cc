@@ -159,6 +159,13 @@ size_t Dehin::num_cached_target_states() const {
 std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
                                               hin::VertexId vt,
                                               int max_distance) const {
+  // Without a token the cancellable path can only return a value.
+  return Deanonymize(target, vt, max_distance, nullptr).value();
+}
+
+util::Result<std::vector<hin::VertexId>> Dehin::Deanonymize(
+    const hin::Graph& target, hin::VertexId vt, int max_distance,
+    const util::CancelToken* cancel) const {
   HINPRIV_SPAN("dehin/deanonymize");
   // Pin the state for this whole call: a concurrent InvalidateTarget or
   // stale-fingerprint rebuild must not free it out from under us.
@@ -172,18 +179,31 @@ std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
     cache = local_memo.get();
   }
   LocalStats local;
+  local.cancel = cancel;
   std::vector<hin::VertexId> candidates;
   auto consider = [&](hin::VertexId va) {
+    if (local.cancel != nullptr) {
+      // Per-candidate poll: catches an already-expired deadline before any
+      // work and bounds the stop latency by one candidate's evaluation.
+      if (local.stopped) return;
+      if (local.cancel->ShouldStop()) {
+        local.stopped = true;
+        return;
+      }
+    }
     if (max_distance > 0 && !LinkMatch(max_distance, target, vt, va, state,
                                        cache, &local, /*is_root=*/true)) {
       return;
     }
     candidates.push_back(va);
   };
-  if (index_ != nullptr) {
+  if (cancel != nullptr && cancel->ShouldStop()) {
+    local.stopped = true;  // dead on arrival (e.g. a 0ms deadline)
+  } else if (index_ != nullptr) {
     index_->ForEachCandidate(target, vt, consider);
   } else {
     for (hin::VertexId va = 0; va < aux_->num_vertices(); ++va) {
+      if (local.stopped) break;
       if (EntityMatch(target, vt, va)) consider(va);
     }
   }
@@ -196,6 +216,13 @@ std::vector<hin::VertexId> Dehin::Deanonymize(const hin::Graph& target,
     global.prefilter_rejects->Add(local.prefilter_rejects);
     global.cache_hits->Add(local.cache_hits);
     global.full_tests->Add(local.full_tests);
+  }
+  if (local.stopped) {
+    // The scan ended early, so `candidates` is partial; report why instead.
+    // (Counters above still flushed: that work really ran.)
+    return cancel->deadline_exceeded()
+               ? util::Status::DeadlineExceeded("dehin: deadline exceeded")
+               : util::Status::Cancelled("dehin: cancelled");
   }
   CandidateSetHistogram(max_distance)->Record(candidates.size());
   return candidates;
@@ -211,6 +238,21 @@ bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
                       hin::VertexId va, const TargetState& state,
                       MatchCache* cache, LocalStats* local,
                       bool is_root) const {
+  // Cooperative cancellation: a sticky stop flag short-circuits the whole
+  // remaining recursion; the token itself is only polled every
+  // kCancelCheckStride calls so the steady-clock read stays off the common
+  // path. Returning false here is a "don't care" value — the root call
+  // discards the candidate set once it sees local->stopped.
+  if (local->cancel != nullptr) {
+    if (local->stopped) return false;
+    if (--local->cancel_countdown == 0) {
+      local->cancel_countdown = LocalStats::kCancelCheckStride;
+      if (local->cancel->ShouldStop()) {
+        local->stopped = true;
+        return false;
+      }
+    }
+  }
   // Layer 1 runs before the cache: the O(|T|+|A|) necessary-condition scan
   // is about as cheap as a locked cache probe, so rejected pairs are never
   // inserted (they would only displace entries whose recomputation is
@@ -280,7 +322,9 @@ bool Dehin::LinkMatch(int depth, const hin::Graph& target, hin::VertexId vt,
       }
     }
   }
-  if (!is_root) cache->Insert(depth, key, is_match);
+  // A result computed while (or after) the stop flag flipped may have seen
+  // truncated sub-answers; caching it would poison later calls.
+  if (!is_root && !local->stopped) cache->Insert(depth, key, is_match);
   return is_match;
 }
 

@@ -15,6 +15,7 @@
 #include "core/neighborhood_stats.h"
 #include "hin/graph.h"
 #include "obs/metrics.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace hinpriv::core {
@@ -167,6 +168,20 @@ class Dehin {
                                          hin::VertexId vt,
                                          int max_distance) const;
 
+  // Cancellable variant for the attack service and interruptible batch
+  // runs. The recursion polls `cancel` cooperatively — once per candidate
+  // plus every LocalStats::kCancelCheckStride LinkMatch calls, so the
+  // added cost is one relaxed load (and an occasional clock read) per
+  // ~hundreds of dominated-pair tests — and returns
+  // Status::DeadlineExceeded / Status::Cancelled instead of a partial
+  // candidate set. Results computed after the stop flag flips are never
+  // inserted into the match cache (their sub-answers may be truncated),
+  // so an aborted call cannot poison later ones. A null `cancel` is the
+  // plain uncancellable path.
+  util::Result<std::vector<hin::VertexId>> Deanonymize(
+      const hin::Graph& target, hin::VertexId vt, int max_distance,
+      const util::CancelToken* cancel) const;
+
   const DehinConfig& config() const { return config_; }
   const hin::Graph& auxiliary() const { return *aux_; }
 
@@ -206,11 +221,20 @@ class Dehin {
   };
 
   // Per-call counter accumulator, flushed to the atomics once per
-  // Deanonymize so the recursion does not touch shared cache lines.
+  // Deanonymize so the recursion does not touch shared cache lines. Also
+  // carries the call's cancellation state: the token to poll (null = not
+  // cancellable), a countdown so the clock is only read every
+  // kCancelCheckStride LinkMatch calls, and the sticky stop flag — once
+  // set, every remaining LinkMatch returns immediately without caching.
   struct LocalStats {
+    static constexpr uint32_t kCancelCheckStride = 256;
+
     uint64_t prefilter_rejects = 0;
     uint64_t cache_hits = 0;
     uint64_t full_tests = 0;
+    const util::CancelToken* cancel = nullptr;
+    uint32_t cancel_countdown = kCancelCheckStride;
+    bool stopped = false;
   };
 
   // Resolves (building on first use) the state for `target`. The returned

@@ -28,6 +28,7 @@ AttackMetrics EvaluateAttack(const core::Dehin& dehin,
   double candidate_sum = 0.0;
   for (hin::VertexId vt = 0; vt < target.num_vertices(); ++vt) {
     const auto candidates = dehin.Deanonymize(target, vt, max_distance);
+    ++metrics.num_evaluated;
     const hin::VertexId truth = ground_truth[vt];
     const bool contains_truth =
         std::binary_search(candidates.begin(), candidates.end(), truth);

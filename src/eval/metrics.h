@@ -18,6 +18,13 @@ struct AttackMetrics {
   double precision = 0.0;
   double reduction_rate = 0.0;
   size_t num_targets = 0;
+  // Targets actually scored. Equals num_targets except when an evaluation
+  // was interrupted by a cancel token (ParallelEvalOptions::cancel), in
+  // which case the rates below are over the evaluated prefix only.
+  size_t num_evaluated = 0;
+  // True when a cancel token stopped the evaluation before every target
+  // was scored.
+  bool interrupted = false;
   // Targets whose candidate set was a unique, correct match.
   size_t num_unique_correct = 0;
   // Targets whose candidate set contains the true counterpart (soundness

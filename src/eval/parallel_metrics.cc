@@ -65,6 +65,7 @@ AttackMetrics EvaluateAttackParallel(
   num_threads = std::min(num_threads, metrics.num_targets);
 
   struct Partial {
+    size_t evaluated = 0;
     size_t unique_correct = 0;
     size_t containing_truth = 0;
     double reduction_sum = 0.0;
@@ -100,9 +101,13 @@ AttackMetrics EvaluateAttackParallel(
       HINPRIV_SPAN("eval/worker");
       Partial& p = partials[tid];
       while (true) {
+        // Target boundary = the interruptible batch boundary: a cancelled
+        // run finishes the target in flight and claims no more.
+        if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
         const hin::VertexId vt = next.fetch_add(1, std::memory_order_relaxed);
         if (vt >= target.num_vertices()) break;
         const auto candidates = dehin.Deanonymize(target, vt, max_distance);
+        ++p.evaluated;
         const bool contains_truth = std::binary_search(
             candidates.begin(), candidates.end(), ground_truth[vt]);
         if (contains_truth) ++p.containing_truth;
@@ -154,12 +159,17 @@ AttackMetrics EvaluateAttackParallel(
   double reduction_sum = 0.0;
   double candidate_sum = 0.0;
   for (const Partial& p : partials) {
+    metrics.num_evaluated += p.evaluated;
     metrics.num_unique_correct += p.unique_correct;
     metrics.num_containing_truth += p.containing_truth;
     reduction_sum += p.reduction_sum;
     candidate_sum += p.candidate_sum;
   }
-  const double n = static_cast<double>(metrics.num_targets);
+  metrics.interrupted = metrics.num_evaluated < metrics.num_targets;
+  // Rates over what was actually scored, so an interrupted run reports the
+  // evaluated prefix rather than diluting by unvisited targets.
+  const double n =
+      static_cast<double>(std::max<size_t>(1, metrics.num_evaluated));
   metrics.precision = static_cast<double>(metrics.num_unique_correct) / n;
   metrics.reduction_rate = reduction_sum / n;
   metrics.mean_candidate_count = candidate_sum / n;

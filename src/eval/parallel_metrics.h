@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "eval/metrics.h"
+#include "util/cancellation.h"
 
 namespace hinpriv::eval {
 
@@ -18,6 +19,12 @@ struct ParallelEvalOptions {
   // updates the "eval/progress" gauge — the liveness signal for
   // multi-minute runs. 0 disables.
   double heartbeat_seconds = 0.0;
+  // Optional stop signal (e.g. service::ShutdownToken() wired to
+  // SIGINT/SIGTERM). Workers poll it at target boundaries: the target a
+  // worker is scoring finishes cleanly, no new targets are claimed, and
+  // the returned metrics cover the evaluated prefix
+  // (AttackMetrics::num_evaluated, interrupted = true).
+  const util::CancelToken* cancel = nullptr;
 };
 
 // Multi-threaded EvaluateAttack. Dehin::Deanonymize is thread-safe, so

@@ -1,5 +1,6 @@
 #include "hin/binary_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -173,7 +174,12 @@ util::Result<Graph> LoadGraphBinary(std::istream& is) {
     return util::Status::Corruption("vertex count out of range");
   }
   GraphBuilder builder(schema);
-  std::vector<uint16_t> vertex_types(num_vertices);
+  // Grown incrementally, never pre-sized to num_vertices: a corrupt count
+  // within kMaxCount could otherwise drive a terabyte-scale allocation
+  // before the per-vertex reads hit end-of-stream and fail cleanly.
+  std::vector<uint16_t> vertex_types;
+  vertex_types.reserve(static_cast<size_t>(
+      std::min<uint64_t>(num_vertices, 1u << 20)));
   std::vector<uint64_t> type_counts(schema.num_entity_types(), 0);
   for (uint64_t v = 0; v < num_vertices; ++v) {
     uint16_t et = 0;
@@ -182,7 +188,7 @@ util::Result<Graph> LoadGraphBinary(std::istream& is) {
       return util::Status::Corruption("vertex entity type out of range");
     }
     builder.AddVertex(et);
-    vertex_types[v] = et;
+    vertex_types.push_back(et);
     ++type_counts[et];
   }
 

@@ -1,8 +1,10 @@
 #include "hin/io.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "hin/binary_io.h"
 #include "hin/graph_builder.h"
 #include "util/string_util.h"
 
@@ -247,6 +249,26 @@ util::Result<Graph> LoadGraphFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::Status::IoError("cannot open for read: " + path);
   return LoadGraph(in);
+}
+
+util::Result<Graph> LoadGraphAuto(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return util::Status::IoError("cannot open for read: " + path);
+    char magic[8] = {};
+    probe.read(magic, sizeof(magic));
+    if (probe.gcount() == 8 && std::memcmp(magic, "HINPRIVB", 8) == 0) {
+      return LoadGraphBinaryFromFile(path);
+    }
+  }
+  return LoadGraphFromFile(path);
+}
+
+util::Status SaveGraphAuto(const Graph& graph, const std::string& path) {
+  if (path.ends_with(".bin") || path.ends_with(".bgraph")) {
+    return SaveGraphBinaryToFile(graph, path);
+  }
+  return SaveGraphToFile(graph, path);
 }
 
 }  // namespace hinpriv::hin

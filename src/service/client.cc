@@ -1,0 +1,136 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "service/json.h"
+
+namespace hinpriv::service {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(std::exchange(other.next_id_, 1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = std::exchange(other.next_id_, 1);
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("unparseable IPv4 host '" + host +
+                                         "'");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const util::Status status = util::Status::IoError(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+util::Result<Response> Client::Call(const Request& request) {
+  if (fd_ < 0) {
+    return util::Status::FailedPrecondition("client is not connected");
+  }
+  HINPRIV_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request).Serialize()));
+  // Read until our id comes back. A single synchronous client only ever
+  // has one request outstanding, so in practice the first frame is ours;
+  // the loop makes the matching robust anyway.
+  while (true) {
+    auto frame = ReadFrame(fd_);
+    if (!frame.ok()) return frame.status();
+    if (!frame.value().has_value()) {
+      return util::Status::IoError("server closed connection mid-call");
+    }
+    auto doc = JsonValue::Parse(*frame.value());
+    if (!doc.ok()) return doc.status();
+    auto response = DecodeResponse(doc.value());
+    if (!response.ok()) return response.status();
+    if (response.value().id == request.id) return response;
+  }
+}
+
+util::Result<Response> Client::AttackOne(hin::VertexId target,
+                                         int max_distance,
+                                         double deadline_ms) {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kAttackOne;
+  request.target = target;
+  request.has_target = true;
+  request.max_distance = max_distance;
+  request.deadline_ms = deadline_ms;
+  return Call(request);
+}
+
+util::Result<Response> Client::NetworkRisk(int max_distance) {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kRisk;
+  request.max_distance = max_distance;
+  return Call(request);
+}
+
+util::Result<Response> Client::EntityRisk(hin::VertexId target,
+                                          int max_distance) {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kRisk;
+  request.target = target;
+  request.has_target = true;
+  request.max_distance = max_distance;
+  return Call(request);
+}
+
+util::Result<Response> Client::Stats() {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kStats;
+  return Call(request);
+}
+
+util::Result<Response> Client::Sleep(double sleep_ms, double deadline_ms) {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kSleep;
+  request.sleep_ms = sleep_ms;
+  request.deadline_ms = deadline_ms;
+  return Call(request);
+}
+
+}  // namespace hinpriv::service

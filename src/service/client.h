@@ -1,0 +1,58 @@
+#ifndef HINPRIV_SERVICE_CLIENT_H_
+#define HINPRIV_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hin/types.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace hinpriv::service {
+
+// Blocking client for the attack service: one TCP connection, synchronous
+// request/response. Each Call() writes one frame and reads frames until
+// the response with the matching id arrives (the server may interleave
+// responses to pipelined requests from other threads on this connection,
+// but a single Client instance is NOT thread-safe — use one per thread,
+// as the integration test's concurrent queriers do).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  static util::Result<Client> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Sends `request` and blocks for the response with the same id. Frame
+  // or decode failures surface as a non-OK status; protocol-level failures
+  // (BUSY, DEADLINE_EXCEEDED, ...) are successful Calls whose Response
+  // carries the code.
+  util::Result<Response> Call(const Request& request);
+
+  // Convenience wrappers; id is chosen from an internal counter.
+  util::Result<Response> AttackOne(hin::VertexId target, int max_distance = -1,
+                                   double deadline_ms = 0.0);
+  util::Result<Response> NetworkRisk(int max_distance = -1);
+  util::Result<Response> EntityRisk(hin::VertexId target,
+                                    int max_distance = -1);
+  util::Result<Response> Stats();
+  util::Result<Response> Sleep(double sleep_ms, double deadline_ms = 0.0);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace hinpriv::service
+
+#endif  // HINPRIV_SERVICE_CLIENT_H_

@@ -1,0 +1,405 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hinpriv::service {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  // Integers in the exact range serialize without a fraction so ids and
+  // counters read back as written.
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out->append(buf);
+    return;
+  }
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; null is the least-bad
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out->append(buf);
+}
+
+// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Result<JsonValue> ParseDocument() {
+    JsonValue value;
+    util::Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return util::Status::Corruption("json: trailing characters at offset " +
+                                      std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  util::Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return util::Status::Corruption("json: nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return util::Status::Corruption("json: unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        HINPRIV_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return util::Status::OK();
+      }
+      case 't':
+        HINPRIV_RETURN_IF_ERROR(Expect("true"));
+        *out = JsonValue::Bool(true);
+        return util::Status::OK();
+      case 'f':
+        HINPRIV_RETURN_IF_ERROR(Expect("false"));
+        *out = JsonValue::Bool(false);
+        return util::Status::OK();
+      case 'n':
+        HINPRIV_RETURN_IF_ERROR(Expect("null"));
+        *out = JsonValue::Null();
+        return util::Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  util::Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return util::Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      HINPRIV_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return util::Status::Corruption("json: expected ':' in object");
+      }
+      ++pos_;
+      JsonValue value;
+      HINPRIV_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return util::Status::Corruption("json: unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return util::Status::OK();
+      }
+      return util::Status::Corruption("json: expected ',' or '}' in object");
+    }
+  }
+
+  util::Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return util::Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      HINPRIV_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return util::Status::Corruption("json: unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return util::Status::OK();
+      }
+      return util::Status::Corruption("json: expected ',' or ']' in array");
+    }
+  }
+
+  util::Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return util::Status::Corruption("json: expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return util::Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return util::Status::Corruption("json: raw control char in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return util::Status::Corruption("json: truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return util::Status::Corruption("json: bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs outside the
+          // protocol's ASCII needs decode as two replacement sequences).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return util::Status::Corruption("json: bad escape character");
+      }
+    }
+    return util::Status::Corruption("json: unterminated string");
+  }
+
+  util::Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return util::Status::Corruption("json: unexpected character");
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      return util::Status::Corruption(
+          "json: malformed number '" +
+          std::string(text_.substr(start, pos_ - start)) + "'");
+    }
+    *out = JsonValue::Number(value);
+    return util::Status::OK();
+  }
+
+  util::Status Expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return util::Status::Corruption("json: bad literal");
+    }
+    pos_ += literal.size();
+    return util::Status::OK();
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  kind_ = Kind::kObject;
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+double JsonValue::GetDouble(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsDouble(fallback) : fallback;
+}
+
+int64_t JsonValue::GetInt(std::string_view key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsInt(fallback) : fallback;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : fallback;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr ? v->AsBool(fallback) : fallback;
+}
+
+void JsonValue::SerializeTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      return;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Kind::kNumber:
+      AppendNumber(number_, out);
+      return;
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.SerializeTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [name, v] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(name, out);
+        out->push_back(':');
+        v.SerializeTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
+
+util::Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace hinpriv::service

@@ -1,0 +1,104 @@
+#ifndef HINPRIV_SERVICE_PROTOCOL_H_
+#define HINPRIV_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hin/types.h"
+#include "service/json.h"
+#include "util/status.h"
+
+namespace hinpriv::service {
+
+// Wire protocol of the attack service: length-prefixed JSON frames over a
+// plain TCP stream. A frame is
+//
+//   u32 little-endian payload length  |  payload (UTF-8 JSON document)
+//
+// Requests flow client -> server, responses server -> client, matched by
+// the client-chosen `id`. Responses to one connection may arrive out of
+// request order (the worker pool processes the queue concurrently), so
+// clients must match on id, not position.
+//
+// Request document:
+//   {"id": 7, "method": "attack_one", "target": 123,
+//    "max_distance": 2, "deadline_ms": 250}
+//   {"id": 8, "method": "risk", "max_distance": 2}         // network R(T)
+//   {"id": 9, "method": "risk", "target": 123, ...}        // per-entity R(t)
+//   {"id": 10, "method": "stats"}
+//   {"id": 11, "method": "sleep", "sleep_ms": 50}          // load testing
+//
+// Response document:
+//   {"id": 7, "code": "OK", "result": {...}}
+//   {"id": 7, "code": "BUSY"|"DEADLINE_EXCEEDED"|"CANCELLED"|
+//             "INVALID_REQUEST"|"SHUTTING_DOWN"|"INTERNAL",
+//    "error": "human-readable reason"}
+
+// Frames larger than this are rejected outright — a corrupt or hostile
+// length prefix must not drive a giant allocation.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class Method {
+  kAttackOne,
+  kRisk,
+  kStats,
+  kSleep,
+};
+
+const char* MethodName(Method method);
+std::optional<Method> ParseMethod(std::string_view name);
+
+enum class ResponseCode {
+  kOk,
+  kBusy,               // admission control shed the request (queue full)
+  kDeadlineExceeded,   // per-request deadline expired (queued or mid-attack)
+  kCancelled,
+  kInvalidRequest,
+  kShuttingDown,       // server is draining; no new work admitted
+  kInternal,
+};
+
+const char* ResponseCodeName(ResponseCode code);
+std::optional<ResponseCode> ParseResponseCode(std::string_view name);
+
+struct Request {
+  uint64_t id = 0;
+  Method method = Method::kStats;
+  // attack_one: the anonymized vertex to de-anonymize. risk: optional —
+  // present selects per-entity R(t_i), absent the network R(T).
+  hin::VertexId target = 0;
+  bool has_target = false;
+  // < 0 = use the server's configured default.
+  int max_distance = -1;
+  // Wall-clock budget measured from admission; <= 0 = server default
+  // (which may itself be "none").
+  double deadline_ms = 0.0;
+  // sleep method only.
+  double sleep_ms = 0.0;
+};
+
+struct Response {
+  uint64_t id = 0;
+  ResponseCode code = ResponseCode::kOk;
+  std::string error;  // empty for kOk
+  JsonValue result;   // method-specific payload (object) for kOk
+};
+
+JsonValue EncodeRequest(const Request& request);
+util::Result<Request> DecodeRequest(const JsonValue& doc);
+
+JsonValue EncodeResponse(const Response& response);
+util::Result<Response> DecodeResponse(const JsonValue& doc);
+
+// Frame I/O over a socket (or any stream) fd. Writes are complete-or-error
+// (short writes retried, EINTR transparent, SIGPIPE suppressed via
+// MSG_NOSIGNAL); reads return nullopt on a clean end-of-stream at a frame
+// boundary and Corruption/IoError otherwise.
+util::Status WriteFrame(int fd, std::string_view payload);
+util::Result<std::optional<std::string>> ReadFrame(int fd);
+
+}  // namespace hinpriv::service
+
+#endif  // HINPRIV_SERVICE_PROTOCOL_H_

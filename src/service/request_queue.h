@@ -1,0 +1,111 @@
+#ifndef HINPRIV_SERVICE_REQUEST_QUEUE_H_
+#define HINPRIV_SERVICE_REQUEST_QUEUE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace hinpriv::service {
+
+// Bounded MPMC queue between the connection readers (producers) and the
+// worker pool (consumers). The bound is the service's admission control:
+// TryPush never blocks — a full queue is an immediate `false`, which the
+// server turns into a BUSY response (load shedding) instead of building an
+// unbounded backlog that would blow every deadline downstream.
+//
+// Close() starts the graceful drain: producers are refused from then on,
+// but consumers keep popping until the queue is empty, so every admitted
+// request is still served. Pop/PopBatch return empty only when closed AND
+// drained, which is the workers' exit signal.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(std::max<size_t>(1, capacity)) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking admission; false when full or closed (the caller sheds).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained
+  // (nullopt).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Micro-batching pop: blocks for the first item, then greedily takes up
+  // to max_batch - 1 more already-queued items for which
+  // compatible(first, candidate) holds, preserving FIFO order. Returns the
+  // number of items appended to *out (0 = closed and drained). Only
+  // contiguous head items are taken, so incompatible requests are never
+  // reordered past each other.
+  template <typename Compatible>
+  size_t PopBatch(size_t max_batch, std::vector<T>* out,
+                  Compatible&& compatible) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return 0;
+    const size_t start = out->size();
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+    // (*out)[start] is re-indexed every iteration: push_back may
+    // reallocate, so a cached reference to the head would dangle.
+    while (out->size() - start < max_batch && !items_.empty() &&
+           compatible((*out)[start], items_.front())) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out->size() - start;
+  }
+
+  // Refuses future pushes and wakes every waiter; queued items still drain
+  // through Pop/PopBatch.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace hinpriv::service
+
+#endif  // HINPRIV_SERVICE_REQUEST_QUEUE_H_

@@ -1,0 +1,517 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "core/matchers.h"
+#include "core/privacy_risk.h"
+#include "core/signature.h"
+#include "obs/trace.h"
+#include "service/json.h"
+
+namespace hinpriv::service {
+
+namespace {
+
+// Candidate sets can be nearly the whole auxiliary graph for weakly
+// identified targets; cap the encoded list so one response cannot approach
+// kMaxFrameBytes. The count and a `truncated` flag are always exact.
+constexpr size_t kMaxEncodedCandidates = 1024;
+
+std::chrono::steady_clock::duration MillisToDuration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(const hin::Graph* target, const hin::Graph* auxiliary,
+               ServerConfig config)
+    : target_(target),
+      aux_(auxiliary),
+      config_(std::move(config)),
+      dehin_(auxiliary, config_.dehin),
+      queue_(config_.queue_capacity) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  requests_received_ = registry.GetCounter("service/requests_received");
+  responses_ok_ = registry.GetCounter("service/responses_ok");
+  shed_ = registry.GetCounter("service/shed");
+  deadline_exceeded_ = registry.GetCounter("service/deadline_exceeded");
+  cancelled_ = registry.GetCounter("service/cancelled");
+  invalid_ = registry.GetCounter("service/invalid_requests");
+  internal_errors_ = registry.GetCounter("service/internal_errors");
+  connections_accepted_ = registry.GetCounter("service/connections_accepted");
+  batches_ = registry.GetCounter("service/batches");
+  write_errors_ = registry.GetCounter("service/write_errors");
+  queue_depth_gauge_ = registry.GetGauge("service/queue_depth");
+  latency_us_ = registry.GetHistogram("service/request_latency_us");
+  batch_size_ = registry.GetHistogram("service/batch_size");
+}
+
+Server::~Server() { Shutdown(); }
+
+util::Status Server::Start() {
+  if (started_.exchange(true)) {
+    return util::Status::InvalidArgument("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::Status::InvalidArgument("unparseable IPv4 host '" +
+                                         config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const util::Status status = util::Status::IoError(
+        "bind " + config_.host + ":" + std::to_string(config_.port) + ": " +
+        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    const util::Status status =
+        util::Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const util::Status status = util::Status::IoError(
+        std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  // Build the expensive per-target Dehin state (prefilter tables, shared
+  // match cache shell) before the first request pays for it.
+  if (target_->num_vertices() > 0) {
+    HINPRIV_SPAN("service/warm_target_state");
+    (void)dehin_.Deanonymize(*target_, 0, 0);
+  }
+
+  const size_t num_workers = std::max<size_t>(1, config_.num_workers);
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::OK();
+}
+
+void Server::AcceptLoop() {
+  obs::SetCurrentThreadName("service/acceptor");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Shutdown() closes listen_fd_, which surfaces here as EBADF /
+      // EINVAL / ECONNABORTED depending on the kernel's timing.
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connections_accepted_->Increment();
+    auto conn = std::make_shared<Connection>(fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.emplace(fd, conn);
+    }
+    // readers_ is only touched by this thread and by Shutdown() after
+    // this thread has been joined, so no lock is needed.
+    readers_.emplace_back([this, conn] { ReadLoop(conn); });
+  }
+}
+
+void Server::ReadLoop(std::shared_ptr<Connection> conn) {
+  obs::SetCurrentThreadName("service/reader");
+  while (true) {
+    auto frame = ReadFrame(conn->fd);
+    if (!frame.ok() || !frame.value().has_value()) break;
+
+    HINPRIV_SPAN("service/admit_request");
+    requests_received_->Increment();
+    auto doc = JsonValue::Parse(*frame.value());
+    if (!doc.ok()) {
+      invalid_->Increment();
+      Respond(conn, Response{0, ResponseCode::kInvalidRequest,
+                             doc.status().message(), JsonValue()});
+      continue;
+    }
+    auto request = DecodeRequest(doc.value());
+    if (!request.ok()) {
+      invalid_->Increment();
+      Respond(conn,
+              Response{static_cast<uint64_t>(doc.value().GetInt("id", 0)),
+                       ResponseCode::kInvalidRequest,
+                       request.status().message(), JsonValue()});
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      Respond(conn, Response{request.value().id, ResponseCode::kShuttingDown,
+                             "server is draining", JsonValue()});
+      continue;
+    }
+    PendingRequest pending;
+    pending.conn = conn;
+    pending.request = std::move(request).value();
+    pending.admitted = std::chrono::steady_clock::now();
+    const uint64_t id = pending.request.id;
+    if (!queue_.TryPush(std::move(pending))) {
+      // Admission control: a full queue sheds immediately instead of
+      // building a backlog that would blow every queued deadline.
+      shed_->Increment();
+      Respond(conn, Response{id, ResponseCode::kBusy,
+                             "request queue full", JsonValue()});
+      continue;
+    }
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn->fd);
+}
+
+void Server::WorkerLoop(size_t worker_id) {
+  obs::SetCurrentThreadName("service/worker-" + std::to_string(worker_id));
+  std::vector<PendingRequest> batch;
+  const auto same_method = [](const PendingRequest& a,
+                              const PendingRequest& b) {
+    return a.request.method == b.request.method;
+  };
+  while (true) {
+    batch.clear();
+    const size_t n =
+        queue_.PopBatch(std::max<size_t>(1, config_.max_batch), &batch,
+                        same_method);
+    if (n == 0) break;  // closed and drained: graceful exit
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    batches_->Increment();
+    batch_size_->Record(n);
+    for (const PendingRequest& pending : batch) {
+      HINPRIV_SPAN("service/handle_request");
+      Response response = Process(pending);
+      switch (response.code) {
+        case ResponseCode::kOk:
+          responses_ok_->Increment();
+          break;
+        case ResponseCode::kDeadlineExceeded:
+          deadline_exceeded_->Increment();
+          break;
+        case ResponseCode::kCancelled:
+          cancelled_->Increment();
+          break;
+        case ResponseCode::kInvalidRequest:
+          invalid_->Increment();
+          break;
+        case ResponseCode::kInternal:
+          internal_errors_->Increment();
+          break;
+        default:
+          break;
+      }
+      Respond(pending.conn, response);
+      const auto elapsed = std::chrono::steady_clock::now() - pending.admitted;
+      latency_us_->Record(static_cast<uint64_t>(std::max<int64_t>(
+          0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                 .count())));
+    }
+  }
+}
+
+int Server::ResolveMaxDistance(const Request& request) const {
+  return request.max_distance >= 0 ? request.max_distance
+                                   : config_.default_max_distance;
+}
+
+Response Server::Process(const PendingRequest& pending) {
+  const Request& request = pending.request;
+  Response response;
+  response.id = request.id;
+
+  // The deadline runs from admission: time burned waiting in the queue
+  // counts against the request, which is what makes a saturated server
+  // fail fast instead of serving answers nobody is waiting for anymore.
+  util::CancelToken token;
+  const double deadline_ms = request.deadline_ms > 0
+                                 ? request.deadline_ms
+                                 : config_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    token.SetDeadline(pending.admitted + MillisToDuration(deadline_ms));
+    if (token.deadline_exceeded()) {
+      response.code = ResponseCode::kDeadlineExceeded;
+      response.error = "deadline expired while queued";
+      return response;
+    }
+  }
+
+  switch (request.method) {
+    case Method::kAttackOne:
+      return ProcessAttackOne(request, token);
+    case Method::kRisk:
+      return ProcessRisk(request);
+    case Method::kStats:
+      return ProcessStats(request);
+    case Method::kSleep:
+      return ProcessSleep(request, token);
+  }
+  response.code = ResponseCode::kInternal;
+  response.error = "unhandled method";
+  return response;
+}
+
+Response Server::ProcessAttackOne(const Request& request,
+                                  const util::CancelToken& token) {
+  HINPRIV_SPAN("service/attack_one");
+  Response response;
+  response.id = request.id;
+  if (request.target >= target_->num_vertices()) {
+    response.code = ResponseCode::kInvalidRequest;
+    response.error = "target vertex out of range";
+    return response;
+  }
+  const int max_distance = ResolveMaxDistance(request);
+  auto result =
+      dehin_.Deanonymize(*target_, request.target, max_distance, &token);
+  if (!result.ok()) {
+    response.code =
+        result.status().code() == util::Status::Code::kDeadlineExceeded
+            ? ResponseCode::kDeadlineExceeded
+            : ResponseCode::kCancelled;
+    response.error = result.status().message();
+    return response;
+  }
+  const std::vector<hin::VertexId>& candidates = result.value();
+  JsonValue payload = JsonValue::Object();
+  payload.Set("target", JsonValue::Int(request.target));
+  payload.Set("max_distance", JsonValue::Int(max_distance));
+  payload.Set("num_candidates",
+              JsonValue::Int(static_cast<int64_t>(candidates.size())));
+  // De-anonymization succeeded iff the candidate set is a singleton; risk
+  // for the entity is 1/k with k the candidate count (Definition 7 with
+  // loss 1).
+  payload.Set("deanonymized", JsonValue::Bool(candidates.size() == 1));
+  const size_t encoded = std::min(candidates.size(), kMaxEncodedCandidates);
+  JsonValue list = JsonValue::Array();
+  for (size_t i = 0; i < encoded; ++i) {
+    list.Append(JsonValue::Int(candidates[i]));
+  }
+  payload.Set("candidates", std::move(list));
+  payload.Set("truncated", JsonValue::Bool(encoded < candidates.size()));
+  response.result = std::move(payload);
+  return response;
+}
+
+util::Result<const Server::RiskEntry*> Server::RiskForDistance(
+    int max_distance) {
+  std::lock_guard<std::mutex> lock(risk_mu_);
+  auto it = risk_cache_.find(max_distance);
+  if (it != risk_cache_.end()) return &it->second;
+
+  HINPRIV_SPAN("service/compute_risk");
+  // Same signature configuration as `hinpriv_cli audit`: every profile
+  // attribute of entity type 0 plus every link type in the schema.
+  core::SignatureOptions options;
+  const size_t num_attrs = target_->num_attributes(0);
+  for (hin::AttributeId a = 0; a < num_attrs; ++a) {
+    options.attributes.push_back(a);
+  }
+  options.link_types = core::AllLinkTypes(*target_);
+  const auto signatures =
+      core::ComputeSignatures(*target_, options, max_distance);
+  if (signatures.empty()) {
+    return util::Status::FailedPrecondition(
+        "signature computation produced no levels");
+  }
+  const std::vector<uint64_t>& values = signatures.back();
+  RiskEntry entry;
+  entry.per_tuple = core::PerTupleRisk(values);
+  entry.network_risk = core::DatasetRisk(values);
+  entry.cardinality = core::CountDistinct(values);
+  it = risk_cache_.emplace(max_distance, std::move(entry)).first;
+  return &it->second;
+}
+
+Response Server::ProcessRisk(const Request& request) {
+  HINPRIV_SPAN("service/risk");
+  Response response;
+  response.id = request.id;
+  if (request.has_target && request.target >= target_->num_vertices()) {
+    response.code = ResponseCode::kInvalidRequest;
+    response.error = "target vertex out of range";
+    return response;
+  }
+  const int max_distance = ResolveMaxDistance(request);
+  auto entry = RiskForDistance(max_distance);
+  if (!entry.ok()) {
+    response.code = ResponseCode::kInternal;
+    response.error = entry.status().message();
+    return response;
+  }
+  JsonValue payload = JsonValue::Object();
+  payload.Set("max_distance", JsonValue::Int(max_distance));
+  if (request.has_target) {
+    payload.Set("target", JsonValue::Int(request.target));
+    payload.Set("risk",
+                JsonValue::Number(entry.value()->per_tuple[request.target]));
+  } else {
+    payload.Set("network_risk", JsonValue::Number(entry.value()->network_risk));
+    payload.Set("cardinality",
+                JsonValue::Int(static_cast<int64_t>(entry.value()->cardinality)));
+    payload.Set("num_entities",
+                JsonValue::Int(static_cast<int64_t>(target_->num_vertices())));
+  }
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessStats(const Request& request) {
+  Response response;
+  response.id = request.id;
+  const core::DehinStats stats = dehin_.stats();
+  JsonValue payload = JsonValue::Object();
+  payload.Set("target_vertices",
+              JsonValue::Int(static_cast<int64_t>(target_->num_vertices())));
+  payload.Set("target_edges",
+              JsonValue::Int(static_cast<int64_t>(target_->num_edges())));
+  payload.Set("aux_vertices",
+              JsonValue::Int(static_cast<int64_t>(aux_->num_vertices())));
+  payload.Set("aux_edges",
+              JsonValue::Int(static_cast<int64_t>(aux_->num_edges())));
+  payload.Set("queue_depth", JsonValue::Int(static_cast<int64_t>(queue_.size())));
+  payload.Set("queue_capacity",
+              JsonValue::Int(static_cast<int64_t>(queue_.capacity())));
+  payload.Set("num_workers",
+              JsonValue::Int(static_cast<int64_t>(workers_.size())));
+  JsonValue dehin = JsonValue::Object();
+  dehin.Set("prefilter_rejects",
+            JsonValue::Int(static_cast<int64_t>(stats.prefilter_rejects)));
+  dehin.Set("cache_hits", JsonValue::Int(static_cast<int64_t>(stats.cache_hits)));
+  dehin.Set("full_tests", JsonValue::Int(static_cast<int64_t>(stats.full_tests)));
+  dehin.Set("dominance_kernel", JsonValue::Str(stats.dominance_kernel));
+  payload.Set("dehin", std::move(dehin));
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessSleep(const Request& request,
+                              const util::CancelToken& token) {
+  Response response;
+  response.id = request.id;
+  const double sleep_ms =
+      std::clamp(request.sleep_ms, 0.0, config_.max_sleep_ms);
+  // Sleep in 1ms slices so a deadline mid-sleep is honored promptly — this
+  // is the load-testing method the integration test uses to hold a worker
+  // busy deterministically.
+  const auto end = std::chrono::steady_clock::now() + MillisToDuration(sleep_ms);
+  while (std::chrono::steady_clock::now() < end) {
+    if (token.ShouldStop()) {
+      response.code = token.deadline_exceeded()
+                          ? ResponseCode::kDeadlineExceeded
+                          : ResponseCode::kCancelled;
+      response.error = "sleep interrupted";
+      return response;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  JsonValue payload = JsonValue::Object();
+  payload.Set("slept_ms", JsonValue::Number(sleep_ms));
+  response.result = std::move(payload);
+  return response;
+}
+
+void Server::Respond(const std::shared_ptr<Connection>& conn,
+                     const Response& response) {
+  const std::string payload = EncodeResponse(response).Serialize();
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!WriteFrame(conn->fd, payload).ok()) {
+    // The peer may have hung up without waiting; the response is dropped
+    // but the worker keeps draining.
+    write_errors_->Increment();
+  }
+}
+
+void Server::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (!started_.load(std::memory_order_acquire) ||
+      finished_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting connections: closing the listen socket kicks the
+  //    acceptor out of accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+
+  // 2. Stop admitting requests: SHUT_RD unblocks every reader's read()
+  //    with EOF while leaving the write side open, so responses to
+  //    in-flight requests still go out.
+  {
+    std::lock_guard<std::mutex> conns_lock(conns_mu_);
+    for (auto& [fd, conn] : conns_) {
+      ::shutdown(fd, SHUT_RD);
+    }
+  }
+  for (std::thread& reader : readers_) {
+    if (reader.joinable()) reader.join();
+  }
+  readers_.clear();
+
+  // 3. Drain: Close() refuses new pushes (there are no producers left
+  //    anyway) and lets the workers pop until empty, so every admitted
+  //    request is answered before the pool exits.
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  queue_depth_gauge_->Set(0.0);
+
+  // 4. Final telemetry snapshot, after all request processing quiesced.
+  if (!config_.metrics_json_path.empty()) {
+    (void)obs::WriteMetricsJson(obs::MetricsRegistry::Global().Snapshot(),
+                                config_.metrics_json_path);
+  }
+  finished_.store(true, std::memory_order_release);
+}
+
+bool Server::finished() const {
+  return finished_.load(std::memory_order_acquire);
+}
+
+}  // namespace hinpriv::service

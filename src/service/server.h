@@ -1,0 +1,185 @@
+#ifndef HINPRIV_SERVICE_SERVER_H_
+#define HINPRIV_SERVICE_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dehin.h"
+#include "hin/graph.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "service/request_queue.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace hinpriv::service {
+
+// Configuration of the resident attack service.
+struct ServerConfig {
+  // IPv4 listen address; the default binds loopback only — the service
+  // hands out de-anonymization results, keep it off public interfaces.
+  std::string host = "127.0.0.1";
+  // 0 = kernel-assigned ephemeral port (read back via Server::port()).
+  uint16_t port = 0;
+  // Worker pool size. Each worker runs whole requests; Dehin::Deanonymize
+  // is thread-safe over the shared per-target state and match cache.
+  size_t num_workers = 4;
+  // Bound of the request queue = admission control. A full queue sheds
+  // with BUSY instead of queueing into certain deadline misses.
+  size_t queue_capacity = 128;
+  // Micro-batching: one worker pops up to this many same-method requests
+  // at once so consecutive attack_one calls reuse the hot per-target state
+  // and cache lines. 1 disables batching.
+  size_t max_batch = 8;
+  // Default max neighbor distance n for requests that omit it.
+  int default_max_distance = 1;
+  // Default per-request deadline for requests that omit it; 0 = none.
+  double default_deadline_ms = 0.0;
+  // Upper bound on the sleep debug method (load testing aid).
+  double max_sleep_ms = 10'000.0;
+  // When nonempty, Shutdown() writes a final hinpriv-metrics-v1 snapshot
+  // of the global registry here after the drain completes.
+  std::string metrics_json_path;
+  // Attack configuration (match options, prefilter/cache/kernels).
+  core::DehinConfig dehin;
+};
+
+// The resident de-anonymization attack service. Loads nothing itself: the
+// caller provides the anonymized target graph and the adversary's
+// auxiliary graph (both must outlive the server), and the server builds
+// the expensive `Dehin` state — candidate index, neighborhood prefilter
+// tables, shared match cache — once at Start(), then answers queries from
+// a worker pool fed by a bounded queue.
+//
+// Production semantics (see DESIGN.md §7):
+//   * admission control — a full queue sheds with BUSY immediately;
+//   * per-request deadlines — enforced both while queued and inside the
+//     Dehin recursion via util::CancelToken (DEADLINE_EXCEEDED);
+//   * micro-batching — same-method runs pop together for cache locality;
+//   * graceful drain — Shutdown() stops accepting, finishes every
+//     admitted request, joins all threads, and flushes a final metrics
+//     snapshot.
+//
+// Telemetry: service/* counters (received, ok, shed, deadline_exceeded,
+// invalid, connections, batches, write_errors), the service/queue_depth
+// gauge, service/request_latency_us and service/batch_size histograms,
+// and HINPRIV_SPAN coverage of the accept/read/worker loops, so a serving
+// run produces the same Chrome-trace flame timelines as the batch path.
+class Server {
+ public:
+  Server(const hin::Graph* target, const hin::Graph* auxiliary,
+         ServerConfig config);
+  ~Server();  // implies Shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, spawns the acceptor and worker threads, and warms the
+  // per-target Dehin state so the first request does not pay the build.
+  util::Status Start();
+
+  // The actually-bound port (differs from config.port when that was 0).
+  uint16_t port() const { return port_; }
+
+  // Instantaneous queue depth (observability).
+  size_t queue_depth() const { return queue_.size(); }
+
+  // Graceful drain: stop accepting connections and admitting requests,
+  // finish everything already admitted, join every thread, flush the
+  // final metrics snapshot. Idempotent and thread-safe; blocks until the
+  // drain completes.
+  void Shutdown();
+
+  // True once Shutdown() has completed.
+  bool finished() const;
+
+ private:
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+    ~Connection();
+    const int fd;
+    std::mutex write_mu;
+  };
+
+  struct PendingRequest {
+    std::shared_ptr<Connection> conn;
+    Request request;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop(size_t worker_id);
+
+  Response Process(const PendingRequest& pending);
+  Response ProcessAttackOne(const Request& request,
+                            const util::CancelToken& token);
+  Response ProcessRisk(const Request& request);
+  Response ProcessStats(const Request& request);
+  Response ProcessSleep(const Request& request,
+                        const util::CancelToken& token);
+
+  void Respond(const std::shared_ptr<Connection>& conn,
+               const Response& response);
+
+  // Per-distance risk results over the target graph, computed lazily and
+  // cached (signature pass + per-tuple risk); per-entity queries then cost
+  // one array read.
+  struct RiskEntry {
+    std::vector<double> per_tuple;
+    double network_risk = 0.0;
+    size_t cardinality = 0;
+  };
+  util::Result<const RiskEntry*> RiskForDistance(int max_distance);
+
+  int ResolveMaxDistance(const Request& request) const;
+
+  const hin::Graph* target_;
+  const hin::Graph* aux_;
+  ServerConfig config_;
+  core::Dehin dehin_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> finished_{false};
+  std::mutex shutdown_mu_;  // serializes Shutdown callers
+
+  BoundedQueue<PendingRequest> queue_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::map<int, std::shared_ptr<Connection>> conns_;  // by fd
+  std::vector<std::thread> readers_;                  // joined at Shutdown
+
+  std::mutex risk_mu_;
+  std::map<int, RiskEntry> risk_cache_;
+
+  // Registry instruments, resolved once at construction.
+  obs::Counter* requests_received_;
+  obs::Counter* responses_ok_;
+  obs::Counter* shed_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* cancelled_;
+  obs::Counter* invalid_;
+  obs::Counter* internal_errors_;
+  obs::Counter* connections_accepted_;
+  obs::Counter* batches_;
+  obs::Counter* write_errors_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Histogram* latency_us_;
+  obs::Histogram* batch_size_;
+};
+
+}  // namespace hinpriv::service
+
+#endif  // HINPRIV_SERVICE_SERVER_H_

@@ -1,0 +1,31 @@
+#include "service/signal.h"
+
+#include <csignal>
+
+namespace hinpriv::service {
+
+namespace {
+
+void HandleShutdownSignal(int signum) {
+  ShutdownToken().Cancel();
+  // Restore the default disposition so a second signal terminates the
+  // process even if the graceful drain wedges.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+util::CancelToken& ShutdownToken() {
+  static util::CancelToken token;
+  return token;
+}
+
+void InstallShutdownSignalHandlers() {
+  // Touch the token first: the handler must never be the first caller of
+  // the function-local static's initialization (not async-signal-safe).
+  ShutdownToken();
+  std::signal(SIGINT, &HandleShutdownSignal);
+  std::signal(SIGTERM, &HandleShutdownSignal);
+}
+
+}  // namespace hinpriv::service

@@ -1,0 +1,25 @@
+#ifndef HINPRIV_SERVICE_SIGNAL_H_
+#define HINPRIV_SERVICE_SIGNAL_H_
+
+#include "util/cancellation.h"
+
+namespace hinpriv::service {
+
+// Process-wide shutdown plumbing shared by the resident service
+// (`hinpriv_cli serve`) and the interruptible batch paths (`hinpriv_cli
+// attack`): one CancelToken that SIGINT/SIGTERM flip.
+//
+// The handler only performs an atomic store (async-signal-safe); everything
+// that actually winds down — draining the request queue, stopping at a
+// batch boundary, flushing telemetry — happens on normal threads polling
+// the token.
+util::CancelToken& ShutdownToken();
+
+// Installs SIGINT + SIGTERM handlers that Cancel() the ShutdownToken().
+// Idempotent. A second signal after the first falls back to the default
+// disposition, so a hung drain can still be killed with a repeat Ctrl-C.
+void InstallShutdownSignalHandlers();
+
+}  // namespace hinpriv::service
+
+#endif  // HINPRIV_SERVICE_SIGNAL_H_

@@ -20,6 +20,10 @@ const char* CodeName(Status::Code code) {
       return "OUT_OF_RANGE";
     case Status::Code::kFailedPrecondition:
       return "FAILED_PRECONDITION";
+    case Status::Code::kCancelled:
+      return "CANCELLED";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

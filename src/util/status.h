@@ -21,6 +21,8 @@ class Status {
     kIoError,
     kOutOfRange,
     kFailedPrecondition,
+    kCancelled,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -48,6 +50,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

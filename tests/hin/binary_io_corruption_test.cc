@@ -1,0 +1,126 @@
+// Hardening coverage for the HINPRIVB binary loader: every truncation
+// length and randomized bit flips must come back as a util::Status (or a
+// still-valid graph) — never a crash, hang, or runaway allocation. Runs
+// under the HINPRIV_SANITIZE preset like every other test.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "hin/binary_io.h"
+#include "hin/io.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::hin {
+namespace {
+
+std::string SerializeSmallNetwork(size_t num_users, uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = num_users;
+  util::Rng rng(seed);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(graph.ok());
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_TRUE(SaveGraphBinary(graph.value(), stream).ok());
+  return stream.str();
+}
+
+util::Result<Graph> LoadFromBytes(const std::string& bytes) {
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  stream << bytes;
+  return LoadGraphBinary(stream);
+}
+
+// Exhaustive truncation sweep: a prefix of any length must fail with a
+// clean Status (the full payload is the only valid parse).
+TEST(BinaryIoCorruptionTest, EveryTruncationLengthFailsCleanly) {
+  const std::string bytes = SerializeSmallNetwork(30, 21);
+  ASSERT_GT(bytes.size(), 64u);
+  for (size_t keep = 0; keep < bytes.size(); ++keep) {
+    auto loaded = LoadFromBytes(bytes.substr(0, keep));
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << keep << " bytes parsed";
+    const auto code = loaded.status().code();
+    EXPECT_TRUE(code == util::Status::Code::kCorruption ||
+                code == util::Status::Code::kIoError)
+        << "keep=" << keep << ": " << loaded.status().ToString();
+  }
+}
+
+// Strided truncation sweep over a larger payload so count fields deep in
+// the edge sections get hit too.
+TEST(BinaryIoCorruptionTest, StridedTruncationOnLargerNetwork) {
+  const std::string bytes = SerializeSmallNetwork(300, 22);
+  for (size_t keep = 0; keep < bytes.size(); keep += 97) {
+    EXPECT_FALSE(LoadFromBytes(bytes.substr(0, keep)).ok())
+        << "prefix of " << keep << " bytes parsed";
+  }
+}
+
+// Seeded single-bit-flip fuzz. A flipped bit may still decode to a valid
+// graph (e.g., a strength bit); the contract is no crash and, on success,
+// a structurally plausible result — hostile counts must not drive giant
+// pre-allocations before EOF is discovered.
+TEST(BinaryIoCorruptionTest, SingleBitFlipsNeverCrash) {
+  const std::string bytes = SerializeSmallNetwork(50, 23);
+  util::Rng fuzz(24);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string corrupted = bytes;
+    const size_t byte_pos = fuzz.UniformU64(corrupted.size());
+    const int bit = static_cast<int>(fuzz.UniformU64(8));
+    corrupted[byte_pos] =
+        static_cast<char>(corrupted[byte_pos] ^ (1 << bit));
+    auto loaded = LoadFromBytes(corrupted);
+    if (loaded.ok()) {
+      EXPECT_LE(loaded.value().num_vertices(), 1u << 20);
+    }
+  }
+}
+
+// Multi-bit / burst corruption: flip several bits per trial, including in
+// the header region where the counts live.
+TEST(BinaryIoCorruptionTest, BurstBitFlipsNeverCrash) {
+  const std::string bytes = SerializeSmallNetwork(50, 25);
+  util::Rng fuzz(26);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string corrupted = bytes;
+    const int flips = 1 + static_cast<int>(fuzz.UniformU64(8));
+    for (int f = 0; f < flips; ++f) {
+      const size_t byte_pos = fuzz.UniformU64(corrupted.size());
+      corrupted[byte_pos] = static_cast<char>(
+          corrupted[byte_pos] ^ (1 << fuzz.UniformU64(8)));
+    }
+    auto loaded = LoadFromBytes(corrupted);
+    if (loaded.ok()) {
+      EXPECT_LE(loaded.value().num_vertices(), 1u << 20);
+    }
+  }
+}
+
+// The same guarantees hold through the format-sniffing entry point the CLI
+// and the service use, including prefixes shorter than the 8-byte magic.
+TEST(BinaryIoCorruptionTest, LoadGraphAutoSurvivesCorruptFiles) {
+  const std::string bytes = SerializeSmallNetwork(30, 27);
+  const std::string path = testing::TempDir() + "/hinpriv_corrupt_auto.bin";
+  for (size_t keep : {0ul, 3ul, 7ul, 8ul, 20ul, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    EXPECT_FALSE(LoadGraphAuto(path).ok()) << "keep=" << keep;
+  }
+  // The intact payload round-trips through the auto loader.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto loaded = LoadGraphAuto(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_vertices(), 30u);
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

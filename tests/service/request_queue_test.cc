@@ -1,0 +1,132 @@
+#include "service/request_queue.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hinpriv::service {
+namespace {
+
+TEST(BoundedQueueTest, TryPushShedsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // admission control: immediate refusal
+  EXPECT_EQ(queue.size(), 2u);
+  auto popped = queue.Pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(*popped, 1);
+  EXPECT_TRUE(queue.TryPush(3));  // slot freed
+}
+
+TEST(BoundedQueueTest, CapacityFloorsAtOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_FALSE(queue.TryPush(2));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsExit) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(3));  // closed: no new admissions
+  // Already-admitted items still drain in FIFO order...
+  auto a = queue.Pop();
+  auto b = queue.Pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  // ...and only then does Pop return the exit signal.
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(queue.Pop().has_value());
+    done.store(true);
+  });
+  // Give the consumer a moment to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(BoundedQueueTest, PopBatchGroupsContiguousCompatibleItems) {
+  BoundedQueue<std::string> queue(8);
+  ASSERT_TRUE(queue.TryPush("a1"));
+  ASSERT_TRUE(queue.TryPush("a2"));
+  ASSERT_TRUE(queue.TryPush("b1"));
+  ASSERT_TRUE(queue.TryPush("a3"));
+  const auto same_prefix = [](const std::string& x, const std::string& y) {
+    return x[0] == y[0];
+  };
+  std::vector<std::string> batch;
+  // First pop takes a1+a2 but must stop at b1: batching never reorders
+  // incompatible requests past each other.
+  EXPECT_EQ(queue.PopBatch(4, &batch, same_prefix), 2u);
+  EXPECT_EQ(batch, (std::vector<std::string>{"a1", "a2"}));
+  batch.clear();
+  EXPECT_EQ(queue.PopBatch(4, &batch, same_prefix), 1u);
+  EXPECT_EQ(batch, (std::vector<std::string>{"b1"}));
+  batch.clear();
+  EXPECT_EQ(queue.PopBatch(4, &batch, same_prefix), 1u);
+  EXPECT_EQ(batch, (std::vector<std::string>{"a3"}));
+}
+
+TEST(BoundedQueueTest, PopBatchHonorsMaxBatch) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(i));
+  std::vector<int> batch;
+  const auto always = [](int, int) { return true; };
+  EXPECT_EQ(queue.PopBatch(3, &batch, always), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverEverything) {
+  BoundedQueue<int> queue(16);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 2;
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        sum.fetch_add(*item);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Spin on TryPush: a full queue is backpressure, not loss.
+        while (!queue.TryPush(p * kPerProducer + i)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), kTotal);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kTotal) * (kTotal - 1) / 2);
+}
+
+}  // namespace
+}  // namespace hinpriv::service

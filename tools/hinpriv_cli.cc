@@ -9,10 +9,14 @@
 //                         [--trace-out=run.trace.json]
 //   hinpriv_cli audit     --in=net.graph [--max_distance=3]
 //   hinpriv_cli stats     --in=net.graph
+//   hinpriv_cli serve     --target=anon.graph --aux=net.graph [--port=7470]
+//                         [--workers=4] [--queue_capacity=128]
+//   hinpriv_cli query     --port=7470 --method=attack_one --target_id=123
 //
-// Every subcommand exchanges graphs in the hinpriv-graph text format
-// (hin/io.h); `generate` can additionally emit the KDD Cup 2012 three-file
-// layout for tools built against the original release.
+// Every subcommand exchanges graphs through hin::LoadGraphAuto /
+// hin::SaveGraphAuto (text or HINPRIVB binary, auto-detected); `generate`
+// can additionally emit the KDD Cup 2012 three-file layout for tools built
+// against the original release.
 
 #include <chrono>
 #include <cstdio>
@@ -20,6 +24,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "anon/complete_graph_anonymizer.h"
 #include "anon/k_degree_anonymizer.h"
@@ -29,7 +34,6 @@
 #include "core/privacy_risk.h"
 #include "eval/metrics.h"
 #include "eval/parallel_metrics.h"
-#include "hin/binary_io.h"
 #include "hin/density.h"
 #include "hin/graph_stats.h"
 #include "hin/io.h"
@@ -38,6 +42,9 @@
 #include "hin/tqq_schema.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/signal.h"
 #include "synth/tqq_generator.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -51,29 +58,6 @@ int Fail(const util::Status& status) {
   return 1;
 }
 
-// Loads either serialization format, sniffing the binary magic.
-util::Result<hin::Graph> LoadAnyGraph(const std::string& path) {
-  {
-    std::ifstream probe(path, std::ios::binary);
-    if (!probe) return util::Status::IoError("cannot open for read: " + path);
-    char magic[8] = {};
-    probe.read(magic, sizeof(magic));
-    if (probe.gcount() == 8 && std::memcmp(magic, "HINPRIVB", 8) == 0) {
-      return hin::LoadGraphBinaryFromFile(path);
-    }
-  }
-  return hin::LoadGraphFromFile(path);
-}
-
-// Saves in the format implied by the extension: ".bin"/".bgraph" binary,
-// anything else text.
-util::Status SaveAnyGraph(const hin::Graph& graph, const std::string& path) {
-  if (path.size() >= 4 && (path.ends_with(".bin") || path.ends_with(".bgraph"))) {
-    return hin::SaveGraphBinaryToFile(graph, path);
-  }
-  return hin::SaveGraphToFile(graph, path);
-}
-
 int Usage() {
   std::printf(
       "hinpriv_cli <command> [flags]\n"
@@ -85,6 +69,8 @@ int Usage() {
       "  stats      structural statistics of a graph\n"
       "  convert    convert between text and binary graph formats\n"
       "  project    meta-path projection of a full t.qq graph\n"
+      "  serve      resident attack service over TCP (see DESIGN.md §7)\n"
+      "  query      one request against a running serve instance\n"
       "run '<command> --help' for per-command flags\n");
   return 2;
 }
@@ -130,7 +116,7 @@ int RunGenerate(int argc, char** argv) {
   auto graph = synth::GenerateTqqNetwork(config, &rng);
   if (!graph.ok()) return Fail(graph.status());
   const util::Status saved =
-      SaveAnyGraph(graph.value(), flags.GetString("out"));
+      hin::SaveGraphAuto(graph.value(), flags.GetString("out"));
   if (!saved.ok()) return Fail(saved);
   std::printf("wrote %s: %zu users, %zu links, density %.5f\n",
               flags.GetString("out").c_str(), graph.value().num_vertices(),
@@ -164,7 +150,7 @@ int RunAnonymize(int argc, char** argv) {
     std::printf("%s", flags.Usage("hinpriv_cli anonymize").c_str());
     return 0;
   }
-  auto graph = LoadAnyGraph(flags.GetString("in"));
+  auto graph = hin::LoadGraphAuto(flags.GetString("in"));
   if (!graph.ok()) return Fail(graph.status());
   auto anonymizer = MakeAnonymizer(flags.GetString("scheme"));
   if (anonymizer == nullptr) {
@@ -176,7 +162,7 @@ int RunAnonymize(int argc, char** argv) {
   auto published = anonymizer->Anonymize(graph.value(), &rng);
   if (!published.ok()) return Fail(published.status());
   const util::Status saved =
-      SaveAnyGraph(published.value().graph, flags.GetString("out"));
+      hin::SaveGraphAuto(published.value().graph, flags.GetString("out"));
   if (!saved.ok()) return Fail(saved);
   std::printf("published %s via %s: %zu links (was %zu)\n",
               flags.GetString("out").c_str(), anonymizer->name().c_str(),
@@ -274,13 +260,16 @@ int RunAttack(int argc, char** argv) {
   }
   const std::string metrics_path = flags.GetString("metrics_json");
   const std::string trace_path = flags.GetString("trace_out");
+  // Long attacks stop at a target boundary on SIGINT/SIGTERM and still
+  // flush the partial --metrics_json/--trace_out outputs below.
+  service::InstallShutdownSignalHandlers();
   if (!trace_path.empty()) {
     obs::SetCurrentThreadName("main");
     obs::StartTracing();
   }
-  auto target = LoadAnyGraph(flags.GetString("target"));
+  auto target = hin::LoadGraphAuto(flags.GetString("target"));
   if (!target.ok()) return Fail(target.status());
-  auto aux = LoadAnyGraph(flags.GetString("aux"));
+  auto aux = hin::LoadGraphAuto(flags.GetString("aux"));
   if (!aux.ok()) return Fail(aux.status());
 
   hin::Graph published = std::move(target).value();
@@ -322,8 +311,14 @@ int RunAttack(int argc, char** argv) {
     eval::ParallelEvalOptions options;
     options.num_threads = threads;
     options.heartbeat_seconds = heartbeat_sec;
+    options.cancel = &service::ShutdownToken();
     const eval::AttackMetrics metrics = eval::EvaluateAttackParallel(
         dehin, published, mapping.value(), n, options);
+    if (metrics.interrupted) {
+      std::printf("interrupted by signal after %zu/%zu targets; partial "
+                  "results follow\n",
+                  metrics.num_evaluated, metrics.num_targets);
+    }
     std::printf(
         "targets: %zu; precision: %.1f%%; truth contained: %zu; mean "
         "candidate set: %.1f of %zu\n",
@@ -351,8 +346,13 @@ int RunAttack(int argc, char** argv) {
                                           hin::kInvalidVertex);
   const auto run_start = std::chrono::steady_clock::now();
   auto last_beat = run_start;
+  size_t evaluated = 0;
   for (hin::VertexId v = 0; v < published.num_vertices(); ++v) {
+    // Stop at a target boundary on SIGINT/SIGTERM; partial per-target
+    // output and telemetry are still flushed below.
+    if (service::ShutdownToken().ShouldStop()) break;
     const auto candidates = dehin.Deanonymize(published, v, n);
+    ++evaluated;
     candidate_counts[v] = candidates.size();
     candidate_sum += static_cast<double>(candidates.size());
     if (candidates.size() == 1) {
@@ -380,23 +380,26 @@ int RunAttack(int argc, char** argv) {
       }
     }
   }
+  if (evaluated < published.num_vertices()) {
+    std::printf("interrupted by signal after %zu/%zu targets; partial "
+                "results follow\n",
+                evaluated, static_cast<size_t>(published.num_vertices()));
+  }
   std::printf("targets: %zu; uniquely matched: %zu (%.1f%%); mean candidate "
               "set: %.1f of %zu\n",
-              published.num_vertices(), unique,
+              evaluated, unique,
               100.0 * static_cast<double>(unique) /
-                  static_cast<double>(std::max<size_t>(
-                      1, published.num_vertices())),
+                  static_cast<double>(std::max<size_t>(1, evaluated)),
               candidate_sum /
-                  static_cast<double>(std::max<size_t>(
-                      1, published.num_vertices())),
+                  static_cast<double>(std::max<size_t>(1, evaluated)),
               aux.value().num_vertices());
 
   const std::string mapping_path = flags.GetString("mapping");
-  if (!mapping_path.empty()) {
+  if (!mapping_path.empty() && evaluated > 0) {
     auto mapping = LoadMapping(mapping_path, published.num_vertices());
     if (!mapping.ok()) return Fail(mapping.status());
     size_t correct = 0;
-    for (hin::VertexId v = 0; v < published.num_vertices(); ++v) {
+    for (hin::VertexId v = 0; v < evaluated; ++v) {
       if (unique_match[v] != hin::kInvalidVertex &&
           unique_match[v] == mapping.value()[v]) {
         ++correct;
@@ -404,7 +407,7 @@ int RunAttack(int argc, char** argv) {
     }
     std::printf("scored against ground truth: precision %.1f%%\n",
                 100.0 * static_cast<double>(correct) /
-                    static_cast<double>(published.num_vertices()));
+                    static_cast<double>(evaluated));
   }
   return EmitAttackTelemetry(metrics_path, trace_path);
 }
@@ -419,7 +422,7 @@ int RunAudit(int argc, char** argv) {
     std::printf("%s", flags.Usage("hinpriv_cli audit").c_str());
     return 0;
   }
-  auto graph = LoadAnyGraph(flags.GetString("in"));
+  auto graph = hin::LoadGraphAuto(flags.GetString("in"));
   if (!graph.ok()) return Fail(graph.status());
   core::SignatureOptions options;
   const size_t num_attrs = graph.value().num_attributes(0);
@@ -447,7 +450,7 @@ int RunStats(int argc, char** argv) {
     std::printf("%s", flags.Usage("hinpriv_cli stats").c_str());
     return 0;
   }
-  auto graph = LoadAnyGraph(flags.GetString("in"));
+  auto graph = hin::LoadGraphAuto(flags.GetString("in"));
   if (!graph.ok()) return Fail(graph.status());
   const hin::Graph& g = graph.value();
   std::printf("vertices: %zu   links: %zu   density: %.6f   mean out-degree: "
@@ -479,9 +482,9 @@ int RunConvert(int argc, char** argv) {
     std::printf("%s", flags.Usage("hinpriv_cli convert").c_str());
     return 0;
   }
-  auto graph = LoadAnyGraph(flags.GetString("in"));
+  auto graph = hin::LoadGraphAuto(flags.GetString("in"));
   if (!graph.ok()) return Fail(graph.status());
-  const util::Status saved = SaveAnyGraph(graph.value(), flags.GetString("out"));
+  const util::Status saved = hin::SaveGraphAuto(graph.value(), flags.GetString("out"));
   if (!saved.ok()) return Fail(saved);
   std::printf("converted %s -> %s (%zu vertices, %zu links)\n",
               flags.GetString("in").c_str(), flags.GetString("out").c_str(),
@@ -499,7 +502,7 @@ int RunProject(int argc, char** argv) {
     std::printf("%s", flags.Usage("hinpriv_cli project").c_str());
     return 0;
   }
-  auto graph = LoadAnyGraph(flags.GetString("in"));
+  auto graph = hin::LoadGraphAuto(flags.GetString("in"));
   if (!graph.ok()) return Fail(graph.status());
   if (graph.value().schema().FindEntityType(hin::kUserType) ==
           hin::kInvalidEntityType ||
@@ -512,7 +515,7 @@ int RunProject(int argc, char** argv) {
       graph.value(), hin::TqqTargetSpec(graph.value().schema()));
   if (!projected.ok()) return Fail(projected.status());
   const util::Status saved =
-      SaveAnyGraph(projected.value().graph, flags.GetString("out"));
+      hin::SaveGraphAuto(projected.value().graph, flags.GetString("out"));
   if (!saved.ok()) return Fail(saved);
   std::printf("projected %zu-entity full network onto %zu users / %zu "
               "target-schema links -> %s\n",
@@ -521,6 +524,143 @@ int RunProject(int argc, char** argv) {
               projected.value().graph.num_edges(),
               flags.GetString("out").c_str());
   return 0;
+}
+
+int RunServe(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("target", "", "published (anonymized) graph to serve");
+  flags.Define("aux", "", "adversary's auxiliary graph");
+  flags.Define("host", "127.0.0.1",
+               "IPv4 listen address (keep the service on loopback: it hands "
+               "out de-anonymization results)");
+  flags.Define("port", "7470", "TCP port (0 = kernel-assigned, printed)");
+  flags.Define("workers", "4", "worker pool size");
+  flags.Define("queue_capacity", "128",
+               "request queue bound; a full queue sheds with BUSY");
+  flags.Define("max_batch", "8",
+               "micro-batch size for compatible queued requests (1 = off)");
+  flags.Define("max_distance", "1",
+               "default max neighbor distance for requests that omit it");
+  flags.Define("deadline_ms", "0",
+               "default per-request deadline in ms (0 = none)");
+  flags.Define("dominance_kernel", "auto",
+               "prefilter strength-dominance kernel: auto|scalar|sse2|avx2");
+  flags.Define("metrics_json", "",
+               "write a final metrics snapshot to this path on shutdown");
+  flags.Define("trace_out", "",
+               "record phase spans and write Chrome trace-event JSON to "
+               "this path on shutdown");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli serve").c_str());
+    return 0;
+  }
+  const std::string trace_path = flags.GetString("trace_out");
+  if (!trace_path.empty()) {
+    obs::SetCurrentThreadName("main");
+    obs::StartTracing();
+  }
+  auto target = hin::LoadGraphAuto(flags.GetString("target"));
+  if (!target.ok()) return Fail(target.status());
+  auto aux = hin::LoadGraphAuto(flags.GetString("aux"));
+  if (!aux.ok()) return Fail(aux.status());
+
+  service::ServerConfig config;
+  config.host = flags.GetString("host");
+  config.port = static_cast<uint16_t>(flags.GetInt("port"));
+  config.num_workers = static_cast<size_t>(flags.GetInt("workers"));
+  config.queue_capacity = static_cast<size_t>(flags.GetInt("queue_capacity"));
+  config.max_batch = static_cast<size_t>(flags.GetInt("max_batch"));
+  config.default_max_distance = static_cast<int>(flags.GetInt("max_distance"));
+  config.default_deadline_ms = flags.GetDouble("deadline_ms");
+  config.metrics_json_path = flags.GetString("metrics_json");
+  config.dehin.match = core::DefaultTqqMatchOptions();
+  config.dehin.max_distance = config.default_max_distance;
+  if (!core::ParseDominanceKernel(flags.GetString("dominance_kernel"),
+                                  &config.dehin.dominance_kernel)) {
+    return Fail(util::Status::InvalidArgument(
+        "invalid --dominance_kernel '" + flags.GetString("dominance_kernel") +
+        "' (want auto|scalar|sse2|avx2)"));
+  }
+
+  service::InstallShutdownSignalHandlers();
+  service::Server server(&target.value(), &aux.value(), config);
+  status = server.Start();
+  if (!status.ok()) return Fail(status);
+  std::printf("serving %s (aux %s) on %s:%u — %zu workers, queue %zu, "
+              "batch %zu; SIGINT/SIGTERM drains gracefully\n",
+              flags.GetString("target").c_str(),
+              flags.GetString("aux").c_str(), config.host.c_str(),
+              static_cast<unsigned>(server.port()), config.num_workers,
+              config.queue_capacity, config.max_batch);
+  std::fflush(stdout);
+
+  while (!service::ShutdownToken().cancelled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutdown signal received; draining in-flight requests\n");
+  server.Shutdown();
+  if (!trace_path.empty()) {
+    obs::StopTracing();
+    const util::Status written = obs::WriteChromeTrace(trace_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  if (!config.metrics_json_path.empty()) {
+    std::printf("final metrics snapshot written to %s\n",
+                config.metrics_json_path.c_str());
+  }
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("host", "127.0.0.1", "server address");
+  flags.Define("port", "7470", "server port");
+  flags.Define("method", "stats", "attack_one | risk | stats | sleep");
+  flags.Define("target_id", "-1",
+               "anonymized vertex id (required for attack_one; optional for "
+               "risk: present = per-entity R(t), absent = network R(T))");
+  flags.Define("max_distance", "-1",
+               "max neighbor distance (-1 = server default)");
+  flags.Define("deadline_ms", "0", "per-request deadline in ms (0 = none)");
+  flags.Define("sleep_ms", "0", "sleep method only: how long to hold a worker");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli query").c_str());
+    return 0;
+  }
+  const auto method = service::ParseMethod(flags.GetString("method"));
+  if (!method.has_value()) {
+    return Fail(util::Status::InvalidArgument(
+        "unknown method '" + flags.GetString("method") +
+        "' (want attack_one|risk|stats|sleep)"));
+  }
+  auto client = service::Client::Connect(
+      flags.GetString("host"), static_cast<uint16_t>(flags.GetInt("port")));
+  if (!client.ok()) return Fail(client.status());
+
+  service::Request request;
+  request.id = 1;
+  request.method = *method;
+  const int64_t target_id = flags.GetInt("target_id");
+  if (target_id >= 0) {
+    request.target = static_cast<hin::VertexId>(target_id);
+    request.has_target = true;
+  }
+  request.max_distance = static_cast<int>(flags.GetInt("max_distance"));
+  request.deadline_ms = flags.GetDouble("deadline_ms");
+  request.sleep_ms = flags.GetDouble("sleep_ms");
+
+  auto response = client.value().Call(request);
+  if (!response.ok()) return Fail(response.status());
+  // The response document goes to stdout verbatim, so `query` composes
+  // with jq and scripts; the exit code reflects the protocol code.
+  std::printf("%s\n",
+              service::EncodeResponse(response.value()).Serialize().c_str());
+  return response.value().code == service::ResponseCode::kOk ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {
@@ -534,6 +674,8 @@ int Main(int argc, char** argv) {
   if (command == "stats") return RunStats(argc - 1, argv + 1);
   if (command == "convert") return RunConvert(argc - 1, argv + 1);
   if (command == "project") return RunProject(argc - 1, argv + 1);
+  if (command == "serve") return RunServe(argc - 1, argv + 1);
+  if (command == "query") return RunQuery(argc - 1, argv + 1);
   if (command == "--help" || command == "-h") {
     Usage();
     return 0;
