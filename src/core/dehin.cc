@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "exec/executor.h"
 #include "hin/graph_builder.h"
 #include "matching/hopcroft_karp.h"
 #include "obs/trace.h"
@@ -224,6 +225,157 @@ util::Result<std::vector<hin::VertexId>> Dehin::Deanonymize(
                ? util::Status::DeadlineExceeded("dehin: deadline exceeded")
                : util::Status::Cancelled("dehin: cancelled");
   }
+  CandidateSetHistogram(max_distance)->Record(candidates.size());
+  return candidates;
+}
+
+util::Result<std::vector<hin::VertexId>> Dehin::DeanonymizeParallel(
+    const hin::Graph& target, hin::VertexId vt, int max_distance) const {
+  return DeanonymizeParallel(target, vt, max_distance, ParallelScanOptions{});
+}
+
+util::Result<std::vector<hin::VertexId>> Dehin::DeanonymizeParallel(
+    const hin::Graph& target, hin::VertexId vt, int max_distance,
+    const ParallelScanOptions& options) const {
+  exec::Executor* executor = options.executor != nullptr
+                                 ? options.executor
+                                 : &exec::Executor::Global();
+  // A single-worker pool has nothing to overlap; the serial path also
+  // keeps the per-candidate cancel semantics exact.
+  if (executor->num_workers() <= 1) {
+    return Deanonymize(target, vt, max_distance, options.cancel);
+  }
+  HINPRIV_SPAN("dehin/deanonymize_parallel");
+  const util::CancelToken* cancel = options.cancel;
+  auto stop_status = [cancel]() -> util::Status {
+    return cancel != nullptr && cancel->deadline_exceeded()
+               ? util::Status::DeadlineExceeded("dehin: deadline exceeded")
+               : util::Status::Cancelled("dehin: cancelled");
+  };
+  if (cancel != nullptr && cancel->ShouldStop()) return stop_status();
+  const std::shared_ptr<const TargetState> pinned = GetTargetState(target);
+  const TargetState& state = *pinned;
+
+  // Phase 1 — candidate pool. With the index, enumeration is a serial
+  // bucket walk over the profile-matched entries (typically a small slice
+  // of the graph) and the parallel phase fans out the expensive LinkMatch
+  // tests; without it, the entity scan itself is the bulk of the work and
+  // the parallel phase runs directly over the vertex range.
+  std::vector<hin::VertexId> pool;
+  const bool pool_is_entity_matched = index_ != nullptr;
+  size_t n = 0;
+  if (index_ != nullptr) {
+    index_->ForEachCandidate(target, vt,
+                             [&](hin::VertexId va) { pool.push_back(va); });
+    if (max_distance == 0) {
+      // Profile-only attack: enumeration already was the whole scan.
+      std::sort(pool.begin(), pool.end());
+      CandidateSetHistogram(max_distance)->Record(pool.size());
+      return pool;
+    }
+    n = pool.size();
+  } else {
+    n = aux_->num_vertices();
+  }
+
+  // Phase 2 — grain-parallel candidate tests. Each claimed grain gets its
+  // own LocalStats (whose sticky stop flag keeps truncated results out of
+  // the match cache, exactly like the serial cancellable path) and its
+  // own result slot, indexed by grain ordinal so the merge below is
+  // independent of which worker ran what when.
+  size_t grain = options.grain;
+  if (grain == 0) {
+    const size_t target_chunks = executor->num_workers() * 8;
+    grain = std::clamp<size_t>(n / std::max<size_t>(target_chunks, 1), 1, 8192);
+  }
+  const size_t num_grains = n == 0 ? 0 : (n + grain - 1) / grain;
+  std::vector<std::vector<hin::VertexId>> grain_results(num_grains);
+  std::atomic<uint64_t> total_prefilter_rejects{0};
+  std::atomic<uint64_t> total_cache_hits{0};
+  std::atomic<uint64_t> total_full_tests{0};
+  std::atomic<bool> grain_stopped{false};
+  MatchCache* shared_cache = state.cache.get();
+
+  exec::ParallelForOptions pf_options;
+  pf_options.grain = grain;
+  pf_options.cancel = cancel;
+  const exec::ParallelForResult run = executor->ParallelFor(
+      n,
+      [&](size_t begin, size_t end) {
+        LocalStats local;
+        local.cancel = cancel;
+        // Per-grain fallback memo when the cross-call cache is ablated —
+        // narrower reuse than the serial per-call memo, but LinkMatch is
+        // pure, so only speed differs, never answers.
+        std::unique_ptr<MatchCache> local_memo;
+        MatchCache* cache = shared_cache;
+        if (cache == nullptr && max_distance > 0) {
+          local_memo = std::make_unique<MatchCache>(/*num_shards=*/1);
+          cache = local_memo.get();
+        }
+        std::vector<hin::VertexId>& accepted = grain_results[begin / grain];
+        for (size_t i = begin; i < end; ++i) {
+          if (local.stopped) break;
+          if (cancel != nullptr && cancel->ShouldStop()) {
+            local.stopped = true;
+            break;
+          }
+          const hin::VertexId va = pool_is_entity_matched
+                                       ? pool[i]
+                                       : static_cast<hin::VertexId>(i);
+          if (!pool_is_entity_matched && !EntityMatch(target, vt, va)) {
+            continue;
+          }
+          if (max_distance > 0 &&
+              !LinkMatch(max_distance, target, vt, va, state, cache, &local,
+                         /*is_root=*/true)) {
+            continue;
+          }
+          if (local.stopped) break;  // the accept above may be truncated
+          accepted.push_back(va);
+        }
+        if (local.stopped) {
+          grain_stopped.store(true, std::memory_order_relaxed);
+        }
+        total_prefilter_rejects.fetch_add(local.prefilter_rejects,
+                                          std::memory_order_relaxed);
+        total_cache_hits.fetch_add(local.cache_hits,
+                                   std::memory_order_relaxed);
+        total_full_tests.fetch_add(local.full_tests,
+                                   std::memory_order_relaxed);
+      },
+      pf_options);
+
+  const uint64_t prefilter_rejects =
+      total_prefilter_rejects.load(std::memory_order_relaxed);
+  const uint64_t cache_hits = total_cache_hits.load(std::memory_order_relaxed);
+  const uint64_t full_tests = total_full_tests.load(std::memory_order_relaxed);
+  if (prefilter_rejects + cache_hits + full_tests > 0) {
+    prefilter_rejects_.Add(prefilter_rejects);
+    cache_hits_.Add(cache_hits);
+    full_tests_.Add(full_tests);
+    const GlobalDehinMetrics& global = GlobalMetrics();
+    global.prefilter_rejects->Add(prefilter_rejects);
+    global.cache_hits->Add(cache_hits);
+    global.full_tests->Add(full_tests);
+  }
+  if (run.stopped || grain_stopped.load(std::memory_order_relaxed)) {
+    // Some grain (or the claim loop) observed the stop, so the collected
+    // candidates are partial; report why instead. (Counters above still
+    // flushed: that work really ran.)
+    return stop_status();
+  }
+
+  // Deterministic merge: concatenate in grain order, then sort — the same
+  // canonical ascending order the serial path produces.
+  size_t total = 0;
+  for (const auto& accepted : grain_results) total += accepted.size();
+  std::vector<hin::VertexId> candidates;
+  candidates.reserve(total);
+  for (const auto& accepted : grain_results) {
+    candidates.insert(candidates.end(), accepted.begin(), accepted.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
   CandidateSetHistogram(max_distance)->Record(candidates.size());
   return candidates;
 }

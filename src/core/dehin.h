@@ -18,6 +18,10 @@
 #include "util/cancellation.h"
 #include "util/status.h"
 
+namespace hinpriv::exec {
+class Executor;
+}  // namespace hinpriv::exec
+
 namespace hinpriv::core {
 
 // Configuration of the DeHIN attack (Algorithms 1 and 2).
@@ -181,6 +185,38 @@ class Dehin {
   util::Result<std::vector<hin::VertexId>> Deanonymize(
       const hin::Graph& target, hin::VertexId vt, int max_distance,
       const util::CancelToken* cancel) const;
+
+  // Knobs for the intra-query parallel candidate scan.
+  struct ParallelScanOptions {
+    // Pool to fan the scan out on; borrowed, not owned. nullptr selects
+    // the process-wide exec::Executor::Global().
+    exec::Executor* executor = nullptr;
+    // Auxiliary vertices (or index candidates) per claimed grain; 0 picks
+    // the executor's adaptive grain (~8 chunks per worker).
+    size_t grain = 0;
+    // Same cooperative-stop contract as the cancellable Deanonymize:
+    // polled per grain claim and per candidate, returns
+    // Status::DeadlineExceeded / Status::Cancelled, and never inserts
+    // truncated results into the match cache.
+    const util::CancelToken* cancel = nullptr;
+  };
+
+  // Intra-query parallel variant of Deanonymize: one target vertex, the
+  // candidate scan fanned out across the executor's workers so a single
+  // query can saturate the machine. The auxiliary vertex range (or, with
+  // the candidate index, the index's serially-enumerated candidate pool)
+  // is partitioned into grains claimed dynamically; each grain collects
+  // accepted candidates into its own slot, and the slots are concatenated
+  // in grain order and sorted, so the result is bit-identical to the
+  // serial Deanonymize regardless of scheduling (LinkMatch is a pure
+  // function of the two graphs and the config; see the differential
+  // tests). On a single-worker executor this degrades to the serial
+  // cancellable path.
+  util::Result<std::vector<hin::VertexId>> DeanonymizeParallel(
+      const hin::Graph& target, hin::VertexId vt, int max_distance,
+      const ParallelScanOptions& options) const;
+  util::Result<std::vector<hin::VertexId>> DeanonymizeParallel(
+      const hin::Graph& target, hin::VertexId vt, int max_distance) const;
 
   const DehinConfig& config() const { return config_; }
   const hin::Graph& auxiliary() const { return *aux_; }

@@ -3,47 +3,22 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
-#include <exception>
-#include <mutex>
-#include <string>
-#include <thread>
+#include <memory>
+#include <vector>
 
+#include "exec/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace hinpriv::eval {
-
-namespace {
-
-// Joins every joinable thread on scope exit. Without this, an exception
-// thrown while workers are running (a failed thread spawn, or a worker
-// error rethrown below) would destroy joinable std::threads and
-// std::terminate the process.
-class ScopedJoiner {
- public:
-  explicit ScopedJoiner(std::vector<std::thread>* threads)
-      : threads_(threads) {}
-  ~ScopedJoiner() {
-    for (std::thread& thread : *threads_) {
-      if (thread.joinable()) thread.join();
-    }
-  }
-  ScopedJoiner(const ScopedJoiner&) = delete;
-  ScopedJoiner& operator=(const ScopedJoiner&) = delete;
-
- private:
-  std::vector<std::thread>* threads_;
-};
-
-}  // namespace
 
 AttackMetrics EvaluateAttackParallel(
     const core::Dehin& dehin, const hin::Graph& target,
     const std::vector<hin::VertexId>& ground_truth, int max_distance,
     const ParallelEvalOptions& options) {
   HINPRIV_SPAN("eval/attack_parallel");
-  size_t num_threads = options.num_threads;
   AttackMetrics metrics;
   metrics.num_targets = target.num_vertices();
   if (metrics.num_targets == 0) return metrics;
@@ -59,35 +34,38 @@ AttackMetrics EvaluateAttackParallel(
     return AttackMetrics{};
   }
   const core::DehinStats stats_before = dehin.stats();
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+
+  // Executor selection: explicit handle, else the shared global pool
+  // (num_threads == 0), else a transient pool of the requested size —
+  // clamped to the target count, since extra workers could never claim a
+  // target.
+  exec::Executor* executor = options.executor;
+  std::unique_ptr<exec::Executor> transient;
+  if (executor == nullptr) {
+    if (options.num_threads == 0) {
+      executor = &exec::Executor::Global();
+    } else {
+      transient = std::make_unique<exec::Executor>(
+          std::min(exec::ResolveThreads(options.num_threads),
+                   static_cast<size_t>(metrics.num_targets)));
+      executor = transient.get();
+    }
   }
-  num_threads = std::min(num_threads, metrics.num_targets);
 
-  struct Partial {
-    size_t evaluated = 0;
-    size_t unique_correct = 0;
-    size_t containing_truth = 0;
-    double reduction_sum = 0.0;
-    double candidate_sum = 0.0;
-  };
-  std::vector<Partial> partials(num_threads);
-  std::atomic<hin::VertexId> next{0};
-  const double aux_size =
-      static_cast<double>(dehin.auxiliary().num_vertices());
-
-  // First exception thrown by any worker, rethrown on the caller's thread
-  // after the join — an uncaught throw inside a std::thread body would
-  // std::terminate.
-  std::mutex error_mu;
-  std::exception_ptr first_error;
+  // Per-target result slots. Workers fill disjoint indices; the serial
+  // reduction below walks them in target order, so the floating-point
+  // sums are bit-identical to the serial EvaluateAttack.
+  const size_t num_targets = metrics.num_targets;
+  std::vector<size_t> candidate_counts(num_targets, 0);
+  std::vector<uint8_t> contains_truth(num_targets, 0);
 
   // Heartbeat state shared by the workers: whichever worker first notices
-  // the interval elapsed claims the beat with a CAS and prints one line, so
-  // long runs emit a liveness signal without a dedicated reporter thread.
+  // the interval elapsed claims the beat with a CAS and prints one line,
+  // so long runs emit a liveness signal without a dedicated reporter
+  // thread.
   using Clock = std::chrono::steady_clock;
-  const int64_t heartbeat_ns = static_cast<int64_t>(
-      options.heartbeat_seconds * 1e9);
+  const int64_t heartbeat_ns =
+      static_cast<int64_t>(options.heartbeat_seconds * 1e9);
   const Clock::time_point run_start = Clock::now();
   std::atomic<int64_t> last_beat_ns{0};
   std::atomic<size_t> completed{0};
@@ -95,79 +73,68 @@ AttackMetrics EvaluateAttackParallel(
       obs::MetricsRegistry::Global().GetGauge("eval/progress");
   progress_gauge->Set(0.0);
 
-  auto worker = [&](size_t tid) {
-    try {
-      obs::SetCurrentThreadName("attack-worker-" + std::to_string(tid));
-      HINPRIV_SPAN("eval/worker");
-      Partial& p = partials[tid];
-      while (true) {
-        // Target boundary = the interruptible batch boundary: a cancelled
-        // run finishes the target in flight and claims no more.
-        if (options.cancel != nullptr && options.cancel->ShouldStop()) break;
-        const hin::VertexId vt = next.fetch_add(1, std::memory_order_relaxed);
-        if (vt >= target.num_vertices()) break;
-        const auto candidates = dehin.Deanonymize(target, vt, max_distance);
-        ++p.evaluated;
-        const bool contains_truth = std::binary_search(
-            candidates.begin(), candidates.end(), ground_truth[vt]);
-        if (contains_truth) ++p.containing_truth;
-        if (contains_truth && candidates.size() == 1) ++p.unique_correct;
-        p.reduction_sum +=
-            1.0 - static_cast<double>(candidates.size()) / aux_size;
-        p.candidate_sum += static_cast<double>(candidates.size());
-        const size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (heartbeat_ns > 0) {
-          const int64_t elapsed_ns =
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  Clock::now() - run_start)
-                  .count();
-          int64_t last = last_beat_ns.load(std::memory_order_relaxed);
-          if (elapsed_ns - last >= heartbeat_ns &&
-              last_beat_ns.compare_exchange_strong(
-                  last, elapsed_ns, std::memory_order_relaxed)) {
-            const double fraction =
-                static_cast<double>(done) /
-                static_cast<double>(target.num_vertices());
-            progress_gauge->Set(fraction);
-            std::fprintf(stderr,
-                         "[hinpriv] attack progress: %zu/%zu targets "
-                         "(%.1f%%), %.1fs elapsed\n",
-                         done, static_cast<size_t>(target.num_vertices()),
-                         100.0 * fraction,
-                         static_cast<double>(elapsed_ns) / 1e9);
+  exec::ParallelForOptions pf_options;
+  // Grain of one target: the whole point of dynamic claiming is that a
+  // degree-skewed straggler target occupies one worker while the rest of
+  // the pool drains everything else.
+  pf_options.grain = 1;
+  pf_options.cancel = options.cancel;
+  const exec::ParallelForResult run = executor->ParallelFor(
+      num_targets,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const auto vt = static_cast<hin::VertexId>(i);
+          const auto candidates = dehin.Deanonymize(target, vt, max_distance);
+          candidate_counts[i] = candidates.size();
+          contains_truth[i] =
+              std::binary_search(candidates.begin(), candidates.end(),
+                                 ground_truth[vt])
+                  ? 1
+                  : 0;
+          const size_t done =
+              completed.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (heartbeat_ns > 0) {
+            const int64_t elapsed_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - run_start)
+                    .count();
+            int64_t last = last_beat_ns.load(std::memory_order_relaxed);
+            if (elapsed_ns - last >= heartbeat_ns &&
+                last_beat_ns.compare_exchange_strong(
+                    last, elapsed_ns, std::memory_order_relaxed)) {
+              const double fraction =
+                  static_cast<double>(done) / static_cast<double>(num_targets);
+              progress_gauge->Set(fraction);
+              std::fprintf(stderr,
+                           "[hinpriv] attack progress: %zu/%zu targets "
+                           "(%.1f%%), %.1fs elapsed\n",
+                           done, num_targets, 100.0 * fraction,
+                           static_cast<double>(elapsed_ns) / 1e9);
+            }
           }
         }
-      }
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      // Drain the work queue so the other workers wind down promptly.
-      next.store(target.num_vertices(), std::memory_order_relaxed);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  {
-    ScopedJoiner joiner(&threads);
-    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
-  }
-  if (first_error) std::rethrow_exception(first_error);
+      },
+      pf_options);
   progress_gauge->Set(1.0);
 
+  // Serial reduction over the evaluated prefix, in target order — the
+  // same association the serial evaluator uses.
+  metrics.num_evaluated = run.completed;
+  const double aux_size =
+      static_cast<double>(dehin.auxiliary().num_vertices());
   double reduction_sum = 0.0;
   double candidate_sum = 0.0;
-  for (const Partial& p : partials) {
-    metrics.num_evaluated += p.evaluated;
-    metrics.num_unique_correct += p.unique_correct;
-    metrics.num_containing_truth += p.containing_truth;
-    reduction_sum += p.reduction_sum;
-    candidate_sum += p.candidate_sum;
+  for (size_t i = 0; i < run.completed; ++i) {
+    if (contains_truth[i]) ++metrics.num_containing_truth;
+    if (contains_truth[i] && candidate_counts[i] == 1) {
+      ++metrics.num_unique_correct;
+    }
+    reduction_sum += 1.0 - static_cast<double>(candidate_counts[i]) / aux_size;
+    candidate_sum += static_cast<double>(candidate_counts[i]);
   }
   metrics.interrupted = metrics.num_evaluated < metrics.num_targets;
-  // Rates over what was actually scored, so an interrupted run reports the
-  // evaluated prefix rather than diluting by unvisited targets.
+  // Rates over what was actually scored, so an interrupted run reports
+  // the evaluated prefix rather than diluting by unvisited targets.
   const double n =
       static_cast<double>(std::max<size_t>(1, metrics.num_evaluated));
   metrics.precision = static_cast<double>(metrics.num_unique_correct) / n;

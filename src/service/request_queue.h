@@ -76,6 +76,28 @@ class BoundedQueue {
     return out->size() - start;
   }
 
+  // Non-blocking PopBatch: takes up to max_batch contiguous compatible
+  // head items if any are immediately available, otherwise returns 0
+  // without waiting. The executor-backed server submits one drain task per
+  // admitted request and each task drains with one such call, so a task
+  // that runs after a larger batch already took its item just finds the
+  // queue empty and exits.
+  template <typename Compatible>
+  size_t TryPopBatch(size_t max_batch, std::vector<T>* out,
+                     Compatible&& compatible) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return 0;
+    const size_t start = out->size();
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+    while (out->size() - start < max_batch && !items_.empty() &&
+           compatible((*out)[start], items_.front())) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out->size() - start;
+  }
+
   // Refuses future pushes and wakes every waiter; queued items still drain
   // through Pop/PopBatch.
   void Close() {

@@ -119,10 +119,11 @@ util::Status Server::Start() {
     (void)dehin_.Deanonymize(*target_, 0, 0);
   }
 
-  const size_t num_workers = std::max<size_t>(1, config_.num_workers);
-  workers_.reserve(num_workers);
-  for (size_t i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  executor_ = config_.executor;
+  if (executor_ == nullptr) {
+    owned_executor_ = std::make_unique<exec::Executor>(
+        exec::ResolveThreads(config_.num_workers));
+    executor_ = owned_executor_.get();
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return util::Status::OK();
@@ -197,24 +198,28 @@ void Server::ReadLoop(std::shared_ptr<Connection> conn) {
       continue;
     }
     queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    // One high-priority drain task per admitted request: requests are
+    // admitted ahead of any queued intra-query scan grains (kNormal), so
+    // a long parallel scan cannot starve the request path.
+    {
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      ++drain_tasks_;
+    }
+    executor_->Submit([this] { DrainOne(); }, exec::Priority::kHigh);
   }
   std::lock_guard<std::mutex> lock(conns_mu_);
   conns_.erase(conn->fd);
 }
 
-void Server::WorkerLoop(size_t worker_id) {
-  obs::SetCurrentThreadName("service/worker-" + std::to_string(worker_id));
+void Server::DrainOne() {
   std::vector<PendingRequest> batch;
   const auto same_method = [](const PendingRequest& a,
                               const PendingRequest& b) {
     return a.request.method == b.request.method;
   };
-  while (true) {
-    batch.clear();
-    const size_t n =
-        queue_.PopBatch(std::max<size_t>(1, config_.max_batch), &batch,
-                        same_method);
-    if (n == 0) break;  // closed and drained: graceful exit
+  const size_t n = queue_.TryPopBatch(std::max<size_t>(1, config_.max_batch),
+                                      &batch, same_method);
+  if (n > 0) {
     queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     batches_->Increment();
     batch_size_->Record(n);
@@ -247,6 +252,8 @@ void Server::WorkerLoop(size_t worker_id) {
                  .count())));
     }
   }
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  if (--drain_tasks_ == 0) drain_cv_.notify_all();
 }
 
 int Server::ResolveMaxDistance(const Request& request) const {
@@ -301,8 +308,20 @@ Response Server::ProcessAttackOne(const Request& request,
     return response;
   }
   const int max_distance = ResolveMaxDistance(request);
-  auto result =
-      dehin_.Deanonymize(*target_, request.target, max_distance, &token);
+  // With more than one executor worker, a single query fans its candidate
+  // scan out across the pool (grains run at kNormal priority, below the
+  // kHigh drain tasks); the result is bit-identical to the serial path.
+  util::Result<std::vector<hin::VertexId>> result =
+      (config_.parallel_scan && executor_ != nullptr &&
+       executor_->num_workers() > 1)
+          ? [&] {
+              core::Dehin::ParallelScanOptions scan;
+              scan.executor = executor_;
+              scan.cancel = &token;
+              return dehin_.DeanonymizeParallel(*target_, request.target,
+                                                max_distance, scan);
+            }()
+          : dehin_.Deanonymize(*target_, request.target, max_distance, &token);
   if (!result.ok()) {
     response.code =
         result.status().code() == util::Status::Code::kDeadlineExceeded
@@ -412,7 +431,11 @@ Response Server::ProcessStats(const Request& request) {
   payload.Set("queue_capacity",
               JsonValue::Int(static_cast<int64_t>(queue_.capacity())));
   payload.Set("num_workers",
-              JsonValue::Int(static_cast<int64_t>(workers_.size())));
+              JsonValue::Int(static_cast<int64_t>(
+                  executor_ != nullptr ? executor_->num_workers() : 0)));
+  payload.Set("parallel_scan",
+              JsonValue::Bool(config_.parallel_scan && executor_ != nullptr &&
+                              executor_->num_workers() > 1));
   JsonValue dehin = JsonValue::Object();
   dehin.Set("prefilter_rejects",
             JsonValue::Int(static_cast<int64_t>(stats.prefilter_rejects)));
@@ -474,9 +497,11 @@ void Server::Shutdown() {
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
-    listen_fd_ = -1;
   }
   if (acceptor_.joinable()) acceptor_.join();
+  // Cleared only after the join: the acceptor reads listen_fd_ right up to
+  // the moment accept() returns the close-induced error.
+  listen_fd_ = -1;
 
   // 2. Stop admitting requests: SHUT_RD unblocks every reader's read()
   //    with EOF while leaving the write side open, so responses to
@@ -492,15 +517,22 @@ void Server::Shutdown() {
   }
   readers_.clear();
 
-  // 3. Drain: Close() refuses new pushes (there are no producers left
-  //    anyway) and lets the workers pop until empty, so every admitted
-  //    request is answered before the pool exits.
+  // 3. Drain: the readers are joined, so the set of admitted requests —
+  //    and therefore of submitted drain tasks — is final. Each push
+  //    submitted one task and every task pops at least one item whenever
+  //    the queue is nonempty, so outstanding-tasks >= queued-items always
+  //    holds: once the count hits zero, every admitted request has been
+  //    answered. Close() just documents that no pushes can follow.
   queue_.Close();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  {
+    std::unique_lock<std::mutex> drain_lock(drain_mu_);
+    drain_cv_.wait(drain_lock, [this] { return drain_tasks_ == 0; });
   }
-  workers_.clear();
   queue_depth_gauge_->Set(0.0);
+  // Joining an owned pool here (rather than at destruction) keeps the
+  // post-Shutdown server inert; a shared executor is left running.
+  owned_executor_.reset();
+  executor_ = nullptr;
 
   // 4. Final telemetry snapshot, after all request processing quiesced.
   if (!config_.metrics_json_path.empty()) {

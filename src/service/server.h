@@ -2,6 +2,7 @@
 #define HINPRIV_SERVICE_SERVER_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "core/dehin.h"
+#include "exec/executor.h"
 #include "hin/graph.h"
 #include "obs/metrics.h"
 #include "service/protocol.h"
@@ -27,9 +29,20 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   // 0 = kernel-assigned ephemeral port (read back via Server::port()).
   uint16_t port = 0;
-  // Worker pool size. Each worker runs whole requests; Dehin::Deanonymize
+  // Size of the execution pool the server creates when `executor` is
+  // null (0 = hardware concurrency). Requests run as high-priority tasks
+  // on that pool, so this bounds request concurrency; Dehin::Deanonymize
   // is thread-safe over the shared per-target state and match cache.
   size_t num_workers = 4;
+  // Shared work-stealing executor to run on instead of an owned pool;
+  // borrowed, must outlive the server. Request drain tasks are submitted
+  // at Priority::kHigh and intra-query scan grains at kNormal, so
+  // admitted requests never starve behind another query's scan work.
+  exec::Executor* executor = nullptr;
+  // When the executor has more than one worker, serve attack_one with the
+  // intra-query parallel candidate scan (Dehin::DeanonymizeParallel);
+  // results are bit-identical to the serial path.
+  bool parallel_scan = true;
   // Bound of the request queue = admission control. A full queue sheds
   // with BUSY instead of queueing into certain deadline misses.
   size_t queue_capacity = 128;
@@ -54,8 +67,11 @@ struct ServerConfig {
 // caller provides the anonymized target graph and the adversary's
 // auxiliary graph (both must outlive the server), and the server builds
 // the expensive `Dehin` state — candidate index, neighborhood prefilter
-// tables, shared match cache — once at Start(), then answers queries from
-// a worker pool fed by a bounded queue.
+// tables, shared match cache — once at Start(), then answers queries as
+// high-priority tasks on a work-stealing executor fed by a bounded
+// queue. The same executor runs the intra-query parallel candidate scan
+// (at normal priority), so a lone expensive query can saturate the pool
+// without starving newly admitted requests.
 //
 // Production semantics (see DESIGN.md §7):
 //   * admission control — a full queue sheds with BUSY immediately;
@@ -115,7 +131,10 @@ class Server {
 
   void AcceptLoop();
   void ReadLoop(std::shared_ptr<Connection> conn);
-  void WorkerLoop(size_t worker_id);
+  // One executor task per admitted request: drains up to max_batch
+  // compatible head items non-blockingly (another task may already have
+  // batched this task's item away, in which case it pops nothing).
+  void DrainOne();
 
   Response Process(const PendingRequest& pending);
   Response ProcessAttackOne(const Request& request,
@@ -155,7 +174,18 @@ class Server {
 
   BoundedQueue<PendingRequest> queue_;
   std::thread acceptor_;
-  std::vector<std::thread> workers_;
+
+  // Execution pool: config_.executor when the caller shares one, else an
+  // owned pool sized from config_.num_workers. Outstanding drain tasks
+  // are counted so Shutdown can wait for the queue to empty: every push
+  // submits exactly one task and a task pops at least one item whenever
+  // the queue is nonempty, so tasks-outstanding >= items-queued always
+  // holds and drain_tasks_ == 0 implies the queue is drained.
+  exec::Executor* executor_ = nullptr;
+  std::unique_ptr<exec::Executor> owned_executor_;
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t drain_tasks_ = 0;
 
   std::mutex conns_mu_;
   std::map<int, std::shared_ptr<Connection>> conns_;  // by fd

@@ -1,0 +1,171 @@
+// Differential and cancellation coverage for Dehin::DeanonymizeParallel:
+// the intra-query parallel candidate scan must be bit-identical to the
+// serial Deanonymize for every configuration that changes its code path
+// (candidate index on/off, shared cache on/off, executor sizes, grain
+// sizes), and a cancelled scan must report a status without poisoning the
+// shared MatchCache.
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anon/kdd_anonymizer.h"
+#include "core/dehin.h"
+#include "eval/experiment.h"
+#include "exec/executor.h"
+#include "util/cancellation.h"
+#include "util/random.h"
+
+namespace hinpriv::core {
+namespace {
+
+eval::ExperimentDataset MakeDataset(uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = 4000;
+  synth::PlantedTargetSpec spec;
+  spec.target_size = 150;
+  spec.density = 0.012;
+  util::Rng rng(seed);
+  anon::KddAnonymizer anonymizer;
+  auto dataset = eval::BuildExperimentDataset(
+      config, spec, synth::GrowthConfig{}, anonymizer, false, &rng);
+  EXPECT_TRUE(dataset.ok());
+  return std::move(dataset).value();
+}
+
+struct ScanConfig {
+  bool use_index;
+  bool use_shared_cache;
+};
+
+class ParallelScanDifferentialTest
+    : public testing::TestWithParam<ScanConfig> {};
+
+TEST_P(ParallelScanDifferentialTest, BitIdenticalToSerialEverywhere) {
+  const ScanConfig scan = GetParam();
+  const eval::ExperimentDataset dataset = MakeDataset(11);
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  config.use_candidate_index = scan.use_index;
+  config.use_shared_cache = scan.use_shared_cache;
+  Dehin dehin(&dataset.auxiliary, config);
+
+  exec::Executor two(2);
+  exec::Executor four(4);
+  struct Variant {
+    exec::Executor* executor;
+    size_t grain;
+  };
+  const Variant variants[] = {
+      {&two, 0}, {&four, 0}, {&four, 1}, {&four, 7}, {&four, 100000}};
+
+  for (int max_distance = 0; max_distance <= 2; ++max_distance) {
+    for (hin::VertexId vt = 0; vt < dataset.target.num_vertices(); ++vt) {
+      const std::vector<hin::VertexId> serial =
+          dehin.Deanonymize(dataset.target, vt, max_distance);
+      for (const Variant& variant : variants) {
+        Dehin::ParallelScanOptions options;
+        options.executor = variant.executor;
+        options.grain = variant.grain;
+        auto parallel = dehin.DeanonymizeParallel(dataset.target, vt,
+                                                  max_distance, options);
+        ASSERT_TRUE(parallel.ok());
+        ASSERT_EQ(parallel.value(), serial)
+            << "vt=" << vt << " d=" << max_distance
+            << " workers=" << variant.executor->num_workers()
+            << " grain=" << variant.grain;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScanConfigs, ParallelScanDifferentialTest,
+    testing::Values(ScanConfig{true, true}, ScanConfig{true, false},
+                    ScanConfig{false, true}, ScanConfig{false, false}));
+
+TEST(ParallelScanTest, SingleWorkerExecutorFallsBackToSerial) {
+  const eval::ExperimentDataset dataset = MakeDataset(12);
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  Dehin dehin(&dataset.auxiliary, config);
+  exec::Executor one(1);
+  Dehin::ParallelScanOptions options;
+  options.executor = &one;
+  for (hin::VertexId vt = 0; vt < 10; ++vt) {
+    auto parallel = dehin.DeanonymizeParallel(dataset.target, vt, 1, options);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel.value(), dehin.Deanonymize(dataset.target, vt, 1));
+  }
+}
+
+TEST(ParallelScanTest, PreCancelledTokenReturnsCancelled) {
+  const eval::ExperimentDataset dataset = MakeDataset(13);
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  Dehin dehin(&dataset.auxiliary, config);
+  exec::Executor executor(4);
+  util::CancelToken cancel;
+  cancel.Cancel();
+  Dehin::ParallelScanOptions options;
+  options.executor = &executor;
+  options.cancel = &cancel;
+  auto result = dehin.DeanonymizeParallel(dataset.target, 0, 2, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kCancelled);
+}
+
+TEST(ParallelScanTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  const eval::ExperimentDataset dataset = MakeDataset(14);
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  Dehin dehin(&dataset.auxiliary, config);
+  exec::Executor executor(4);
+  util::CancelToken cancel;
+  cancel.SetDeadlineAfter(std::chrono::nanoseconds(0));
+  Dehin::ParallelScanOptions options;
+  options.executor = &executor;
+  options.cancel = &cancel;
+  auto result = dehin.DeanonymizeParallel(dataset.target, 0, 2, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::Status::Code::kDeadlineExceeded);
+}
+
+// A scan cancelled mid-flight must leave the shared MatchCache consistent:
+// full scans on the same Dehin afterwards must equal a fresh instance.
+TEST(ParallelScanTest, CancelledScanDoesNotPoisonMatchCache) {
+  const eval::ExperimentDataset dataset = MakeDataset(15);
+  DehinConfig config;
+  config.match = DefaultTqqMatchOptions();
+  config.use_shared_cache = true;
+  Dehin dehin(&dataset.auxiliary, config);
+  exec::Executor executor(4);
+
+  // Fire a batch of scans racing a cancel; some may complete, some stop —
+  // either way the cache must stay answer-preserving.
+  for (hin::VertexId vt = 0; vt < 20; ++vt) {
+    util::CancelToken cancel;
+    Dehin::ParallelScanOptions options;
+    options.executor = &executor;
+    options.grain = 1;
+    options.cancel = &cancel;
+    std::thread canceller([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      cancel.Cancel();
+    });
+    (void)dehin.DeanonymizeParallel(dataset.target, vt, 2, options);
+    canceller.join();
+  }
+
+  Dehin fresh(&dataset.auxiliary, config);
+  for (hin::VertexId vt = 0; vt < dataset.target.num_vertices(); ++vt) {
+    ASSERT_EQ(dehin.Deanonymize(dataset.target, vt, 2),
+              fresh.Deanonymize(dataset.target, vt, 2))
+        << "vt=" << vt;
+  }
+}
+
+}  // namespace
+}  // namespace hinpriv::core

@@ -1,13 +1,18 @@
 #include "eval/parallel_metrics.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "anon/kdd_anonymizer.h"
+#include "exec/executor.h"
 #include "hin/graph_builder.h"
 #include "eval/experiment.h"
+#include "util/cancellation.h"
 #include "util/random.h"
 
 namespace hinpriv::eval {
@@ -40,12 +45,16 @@ TEST_P(ParallelMetricsTest, MatchesSerialExactly) {
     const AttackMetrics parallel = EvaluateAttackParallel(
         dehin, dataset.target, dataset.ground_truth, n, GetParam());
     EXPECT_EQ(parallel.num_targets, serial.num_targets);
+    EXPECT_EQ(parallel.num_evaluated, serial.num_evaluated);
+    EXPECT_FALSE(parallel.interrupted);
     EXPECT_EQ(parallel.num_unique_correct, serial.num_unique_correct);
     EXPECT_EQ(parallel.num_containing_truth, serial.num_containing_truth);
-    EXPECT_DOUBLE_EQ(parallel.precision, serial.precision);
-    EXPECT_NEAR(parallel.reduction_rate, serial.reduction_rate, 1e-9);
-    EXPECT_NEAR(parallel.mean_candidate_count, serial.mean_candidate_count,
-                1e-9);
+    // Bit-identical, not just close: per-target results are reduced
+    // serially in target order, the same association the serial evaluator
+    // uses.
+    EXPECT_EQ(parallel.precision, serial.precision);
+    EXPECT_EQ(parallel.reduction_rate, serial.reduction_rate);
+    EXPECT_EQ(parallel.mean_candidate_count, serial.mean_candidate_count);
   }
 }
 
@@ -101,6 +110,143 @@ TEST(ParallelMetricsTest, WorkerExceptionPropagates) {
   EXPECT_THROW(EvaluateAttackParallel(dehin, dataset.target,
                                       dataset.ground_truth, 1, 4),
                std::runtime_error);
+}
+
+// The evaluator can run on a caller-provided executor (the service path)
+// instead of sizing its own; results stay bit-identical to serial.
+TEST(ParallelMetricsTest, ExplicitExecutorMatchesSerial) {
+  const ExperimentDataset dataset = MakeDataset(5);
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&dataset.auxiliary, config);
+  exec::Executor executor(3);
+  ParallelEvalOptions options;
+  options.executor = &executor;
+  const AttackMetrics serial =
+      EvaluateAttack(dehin, dataset.target, dataset.ground_truth, 1);
+  const AttackMetrics parallel = EvaluateAttackParallel(
+      dehin, dataset.target, dataset.ground_truth, 1, options);
+  EXPECT_EQ(parallel.num_evaluated, serial.num_evaluated);
+  EXPECT_EQ(parallel.precision, serial.precision);
+  EXPECT_EQ(parallel.reduction_rate, serial.reduction_rate);
+  EXPECT_EQ(parallel.mean_candidate_count, serial.mean_candidate_count);
+}
+
+// Recomputes the metrics the evaluator should report for the exact prefix
+// [0, prefix) of the target range, with the serial reduction.
+AttackMetrics ExpectedPrefixMetrics(const core::Dehin& dehin,
+                                    const ExperimentDataset& dataset,
+                                    int max_distance, size_t prefix) {
+  AttackMetrics expected;
+  expected.num_targets = dataset.target.num_vertices();
+  const double aux_size =
+      static_cast<double>(dehin.auxiliary().num_vertices());
+  double reduction_sum = 0.0;
+  double candidate_sum = 0.0;
+  for (size_t i = 0; i < prefix; ++i) {
+    const auto candidates = dehin.Deanonymize(
+        dataset.target, static_cast<hin::VertexId>(i), max_distance);
+    ++expected.num_evaluated;
+    const bool contains = std::binary_search(
+        candidates.begin(), candidates.end(), dataset.ground_truth[i]);
+    if (contains) ++expected.num_containing_truth;
+    if (contains && candidates.size() == 1) ++expected.num_unique_correct;
+    reduction_sum += 1.0 - static_cast<double>(candidates.size()) / aux_size;
+    candidate_sum += static_cast<double>(candidates.size());
+  }
+  expected.interrupted = expected.num_evaluated < expected.num_targets;
+  const double n =
+      static_cast<double>(std::max<size_t>(1, expected.num_evaluated));
+  expected.precision = static_cast<double>(expected.num_unique_correct) / n;
+  expected.reduction_rate = reduction_sum / n;
+  expected.mean_candidate_count = candidate_sum / n;
+  return expected;
+}
+
+// A token cancelled before the run starts claims nothing: zero targets
+// evaluated, interrupted = true, all rates zero.
+TEST(ParallelMetricsTest, PreCancelledTokenEvaluatesNothing) {
+  const ExperimentDataset dataset = MakeDataset(6);
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&dataset.auxiliary, config);
+  util::CancelToken cancel;
+  cancel.Cancel();
+  ParallelEvalOptions options;
+  options.num_threads = 4;
+  options.cancel = &cancel;
+  const AttackMetrics metrics = EvaluateAttackParallel(
+      dehin, dataset.target, dataset.ground_truth, 1, options);
+  EXPECT_EQ(metrics.num_evaluated, 0u);
+  EXPECT_TRUE(metrics.interrupted);
+  EXPECT_EQ(metrics.num_targets, dataset.target.num_vertices());
+  EXPECT_EQ(metrics.precision, 0.0);
+}
+
+// A token fired mid-run stops target claiming; whatever prefix was
+// evaluated, the reported metrics must equal a serial recomputation over
+// exactly that prefix — this pins both the "executed set is a contiguous
+// prefix" contract and the prefix-rate reduction.
+TEST(ParallelMetricsTest, MidRunCancelReportsExactEvaluatedPrefix) {
+  const ExperimentDataset dataset = MakeDataset(7);
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  core::Dehin dehin(&dataset.auxiliary, config);
+  util::CancelToken cancel;
+  ParallelEvalOptions options;
+  options.num_threads = 4;
+  options.cancel = &cancel;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.Cancel();
+  });
+  const AttackMetrics metrics = EvaluateAttackParallel(
+      dehin, dataset.target, dataset.ground_truth, 1, options);
+  canceller.join();
+  ASSERT_LE(metrics.num_evaluated, static_cast<size_t>(metrics.num_targets));
+  EXPECT_EQ(metrics.interrupted,
+            metrics.num_evaluated < metrics.num_targets);
+  const AttackMetrics expected =
+      ExpectedPrefixMetrics(dehin, dataset, 1, metrics.num_evaluated);
+  EXPECT_EQ(metrics.num_containing_truth, expected.num_containing_truth);
+  EXPECT_EQ(metrics.num_unique_correct, expected.num_unique_correct);
+  EXPECT_EQ(metrics.precision, expected.precision);
+  EXPECT_EQ(metrics.reduction_rate, expected.reduction_rate);
+  EXPECT_EQ(metrics.mean_candidate_count, expected.mean_candidate_count);
+}
+
+// A cancelled parallel run must not leave partial state in the shared
+// MatchCache: a full evaluation on the same Dehin afterwards has to match
+// a fresh instance exactly.
+TEST(ParallelMetricsTest, CancelledRunDoesNotPoisonMatchCache) {
+  const ExperimentDataset dataset = MakeDataset(8);
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  config.use_shared_cache = true;
+  core::Dehin dehin(&dataset.auxiliary, config);
+
+  util::CancelToken cancel;
+  ParallelEvalOptions options;
+  options.num_threads = 4;
+  options.cancel = &cancel;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    cancel.Cancel();
+  });
+  (void)EvaluateAttackParallel(dehin, dataset.target, dataset.ground_truth, 2,
+                               options);
+  canceller.join();
+
+  const AttackMetrics after =
+      EvaluateAttack(dehin, dataset.target, dataset.ground_truth, 2);
+  core::Dehin fresh(&dataset.auxiliary, config);
+  const AttackMetrics reference =
+      EvaluateAttack(fresh, dataset.target, dataset.ground_truth, 2);
+  EXPECT_EQ(after.num_unique_correct, reference.num_unique_correct);
+  EXPECT_EQ(after.num_containing_truth, reference.num_containing_truth);
+  EXPECT_EQ(after.precision, reference.precision);
+  EXPECT_EQ(after.reduction_rate, reference.reduction_rate);
+  EXPECT_EQ(after.mean_candidate_count, reference.mean_candidate_count);
 }
 
 }  // namespace

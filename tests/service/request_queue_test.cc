@@ -91,6 +91,34 @@ TEST(BoundedQueueTest, PopBatchHonorsMaxBatch) {
   EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
 }
 
+TEST(BoundedQueueTest, TryPopBatchNeverBlocks) {
+  BoundedQueue<std::string> queue(8);
+  const auto same_prefix = [](const std::string& x, const std::string& y) {
+    return x[0] == y[0];
+  };
+  std::vector<std::string> batch;
+  // Empty queue: returns 0 immediately instead of waiting for a producer.
+  EXPECT_EQ(queue.TryPopBatch(4, &batch, same_prefix), 0u);
+  EXPECT_TRUE(batch.empty());
+
+  ASSERT_TRUE(queue.TryPush("a1"));
+  ASSERT_TRUE(queue.TryPush("a2"));
+  ASSERT_TRUE(queue.TryPush("b1"));
+  // Same contiguous-compatible-head semantics as the blocking PopBatch.
+  EXPECT_EQ(queue.TryPopBatch(4, &batch, same_prefix), 2u);
+  EXPECT_EQ(batch, (std::vector<std::string>{"a1", "a2"}));
+  batch.clear();
+  EXPECT_EQ(queue.TryPopBatch(4, &batch, same_prefix), 1u);
+  EXPECT_EQ(batch, (std::vector<std::string>{"b1"}));
+  batch.clear();
+  // Drained again — and still drainable after Close().
+  EXPECT_EQ(queue.TryPopBatch(4, &batch, same_prefix), 0u);
+  ASSERT_TRUE(queue.TryPush("c1"));
+  queue.Close();
+  EXPECT_EQ(queue.TryPopBatch(4, &batch, same_prefix), 1u);
+  EXPECT_EQ(batch, (std::vector<std::string>{"c1"}));
+}
+
 TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverEverything) {
   BoundedQueue<int> queue(16);
   constexpr int kPerProducer = 500;

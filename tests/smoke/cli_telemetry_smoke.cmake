@@ -90,7 +90,7 @@ foreach(i RANGE 0 ${last})
     math(EXPR ends "${ends} + 1")
   elseif(ph STREQUAL "M")
     string(JSON name GET "${trace}" traceEvents ${i} args name)
-    if(name MATCHES "^attack-worker-")
+    if(name MATCHES "^exec/worker-")
       set(saw_worker_thread TRUE)
     endif()
   endif()
@@ -103,7 +103,7 @@ if(NOT saw_parallel_span)
   message(FATAL_ERROR "run.trace.json: no eval/attack_parallel span")
 endif()
 if(NOT saw_worker_thread)
-  message(FATAL_ERROR "run.trace.json: no attack-worker-* thread metadata")
+  message(FATAL_ERROR "run.trace.json: no exec/worker-* thread metadata")
 endif()
 
 message(STATUS "cli telemetry smoke OK: ${begins} span pairs, "

@@ -34,6 +34,7 @@
 #include "core/privacy_risk.h"
 #include "eval/metrics.h"
 #include "eval/parallel_metrics.h"
+#include "exec/executor.h"
 #include "hin/density.h"
 #include "hin/graph_stats.h"
 #include "hin/io.h"
@@ -242,8 +243,10 @@ int RunAttack(int argc, char** argv) {
                "prefilter strength-dominance kernel: auto|scalar|sse2|avx2 "
                "(results are identical across kernels)");
   flags.Define("threads", "1",
-               "worker threads; >1 or 0 (= hardware concurrency) runs the "
-               "parallel evaluator and requires --mapping");
+               "worker threads; 0 = hardware concurrency. With --mapping "
+               "and no --out this runs the across-target parallel "
+               "evaluator; otherwise each target's candidate scan is "
+               "parallelized in-query (results identical to --threads=1)");
   flags.Define("metrics_json", "",
                "write a metrics snapshot (counters/gauges/histograms) to "
                "this path after the attack");
@@ -291,25 +294,27 @@ int RunAttack(int argc, char** argv) {
   const int n = static_cast<int>(flags.GetInt("max_distance"));
   const double heartbeat_sec = flags.GetDouble("heartbeat_sec");
 
-  // Parallel path: score every target through eval::EvaluateAttackParallel
-  // (per-worker spans, shared match cache across workers). It reports
-  // aggregates only, so the per-target TSV stays on the serial path.
+  // One executor serves both parallel shapes: across-target evaluation
+  // (one task per target) and the intra-query candidate scan (grains of
+  // one target's scan).
   const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
+  std::unique_ptr<exec::Executor> pool;
   if (threads != 1) {
-    const std::string mapping_path = flags.GetString("mapping");
-    if (mapping_path.empty()) {
-      return Fail(util::Status::InvalidArgument(
-          "--threads != 1 runs the parallel evaluator, which scores against "
-          "ground truth; pass --mapping"));
-    }
-    if (!flags.GetString("out").empty()) {
-      return Fail(util::Status::InvalidArgument(
-          "--out (per-target TSV) requires the serial path (--threads=1)"));
-    }
-    auto mapping = LoadMapping(mapping_path, published.num_vertices());
+    pool = std::make_unique<exec::Executor>(exec::ResolveThreads(threads));
+  }
+
+  // Across-target path: score every target through
+  // eval::EvaluateAttackParallel (per-worker spans, shared match cache
+  // across workers). It reports aggregates only, so a --threads run that
+  // needs the per-target TSV falls through to the per-target loop below,
+  // which parallelizes inside each query instead.
+  if (threads != 1 && !flags.GetString("mapping").empty() &&
+      flags.GetString("out").empty()) {
+    auto mapping =
+        LoadMapping(flags.GetString("mapping"), published.num_vertices());
     if (!mapping.ok()) return Fail(mapping.status());
     eval::ParallelEvalOptions options;
-    options.num_threads = threads;
+    options.executor = pool.get();
     options.heartbeat_seconds = heartbeat_sec;
     options.cancel = &service::ShutdownToken();
     const eval::AttackMetrics metrics = eval::EvaluateAttackParallel(
@@ -351,7 +356,19 @@ int RunAttack(int argc, char** argv) {
     // Stop at a target boundary on SIGINT/SIGTERM; partial per-target
     // output and telemetry are still flushed below.
     if (service::ShutdownToken().ShouldStop()) break;
-    const auto candidates = dehin.Deanonymize(published, v, n);
+    std::vector<hin::VertexId> candidates;
+    if (pool != nullptr && pool->num_workers() > 1) {
+      // Intra-query scan: this one target's candidate scan fans out over
+      // the pool; the merged result is bit-identical to the serial call.
+      core::Dehin::ParallelScanOptions scan;
+      scan.executor = pool.get();
+      scan.cancel = &service::ShutdownToken();
+      auto result = dehin.DeanonymizeParallel(published, v, n, scan);
+      if (!result.ok()) break;  // signal: stop at the target boundary
+      candidates = std::move(result).value();
+    } else {
+      candidates = dehin.Deanonymize(published, v, n);
+    }
     ++evaluated;
     candidate_counts[v] = candidates.size();
     candidate_sum += static_cast<double>(candidates.size());
@@ -535,6 +552,13 @@ int RunServe(int argc, char** argv) {
                "out de-anonymization results)");
   flags.Define("port", "7470", "TCP port (0 = kernel-assigned, printed)");
   flags.Define("workers", "4", "worker pool size");
+  flags.Define("threads", "-1",
+               "execution pool size shared by request handling and "
+               "intra-query scans (-1 = use --workers, 0 = hardware "
+               "concurrency)");
+  flags.Define("parallel_scan", "true",
+               "fan one attack_one query's candidate scan out across the "
+               "pool (needs >1 thread; results identical either way)");
   flags.Define("queue_capacity", "128",
                "request queue bound; a full queue sheds with BUSY");
   flags.Define("max_batch", "8",
@@ -570,6 +594,12 @@ int RunServe(int argc, char** argv) {
   config.host = flags.GetString("host");
   config.port = static_cast<uint16_t>(flags.GetInt("port"));
   config.num_workers = static_cast<size_t>(flags.GetInt("workers"));
+  const int64_t serve_threads = flags.GetInt("threads");
+  if (serve_threads >= 0) {
+    config.num_workers =
+        exec::ResolveThreads(static_cast<size_t>(serve_threads));
+  }
+  config.parallel_scan = flags.GetBool("parallel_scan");
   config.queue_capacity = static_cast<size_t>(flags.GetInt("queue_capacity"));
   config.max_batch = static_cast<size_t>(flags.GetInt("max_batch"));
   config.default_max_distance = static_cast<int>(flags.GetInt("max_distance"));
