@@ -8,7 +8,10 @@ namespace hinpriv::core {
 
 CandidateIndex::CandidateIndex(const hin::Graph& aux,
                                const MatchOptions& options)
-    : aux_(aux), options_(options) {
+    : aux_(aux),
+      options_(options),
+      scan_length_(obs::MetricsRegistry::Global().GetHistogram(
+          "dehin/candidate_index/scan_length")) {
   if (!options_.growable_attributes.empty()) {
     has_primary_ = true;
     primary_ = options_.growable_attributes.front();
@@ -27,6 +30,9 @@ CandidateIndex::CandidateIndex(const hin::Graph& aux,
                 });
     }
   }
+  obs::MetricsRegistry::Global()
+      .GetGauge("dehin/candidate_index/buckets")
+      ->Set(static_cast<double>(buckets_.size()));
 }
 
 uint64_t CandidateIndex::ExactKey(const hin::Graph& graph,

@@ -26,6 +26,10 @@ struct GlobalDehinMetrics {
   // target neighbors, right = auxiliary neighbors).
   obs::Histogram* bipartite_left;
   obs::Histogram* bipartite_right;
+  // Candidate enumeration strategy per query: inverted-index bucket walk
+  // vs the O(V) full scan (index ablated or a custom entity matcher).
+  obs::Counter* index_scans;
+  obs::Counter* full_scans;
 };
 
 const GlobalDehinMetrics& GlobalMetrics() {
@@ -37,6 +41,8 @@ const GlobalDehinMetrics& GlobalMetrics() {
         registry.GetCounter("dehin/full_tests"),
         registry.GetHistogram("dehin/bipartite_left"),
         registry.GetHistogram("dehin/bipartite_right"),
+        registry.GetCounter("dehin/index_scans"),
+        registry.GetCounter("dehin/full_scans"),
     };
   }();
   return metrics;
@@ -201,8 +207,10 @@ util::Result<std::vector<hin::VertexId>> Dehin::Deanonymize(
   if (cancel != nullptr && cancel->ShouldStop()) {
     local.stopped = true;  // dead on arrival (e.g. a 0ms deadline)
   } else if (index_ != nullptr) {
+    GlobalMetrics().index_scans->Increment();
     index_->ForEachCandidate(target, vt, consider);
   } else {
+    GlobalMetrics().full_scans->Increment();
     for (hin::VertexId va = 0; va < aux_->num_vertices(); ++va) {
       if (local.stopped) break;
       if (EntityMatch(target, vt, va)) consider(va);
@@ -265,6 +273,7 @@ util::Result<std::vector<hin::VertexId>> Dehin::DeanonymizeParallel(
   const bool pool_is_entity_matched = index_ != nullptr;
   size_t n = 0;
   if (index_ != nullptr) {
+    GlobalMetrics().index_scans->Increment();
     index_->ForEachCandidate(target, vt,
                              [&](hin::VertexId va) { pool.push_back(va); });
     if (max_distance == 0) {
@@ -275,6 +284,7 @@ util::Result<std::vector<hin::VertexId>> Dehin::DeanonymizeParallel(
     }
     n = pool.size();
   } else {
+    GlobalMetrics().full_scans->Increment();
     n = aux_->num_vertices();
   }
 

@@ -2,7 +2,9 @@
 #define HINPRIV_HIN_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "hin/schema.h"
@@ -20,14 +22,47 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
+// The snapshot format (snapshot.h) stores Edge arrays verbatim, so the
+// in-memory layout is part of the on-disk contract.
+static_assert(sizeof(Edge) == 8 && std::is_trivially_copyable_v<Edge>,
+              "Edge layout is part of the HINPRIVS snapshot format");
+
+namespace internal {
+
+// Heap backing store for a Graph built by GraphBuilder. The Graph's spans
+// point into these vectors; a shared_ptr to the arena keeps them alive.
+// Mapped snapshots use a util::MappedFile as the arena instead — the Graph
+// never knows (or cares) which one backs it.
+struct GraphArena {
+  struct Csr {
+    std::vector<uint64_t> offsets;  // size num_vertices + 1
+    std::vector<Edge> edges;
+  };
+
+  std::vector<EntityTypeId> vtype;
+  std::vector<uint32_t> dense_idx;
+  // attrs[entity_type][attribute][dense_index]
+  std::vector<std::vector<std::vector<AttrValue>>> attrs;
+  std::vector<Csr> out;  // one per link type
+  std::vector<Csr> in;   // one per link type
+};
+
+}  // namespace internal
+
+class SnapshotReader;
+
 // An immutable heterogeneous information network instance (Definition 1):
 // a directed graph whose vertices carry an entity type and per-type profile
 // attributes, and whose edges carry a link type and a strength.
 //
 // Storage is per-link-type CSR, with both out- and in-adjacency, entries
-// sorted by neighbor id; attributes are columnar per entity type. Built
-// exclusively by GraphBuilder (graph_builder.h); immutable thereafter, so
-// const access is safe to share across threads.
+// sorted by neighbor id; attributes are columnar per entity type. All bulk
+// data is exposed through std::span views over an owned arena — either a
+// heap arena filled by GraphBuilder (graph_builder.h) or an mmap'd snapshot
+// (snapshot.h) used in place with zero deserialization. Immutable after
+// construction, so const access is safe to share across threads; moving a
+// Graph does not invalidate spans already taken from it (the arena's bytes
+// never move).
 class Graph {
  public:
   Graph(const Graph&) = delete;
@@ -49,16 +84,16 @@ class Graph {
 
   // Out-neighbors of v via link type lt, sorted by neighbor id.
   std::span<const Edge> OutEdges(LinkTypeId lt, VertexId v) const {
-    const auto& adj = out_[lt];
-    return {adj.edges.data() + adj.offsets[v],
-            adj.offsets[v + 1] - adj.offsets[v]};
+    const CsrView& adj = out_[lt];
+    return adj.edges.subspan(adj.offsets[v], adj.offsets[v + 1] -
+                                                 adj.offsets[v]);
   }
   // In-neighbors of v via link type lt (edge.neighbor is the source vertex),
   // sorted by neighbor id.
   std::span<const Edge> InEdges(LinkTypeId lt, VertexId v) const {
-    const auto& adj = in_[lt];
-    return {adj.edges.data() + adj.offsets[v],
-            adj.offsets[v + 1] - adj.offsets[v]};
+    const CsrView& adj = in_[lt];
+    return adj.edges.subspan(adj.offsets[v], adj.offsets[v + 1] -
+                                                 adj.offsets[v]);
   }
 
   size_t OutDegree(LinkTypeId lt, VertexId v) const {
@@ -94,24 +129,35 @@ class Graph {
   // Position of v inside its entity type's attribute columns.
   uint32_t dense_index(VertexId v) const { return dense_idx_[v]; }
 
+  // True when this graph's bulk data lives in an mmap'd snapshot rather
+  // than a heap arena (diagnostics / bench labeling only — behaviour is
+  // identical either way).
+  bool is_mapped() const { return mapped_; }
+
  private:
   friend class GraphBuilder;
+  friend class SnapshotReader;
   Graph() = default;
 
-  struct Csr {
-    std::vector<uint64_t> offsets;  // size num_vertices + 1
-    std::vector<Edge> edges;
+  struct CsrView {
+    std::span<const uint64_t> offsets;  // size num_vertices + 1
+    std::span<const Edge> edges;
   };
 
   NetworkSchema schema_;
-  std::vector<EntityTypeId> vtype_;
-  std::vector<uint32_t> dense_idx_;
+  std::span<const EntityTypeId> vtype_;
+  std::span<const uint32_t> dense_idx_;
   std::vector<size_t> type_counts_;
-  // attrs_[entity_type][attribute][dense_index]
-  std::vector<std::vector<std::vector<AttrValue>>> attrs_;
-  std::vector<Csr> out_;  // one per link type
-  std::vector<Csr> in_;   // one per link type
+  // attrs_[entity_type][attribute] -> column span of length type_counts_
+  std::vector<std::vector<std::span<const AttrValue>>> attrs_;
+  std::vector<CsrView> out_;  // one per link type
+  std::vector<CsrView> in_;   // one per link type
   size_t num_edges_ = 0;
+  bool mapped_ = false;
+  // Type-erased owner of every byte the spans above reference: an
+  // internal::GraphArena for built graphs, a util::MappedFile for
+  // snapshots.
+  std::shared_ptr<const void> arena_;
 };
 
 }  // namespace hinpriv::hin

@@ -1,6 +1,7 @@
 #include "hin/graph_builder.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 namespace hinpriv::hin {
@@ -89,16 +90,21 @@ size_t GraphBuilder::num_staged_edges() const {
 
 util::Result<Graph> GraphBuilder::Build() && {
   HINPRIV_RETURN_IF_ERROR(schema_.Validate());
+  // All bulk data moves into a shared heap arena; the Graph holds spans
+  // over it plus an owning reference, mirroring how mmap'd snapshots are
+  // wired up (snapshot.h).
+  auto arena = std::make_shared<internal::GraphArena>();
+  arena->vtype = std::move(vtype_);
+  arena->dense_idx = std::move(dense_idx_);
+  arena->attrs = std::move(attrs_);
+
   Graph g;
   g.schema_ = std::move(schema_);
-  g.vtype_ = std::move(vtype_);
-  g.dense_idx_ = std::move(dense_idx_);
   g.type_counts_ = std::move(type_counts_);
-  g.attrs_ = std::move(attrs_);
-  const size_t n = g.vtype_.size();
+  const size_t n = arena->vtype.size();
   const size_t num_links = g.schema_.num_link_types();
-  g.out_.resize(num_links);
-  g.in_.resize(num_links);
+  arena->out.resize(num_links);
+  arena->in.resize(num_links);
   g.num_edges_ = 0;
 
   for (size_t lt = 0; lt < num_links; ++lt) {
@@ -121,7 +127,7 @@ util::Result<Graph> GraphBuilder::Build() && {
     g.num_edges_ += w;
 
     // Out-CSR straight from the (src, dst)-sorted list.
-    auto& out = g.out_[lt];
+    auto& out = arena->out[lt];
     out.offsets.assign(n + 1, 0);
     out.edges.resize(w);
     for (const auto& e : edges) ++out.offsets[e.src + 1];
@@ -135,7 +141,7 @@ util::Result<Graph> GraphBuilder::Build() && {
 
     // In-CSR via counting sort on dst; entries end up sorted by source id
     // because the staged list is (src, dst)-sorted.
-    auto& in = g.in_[lt];
+    auto& in = arena->in[lt];
     in.offsets.assign(n + 1, 0);
     in.edges.resize(w);
     for (const auto& e : edges) ++in.offsets[e.dst + 1];
@@ -149,6 +155,21 @@ util::Result<Graph> GraphBuilder::Build() && {
     edges.clear();
     edges.shrink_to_fit();
   }
+
+  // Point the Graph's views at the (now-stable) arena storage.
+  g.vtype_ = arena->vtype;
+  g.dense_idx_ = arena->dense_idx;
+  g.attrs_.resize(arena->attrs.size());
+  for (size_t t = 0; t < arena->attrs.size(); ++t) {
+    g.attrs_[t].assign(arena->attrs[t].begin(), arena->attrs[t].end());
+  }
+  g.out_.resize(num_links);
+  g.in_.resize(num_links);
+  for (size_t lt = 0; lt < num_links; ++lt) {
+    g.out_[lt] = Graph::CsrView{arena->out[lt].offsets, arena->out[lt].edges};
+    g.in_[lt] = Graph::CsrView{arena->in[lt].offsets, arena->in[lt].edges};
+  }
+  g.arena_ = std::move(arena);
   return g;
 }
 

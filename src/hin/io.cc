@@ -6,6 +6,7 @@
 
 #include "hin/binary_io.h"
 #include "hin/graph_builder.h"
+#include "hin/snapshot.h"
 #include "util/string_util.h"
 
 namespace hinpriv::hin {
@@ -260,6 +261,9 @@ util::Result<Graph> LoadGraphAuto(const std::string& path) {
     if (probe.gcount() == 8 && std::memcmp(magic, "HINPRIVB", 8) == 0) {
       return LoadGraphBinaryFromFile(path);
     }
+    if (probe.gcount() == 8 && std::memcmp(magic, "HINPRIVS", 8) == 0) {
+      return LoadGraphSnapshot(path);
+    }
   }
   return LoadGraphFromFile(path);
 }
@@ -267,6 +271,9 @@ util::Result<Graph> LoadGraphAuto(const std::string& path) {
 util::Status SaveGraphAuto(const Graph& graph, const std::string& path) {
   if (path.ends_with(".bin") || path.ends_with(".bgraph")) {
     return SaveGraphBinaryToFile(graph, path);
+  }
+  if (path.ends_with(".snap")) {
+    return SaveGraphSnapshot(graph, path);
   }
   return SaveGraphToFile(graph, path);
 }

@@ -35,14 +35,14 @@ util::Result<Graph> LoadGraph(std::istream& is);
 util::Result<Graph> LoadGraphFromFile(const std::string& path);
 
 // Format-sniffing loader: reads the first 8 bytes and dispatches to the
-// binary loader (binary_io.h) on the "HINPRIVB" magic, the text loader
-// otherwise. Every consumer of `convert` output (CLI subcommands, the
-// attack service) goes through this so callers never care which format a
-// file happens to be in.
+// binary loader (binary_io.h) on the "HINPRIVB" magic, the mmap'd snapshot
+// loader (snapshot.h) on "HINPRIVS", the text loader otherwise. Every
+// consumer of `convert` output (CLI subcommands, the attack service) goes
+// through this so callers never care which format a file happens to be in.
 util::Result<Graph> LoadGraphAuto(const std::string& path);
 
 // Companion saver: ".bin" / ".bgraph" extensions write the binary format,
-// anything else the text format.
+// ".snap" the mmap-able snapshot format, anything else the text format.
 util::Status SaveGraphAuto(const Graph& graph, const std::string& path);
 
 }  // namespace hinpriv::hin

@@ -1,0 +1,64 @@
+#ifndef HINPRIV_UTIL_MAPPED_FILE_H_
+#define HINPRIV_UTIL_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace hinpriv::util {
+
+// Read-only memory mapping of a whole file. The mapping is private to this
+// object and unmapped on destruction; the bytes it exposes are stable for
+// the object's lifetime, so long-lived views (std::span over a mapped graph
+// snapshot) may outlive any copy/move gymnastics as long as they do not
+// outlive the MappedFile itself.
+//
+// Move-only: moving transfers the mapping without remapping, so spans taken
+// from data() before a move remain valid afterwards.
+class MappedFile {
+ public:
+  struct Options {
+    // Pin the mapping in physical memory (mlock). Failure — typically
+    // RLIMIT_MEMLOCK — is recorded in mlocked() but is not an error: the
+    // mapping still works, pages just stay evictable.
+    bool lock = false;
+    // Hint the kernel to start readahead for the whole range
+    // (madvise MADV_WILLNEED). Cheap and almost always what a loader wants.
+    bool willneed = true;
+    // Pre-fault every page at map time (MAP_POPULATE). Trades instant
+    // first-touch latency for a slower Open(); off by default because the
+    // zero-copy load path's whole point is lazy paging.
+    bool populate = false;
+  };
+
+  static Result<MappedFile> Open(const std::string& path,
+                                 const Options& options);
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  // True when Options::lock was requested and mlock succeeded.
+  bool mlocked() const { return mlocked_; }
+
+ private:
+  MappedFile(const uint8_t* data, size_t size, std::string path, bool mlocked)
+      : data_(data), size_(size), path_(std::move(path)), mlocked_(mlocked) {}
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+  bool mlocked_ = false;
+};
+
+}  // namespace hinpriv::util
+
+#endif  // HINPRIV_UTIL_MAPPED_FILE_H_

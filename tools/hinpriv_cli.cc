@@ -9,14 +9,16 @@
 //                         [--trace-out=run.trace.json]
 //   hinpriv_cli audit     --in=net.graph [--max_distance=3]
 //   hinpriv_cli stats     --in=net.graph
+//   hinpriv_cli snapshot  --in=net.graph --out=net.snap [--verify]
 //   hinpriv_cli serve     --target=anon.graph --aux=net.graph [--port=7470]
 //                         [--workers=4] [--queue_capacity=128]
+//                         [--snapshot=net.snap] [--mlock]
 //   hinpriv_cli query     --port=7470 --method=attack_one --target_id=123
 //
 // Every subcommand exchanges graphs through hin::LoadGraphAuto /
-// hin::SaveGraphAuto (text or HINPRIVB binary, auto-detected); `generate`
-// can additionally emit the KDD Cup 2012 three-file layout for tools built
-// against the original release.
+// hin::SaveGraphAuto (text, HINPRIVB binary, or HINPRIVS mmap snapshot,
+// auto-detected); `generate` can additionally emit the KDD Cup 2012
+// three-file layout for tools built against the original release.
 
 #include <chrono>
 #include <cstdio>
@@ -39,6 +41,7 @@
 #include "hin/graph_stats.h"
 #include "hin/io.h"
 #include "hin/projection.h"
+#include "hin/snapshot.h"
 #include "hin/kdd_loader.h"
 #include "hin/tqq_schema.h"
 #include "obs/metrics.h"
@@ -69,6 +72,7 @@ int Usage() {
       "  audit      privacy-risk audit of a graph before publication\n"
       "  stats      structural statistics of a graph\n"
       "  convert    convert between text and binary graph formats\n"
+      "  snapshot   write a graph as an mmap-able HINPRIVS snapshot\n"
       "  project    meta-path projection of a full t.qq graph\n"
       "  serve      resident attack service over TCP (see DESIGN.md §7)\n"
       "  query      one request against a running serve instance\n"
@@ -509,6 +513,42 @@ int RunConvert(int argc, char** argv) {
   return 0;
 }
 
+int RunSnapshot(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("in", "", "input graph (any format, auto-detected)");
+  flags.Define("out", "", "snapshot output path (conventionally .snap)");
+  flags.Define("verify", "false",
+               "re-load the written snapshot with the full O(E) edge "
+               "payload scan before reporting success");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli snapshot").c_str());
+    return 0;
+  }
+  auto graph = hin::LoadGraphAuto(flags.GetString("in"));
+  if (!graph.ok()) return Fail(graph.status());
+  const std::string out = flags.GetString("out");
+  const util::Status saved = hin::SaveGraphSnapshot(graph.value(), out);
+  if (!saved.ok()) return Fail(saved);
+  if (flags.GetBool("verify")) {
+    hin::SnapshotOptions options;
+    options.verify_edges = true;
+    auto reloaded = hin::LoadGraphSnapshot(out, options);
+    if (!reloaded.ok()) return Fail(reloaded.status());
+    if (reloaded.value().num_vertices() != graph.value().num_vertices() ||
+        reloaded.value().num_edges() != graph.value().num_edges()) {
+      return Fail(util::Status::Corruption(
+          "snapshot verification found a vertex/edge count mismatch"));
+    }
+  }
+  std::printf("snapshot %s -> %s (%zu vertices, %zu links%s)\n",
+              flags.GetString("in").c_str(), out.c_str(),
+              graph.value().num_vertices(), graph.value().num_edges(),
+              flags.GetBool("verify") ? ", verified" : "");
+  return 0;
+}
+
 int RunProject(int argc, char** argv) {
   util::FlagParser flags;
   flags.Define("in", "", "full t.qq-schema graph (users/tweets/comments)");
@@ -547,6 +587,13 @@ int RunServe(int argc, char** argv) {
   util::FlagParser flags;
   flags.Define("target", "", "published (anonymized) graph to serve");
   flags.Define("aux", "", "adversary's auxiliary graph");
+  flags.Define("snapshot", "",
+               "mmap the auxiliary graph from this HINPRIVS snapshot "
+               "instead of --aux (instant warmstart; pages shared between "
+               "replicas mapping the same file)");
+  flags.Define("mlock", "false",
+               "with --snapshot: pin the mapping in RAM so queries never "
+               "take a page-cache miss (soft-fails under RLIMIT_MEMLOCK)");
   flags.Define("host", "127.0.0.1",
                "IPv4 listen address (keep the service on loopback: it hands "
                "out de-anonymization results)");
@@ -587,8 +634,23 @@ int RunServe(int argc, char** argv) {
   }
   auto target = hin::LoadGraphAuto(flags.GetString("target"));
   if (!target.ok()) return Fail(target.status());
-  auto aux = hin::LoadGraphAuto(flags.GetString("aux"));
+  const std::string snapshot_path = flags.GetString("snapshot");
+  auto aux = [&]() -> util::Result<hin::Graph> {
+    if (!snapshot_path.empty()) {
+      hin::SnapshotOptions options;
+      options.mlock = flags.GetBool("mlock");
+      return hin::LoadGraphSnapshot(snapshot_path, options);
+    }
+    return hin::LoadGraphAuto(flags.GetString("aux"));
+  }();
   if (!aux.ok()) return Fail(aux.status());
+  if (!snapshot_path.empty()) {
+    std::printf("auxiliary graph mapped from snapshot %s (%zu vertices, "
+                "%zu links%s)\n",
+                snapshot_path.c_str(), aux.value().num_vertices(),
+                aux.value().num_edges(),
+                flags.GetBool("mlock") ? ", mlocked" : "");
+  }
 
   service::ServerConfig config;
   config.host = flags.GetString("host");
@@ -621,7 +683,9 @@ int RunServe(int argc, char** argv) {
   std::printf("serving %s (aux %s) on %s:%u — %zu workers, queue %zu, "
               "batch %zu; SIGINT/SIGTERM drains gracefully\n",
               flags.GetString("target").c_str(),
-              flags.GetString("aux").c_str(), config.host.c_str(),
+              (snapshot_path.empty() ? flags.GetString("aux")
+                                     : snapshot_path).c_str(),
+              config.host.c_str(),
               static_cast<unsigned>(server.port()), config.num_workers,
               config.queue_capacity, config.max_batch);
   std::fflush(stdout);
@@ -703,6 +767,7 @@ int Main(int argc, char** argv) {
   if (command == "audit") return RunAudit(argc - 1, argv + 1);
   if (command == "stats") return RunStats(argc - 1, argv + 1);
   if (command == "convert") return RunConvert(argc - 1, argv + 1);
+  if (command == "snapshot") return RunSnapshot(argc - 1, argv + 1);
   if (command == "project") return RunProject(argc - 1, argv + 1);
   if (command == "serve") return RunServe(argc - 1, argv + 1);
   if (command == "query") return RunQuery(argc - 1, argv + 1);
