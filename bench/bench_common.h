@@ -9,6 +9,7 @@
 // auxiliary network here is synthetic and (by default) smaller than the
 // 2.3M-user original; pass --aux_users to scale up.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "core/matchers.h"
 #include "eval/experiment.h"
 #include "obs/metrics.h"
+#include "obs/windowed.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -107,6 +109,35 @@ inline core::DehinConfig AttackConfig(bool reconfigured,
   config.dominance_kernel = DominanceKernelFromFlags(flags);
   return config;
 }
+
+// Per-query latency percentiles through the same windowed-differencing
+// machinery the resident service's stats verb uses: latencies recorded via
+// Record() land in a registry histogram, and Snapshot() differences the
+// registry against the baseline taken at construction, so the percentiles
+// cover exactly this probe's lifetime — untouched by whatever the same
+// process recorded into the histogram before (e.g. a warmup pass).
+class WindowedLatencyProbe {
+ public:
+  explicit WindowedLatencyProbe(const char* name)
+      : name_(name),
+        histogram_(obs::MetricsRegistry::Global().GetHistogram(name)) {
+    window_.SampleNow();  // baseline
+  }
+
+  void Record(uint64_t latency_us) { histogram_->Record(latency_us); }
+
+  // The delta histogram since construction; call Percentile(50/95/99) on it.
+  obs::HistogramSnapshot Snapshot() {
+    window_.SampleNow();
+    // A window wider than any run collapses to the baseline sample.
+    return window_.HistogramWindow(name_, 1e12);
+  }
+
+ private:
+  const char* name_;
+  obs::Histogram* histogram_;
+  obs::WindowedAggregator window_;
+};
 
 // --- machine-readable bench output ----------------------------------------
 

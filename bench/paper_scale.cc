@@ -206,10 +206,16 @@ int main(int argc, char** argv) {
   size_t total_candidates = 0;
   const size_t queries =
       std::min<size_t>(static_cast<size_t>(num_queries), target.num_vertices());
+  bench::WindowedLatencyProbe latency_probe("bench/query_latency_us");
   timer.Reset();
   for (size_t q = 0; q < queries; ++q) {
     const auto vt = static_cast<hin::VertexId>(q);
+    const auto query_start = std::chrono::steady_clock::now();
     const auto candidates = dehin.Deanonymize(target, vt);
+    latency_probe.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - query_start)
+            .count()));
     total_candidates += candidates.size();
     const hin::VertexId truth = target_to_aux[to_original[vt]];
     if (candidates.size() == 1 && candidates[0] == truth) ++exact;
@@ -219,14 +225,21 @@ int main(int argc, char** argv) {
   const double precision =
       queries > 0 ? static_cast<double>(exact) / static_cast<double>(queries)
                   : 0.0;
-  std::printf("attack: %zu queries in %.1fs (%.1f q/s), precision %s%%\n\n",
-              queries, query_s, qps, bench::Pct(precision).c_str());
+  const obs::HistogramSnapshot latency = latency_probe.Snapshot();
+  std::printf("attack: %zu queries in %.1fs (%.1f q/s), precision %s%%, "
+              "latency p50/p95/p99 = %.0f/%.0f/%.0f us\n\n",
+              queries, query_s, qps, bench::Pct(precision).c_str(),
+              latency.Percentile(50.0), latency.Percentile(95.0),
+              latency.Percentile(99.0));
   entries.push_back(
       {"attack_queries",
        query_s,
        {{"queries", static_cast<double>(queries)},
         {"queries_per_s", qps},
         {"precision", precision},
+        {"latency_p50_us", latency.Percentile(50.0)},
+        {"latency_p95_us", latency.Percentile(95.0)},
+        {"latency_p99_us", latency.Percentile(99.0)},
         {"mean_candidates",
          queries > 0 ? static_cast<double>(total_candidates) /
                            static_cast<double>(queries)

@@ -97,7 +97,7 @@ Executor& Executor::Global() {
 Executor* Executor::Current() { return tls_executor; }
 
 void Executor::Submit(std::function<void()> fn, Priority priority) {
-  Enqueue(new Task{std::move(fn)}, priority);
+  Enqueue(new Task{std::move(fn), obs::CurrentRequestId()}, priority);
 }
 
 void Executor::Enqueue(Task* task, Priority priority) {
@@ -215,6 +215,7 @@ Executor::Task* Executor::TrySteal(Worker* self) {
 }
 
 void Executor::RunTask(Task* task) {
+  obs::ScopedRequestId rid_scope(task->rid);
   HINPRIV_SPAN("exec/task");
   tasks_counter_->Increment();
   try {
@@ -298,7 +299,9 @@ ParallelForResult Executor::ParallelFor(
   const size_t avail = num_workers() - (Current() == this ? 1 : 0);
   const size_t forks = std::min(avail, chunks - 1);
   for (size_t i = 0; i < forks; ++i) {
-    Enqueue(new Task{[this, state] { ClaimLoop(state); }}, options.priority);
+    Enqueue(new Task{[this, state] { ClaimLoop(state); },
+                     obs::CurrentRequestId()},
+            options.priority);
   }
   ClaimLoop(state);
 

@@ -110,6 +110,10 @@ class Executor {
 
   struct Task {
     std::function<void()> fn;
+    // Request id active on the submitting thread, re-installed around fn()
+    // so spans recorded inside worker-side work (candidate-scan grains,
+    // drained service requests) attribute to the originating request.
+    uint64_t rid = 0;
   };
 
   struct Worker {

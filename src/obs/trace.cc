@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
+
+#include "obs/metrics.h"
 
 namespace hinpriv::obs {
 
@@ -15,6 +18,15 @@ std::atomic<bool> g_tracing_enabled{false};
 
 namespace {
 
+// Default cap: at ~24 bytes/event this bounds a thread's buffer to ~1.5MB
+// and keeps a full multi-thread trace_dump comfortably inside the service's
+// 16MB frame limit.
+constexpr size_t kDefaultTraceBufferCapacity = 1 << 16;
+
+std::atomic<size_t> g_trace_buffer_capacity{kDefaultTraceBufferCapacity};
+
+thread_local uint64_t tls_request_id = 0;
+
 uint64_t NowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -22,18 +34,28 @@ uint64_t NowNs() {
           .count());
 }
 
+// Resolved lazily so the registry exists before the first drop; called
+// under a buffer mutex, which is safe — the registry mutex never acquires
+// buffer locks.
+Counter* DroppedEventsCounter() {
+  static Counter* counter =
+      MetricsRegistry::Global().GetCounter("obs/trace_dropped_events");
+  return counter;
+}
+
 }  // namespace
 
 // Per-thread event buffer. Appends happen only from the owner thread but
 // export and StartTracing()'s clear run on another thread, so every access
-// is under the (owner-uncontended) buffer mutex.
+// is under the (owner-uncontended) buffer mutex. The deque is a bounded
+// ring: appending past the capacity evicts the oldest event.
 class ThreadTraceBuffer {
  public:
   explicit ThreadTraceBuffer(uint32_t tid) : tid_(tid) {}
 
   uint64_t Begin(const char* name) {
     std::lock_guard<std::mutex> lock(mu_);
-    events_.push_back({name, NowNs()});
+    Append({name, NowNs(), tls_request_id});
     return epoch_;
   }
 
@@ -42,7 +64,7 @@ class ThreadTraceBuffer {
     // The matching Begin was wiped by a StartTracing() in between; an E
     // without its B would make the trace unbalanced.
     if (epoch != epoch_) return;
-    events_.push_back({nullptr, NowNs()});
+    Append({nullptr, NowNs(), 0});
   }
 
   void Clear() {
@@ -59,18 +81,31 @@ class ThreadTraceBuffer {
   // Snapshot for export.
   void Read(std::vector<TraceEvent>* events, std::string* name) const {
     std::lock_guard<std::mutex> lock(mu_);
-    *events = events_;
+    events->assign(events_.begin(), events_.end());
     *name = name_;
   }
 
   uint32_t tid() const { return tid_; }
 
  private:
+  void Append(TraceEvent event) {
+    const size_t cap =
+        std::max<size_t>(2, g_trace_buffer_capacity.load(
+                                std::memory_order_relaxed));
+    uint64_t dropped = 0;
+    while (events_.size() >= cap) {
+      events_.pop_front();
+      ++dropped;
+    }
+    if (dropped > 0) DroppedEventsCounter()->Add(dropped);
+    events_.push_back(event);
+  }
+
   mutable std::mutex mu_;
   uint32_t tid_;
   uint64_t epoch_ = 0;
   std::string name_;
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
 };
 
 namespace {
@@ -131,9 +166,22 @@ void StopTracing() {
   internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
 }
 
+size_t TraceBufferCapacity() {
+  return internal::g_trace_buffer_capacity.load(std::memory_order_relaxed);
+}
+
+void SetTraceBufferCapacity(size_t max_events) {
+  internal::g_trace_buffer_capacity.store(std::max<size_t>(2, max_events),
+                                          std::memory_order_relaxed);
+}
+
 void SetCurrentThreadName(std::string name) {
   internal::CurrentThreadBuffer()->SetName(std::move(name));
 }
+
+uint64_t CurrentRequestId() { return internal::tls_request_id; }
+
+void SetCurrentRequestId(uint64_t rid) { internal::tls_request_id = rid; }
 
 namespace {
 
@@ -206,14 +254,27 @@ std::string ChromeTraceJson() {
       out += "}}";
     }
     // Per-buffer order is the owner thread's program order, so B/E events
-    // form a proper bracket sequence per tid by construction.
+    // form a proper bracket sequence per tid by construction — except that
+    // the bounded buffer may have evicted a prefix, leaving E events whose
+    // B is gone. Depth tracking skips exactly those orphans.
+    size_t depth = 0;
     for (const internal::TraceEvent& event : dump.events) {
+      if (event.name == nullptr && depth == 0) continue;  // orphaned E
       comma();
       if (event.name != nullptr) {
+        ++depth;
         out += "{\"name\": ";
         AppendJsonString(&out, event.name);
         out += ", \"cat\": \"hinpriv\", \"ph\": \"B\", ";
+        if (event.rid != 0) {
+          char rid_buf[48];
+          std::snprintf(rid_buf, sizeof(rid_buf),
+                        "\"args\": {\"rid\": %llu}, ",
+                        static_cast<unsigned long long>(event.rid));
+          out += rid_buf;
+        }
       } else {
+        --depth;
         out += "{\"ph\": \"E\", ";
       }
       out += tid_buf;

@@ -28,6 +28,12 @@ namespace hinpriv::obs {
 // StopTracing() disables it. Spans still open across either transition stay
 // internally consistent: a span only records its end into the same epoch
 // that recorded its beginning, so exported B/E events always pair up.
+//
+// Buffers are bounded: each thread keeps at most TraceBufferCapacity()
+// events and drops the oldest beyond that (counted in
+// obs/trace_dropped_events), so tracing a long-lived server cannot grow
+// memory without limit. The exporter drops end events whose begin was
+// evicted, keeping the emitted trace well-formed.
 
 // True while spans are being recorded.
 bool TracingEnabled();
@@ -40,9 +46,42 @@ void StartTracing();
 // unbalanced trace).
 void StopTracing();
 
+// Per-thread event cap (drop-oldest beyond it). The setter applies to all
+// buffers, including existing ones, from the next append on; values are
+// clamped to at least 2 so a span can always hold its own B/E pair.
+size_t TraceBufferCapacity();
+void SetTraceBufferCapacity(size_t max_events);
+
 // Names the calling thread in the exported trace (Perfetto shows it on the
 // track header). Safe to call whether or not tracing is enabled.
 void SetCurrentThreadName(std::string name);
+
+// --- request-id span context ------------------------------------------------
+//
+// The service stamps each admitted request with a monotonically increasing
+// id and threads it through every span recorded while the request runs:
+// spans begun while a nonzero id is installed carry `args: {"rid": N}` in
+// the exported trace, so one request's work is filterable across the
+// reader thread, its executor task, and any parallel-scan grains (the
+// executor captures the submitter's id into each task).
+
+// The calling thread's current request id; 0 = none.
+uint64_t CurrentRequestId();
+void SetCurrentRequestId(uint64_t rid);
+
+// RAII installer; restores the previous id on scope exit.
+class ScopedRequestId {
+ public:
+  explicit ScopedRequestId(uint64_t rid) : prev_(CurrentRequestId()) {
+    SetCurrentRequestId(rid);
+  }
+  ~ScopedRequestId() { SetCurrentRequestId(prev_); }
+  ScopedRequestId(const ScopedRequestId&) = delete;
+  ScopedRequestId& operator=(const ScopedRequestId&) = delete;
+
+ private:
+  uint64_t prev_;
+};
 
 // The recorded events as a Chrome trace-event JSON document
 // ({"traceEvents": [...], "displayTimeUnit": "ms"}). Timestamps are
@@ -64,6 +103,7 @@ extern std::atomic<bool> g_tracing_enabled;
 struct TraceEvent {
   const char* name;
   uint64_t ts_ns;
+  uint64_t rid;  // request id at Begin time; 0 = none (and on E events)
 };
 
 class ThreadTraceBuffer;

@@ -133,4 +133,41 @@ util::Result<Response> Client::Sleep(double sleep_ms, double deadline_ms) {
   return Call(request);
 }
 
+util::Result<Response> Client::Health() {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kHealth;
+  return Call(request);
+}
+
+util::Result<Response> Client::Metrics(const std::string& path) {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kMetrics;
+  request.path = path;
+  return Call(request);
+}
+
+util::Result<Response> Client::TraceStart() {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kTraceStart;
+  return Call(request);
+}
+
+util::Result<Response> Client::TraceStop() {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kTraceStop;
+  return Call(request);
+}
+
+util::Result<Response> Client::TraceDump(const std::string& path) {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kTraceDump;
+  request.path = path;
+  return Call(request);
+}
+
 }  // namespace hinpriv::service

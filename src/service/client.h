@@ -45,6 +45,13 @@ class Client {
                                     int max_distance = -1);
   util::Result<Response> Stats();
   util::Result<Response> Sleep(double sleep_ms, double deadline_ms = 0.0);
+  util::Result<Response> Health();
+  // Prometheus text; nonempty `path` writes server-side instead of inline.
+  util::Result<Response> Metrics(const std::string& path = "");
+  util::Result<Response> TraceStart();
+  util::Result<Response> TraceStop();
+  // Chrome trace JSON; nonempty `path` writes server-side instead of inline.
+  util::Result<Response> TraceDump(const std::string& path = "");
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -65,6 +65,16 @@ const char* MethodName(Method method) {
       return "stats";
     case Method::kSleep:
       return "sleep";
+    case Method::kHealth:
+      return "health";
+    case Method::kMetrics:
+      return "metrics";
+    case Method::kTraceStart:
+      return "trace_start";
+    case Method::kTraceStop:
+      return "trace_stop";
+    case Method::kTraceDump:
+      return "trace_dump";
   }
   return "unknown";
 }
@@ -74,7 +84,29 @@ std::optional<Method> ParseMethod(std::string_view name) {
   if (name == "risk") return Method::kRisk;
   if (name == "stats") return Method::kStats;
   if (name == "sleep") return Method::kSleep;
+  if (name == "health") return Method::kHealth;
+  if (name == "metrics") return Method::kMetrics;
+  if (name == "trace_start") return Method::kTraceStart;
+  if (name == "trace_stop") return Method::kTraceStop;
+  if (name == "trace_dump") return Method::kTraceDump;
   return std::nullopt;
+}
+
+bool IsAdminMethod(Method method) {
+  switch (method) {
+    case Method::kStats:
+    case Method::kHealth:
+    case Method::kMetrics:
+    case Method::kTraceStart:
+    case Method::kTraceStop:
+    case Method::kTraceDump:
+      return true;
+    case Method::kAttackOne:
+    case Method::kRisk:
+    case Method::kSleep:
+      return false;
+  }
+  return false;
 }
 
 const char* ResponseCodeName(ResponseCode code) {
@@ -124,6 +156,9 @@ JsonValue EncodeRequest(const Request& request) {
   if (request.method == Method::kSleep) {
     doc.Set("sleep_ms", JsonValue::Number(request.sleep_ms));
   }
+  if (!request.path.empty()) {
+    doc.Set("path", JsonValue::Str(request.path));
+  }
   return doc;
 }
 
@@ -162,6 +197,7 @@ util::Result<Request> DecodeRequest(const JsonValue& doc) {
   }
   request.deadline_ms = doc.GetDouble("deadline_ms", 0.0);
   request.sleep_ms = doc.GetDouble("sleep_ms", 0.0);
+  request.path = doc.GetString("path");
   return request;
 }
 

@@ -29,6 +29,16 @@ namespace hinpriv::service {
 //   {"id": 9, "method": "risk", "target": 123, ...}        // per-entity R(t)
 //   {"id": 10, "method": "stats"}
 //   {"id": 11, "method": "sleep", "sleep_ms": 50}          // load testing
+//   {"id": 12, "method": "health"}
+//   {"id": 13, "method": "metrics", "path": "/tmp/m.prom"} // path optional
+//   {"id": 14, "method": "trace_start"}
+//   {"id": 15, "method": "trace_stop"}
+//   {"id": 16, "method": "trace_dump", "path": "/tmp/t.json"}
+//
+// The introspection verbs (stats, health, metrics, trace_*) are *admin
+// methods*: the server answers them inline on the connection's reader
+// thread, bypassing the admission queue, so they respond within deadline
+// even while the serving path is saturated and shedding.
 //
 // Response document:
 //   {"id": 7, "code": "OK", "result": {...}}
@@ -45,10 +55,19 @@ enum class Method {
   kRisk,
   kStats,
   kSleep,
+  kHealth,
+  kMetrics,
+  kTraceStart,
+  kTraceStop,
+  kTraceDump,
 };
 
 const char* MethodName(Method method);
 std::optional<Method> ParseMethod(std::string_view name);
+
+// True for the introspection verbs that the server processes inline on the
+// reader thread instead of through the admission queue.
+bool IsAdminMethod(Method method);
 
 enum class ResponseCode {
   kOk,
@@ -77,6 +96,10 @@ struct Request {
   double deadline_ms = 0.0;
   // sleep method only.
   double sleep_ms = 0.0;
+  // metrics / trace_dump: when nonempty the server writes the document to
+  // this server-side path instead of returning it inline (the only way out
+  // for traces larger than kMaxFrameBytes).
+  std::string path;
 };
 
 struct Response {

@@ -14,6 +14,7 @@
 #include "core/matchers.h"
 #include "core/privacy_risk.h"
 #include "core/signature.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "service/json.h"
 
@@ -31,7 +32,31 @@ std::chrono::steady_clock::duration MillisToDuration(double ms) {
       std::chrono::duration<double, std::milli>(ms));
 }
 
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+             .count()));
+}
+
+// Keep inline trace dumps comfortably inside the frame cap: the dump is
+// wrapped in a response envelope and JSON-escaped, which roughly doubles
+// worst-case size.
+constexpr size_t kMaxInlineTraceBytes = kMaxFrameBytes / 2 - 4096;
+
 }  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kShedding:
+      return "shedding";
+  }
+  return "ok";
+}
 
 Server::Connection::~Connection() {
   if (fd >= 0) ::close(fd);
@@ -43,7 +68,14 @@ Server::Server(const hin::Graph* target, const hin::Graph* auxiliary,
       aux_(auxiliary),
       config_(std::move(config)),
       dehin_(auxiliary, config_.dehin),
-      queue_(config_.queue_capacity) {
+      queue_(config_.queue_capacity),
+      window_(nullptr,
+              obs::WindowedAggregatorOptions{
+                  std::chrono::milliseconds(
+                      std::max(1, config_.introspection_tick_ms)),
+                  std::max<size_t>(2, config_.introspection_ring),
+                  {}}),
+      slow_log_(config_.slow_log_capacity) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   requests_received_ = registry.GetCounter("service/requests_received");
   responses_ok_ = registry.GetCounter("service/responses_ok");
@@ -58,6 +90,18 @@ Server::Server(const hin::Graph* target, const hin::Graph* auxiliary,
   queue_depth_gauge_ = registry.GetGauge("service/queue_depth");
   latency_us_ = registry.GetHistogram("service/request_latency_us");
   batch_size_ = registry.GetHistogram("service/batch_size");
+  admin_requests_ = registry.GetCounter("service/admin_requests");
+  health_gauge_ = registry.GetGauge("service/health_state");
+  health_transitions_ = registry.GetCounter("service/health_transitions");
+  for (size_t d = 0; d < kDistanceSlots; ++d) {
+    const std::string suffix = d <= kMaxDistanceBucket
+                                   ? "d" + std::to_string(d)
+                                   : std::string("overflow");
+    attack_by_distance_[d] =
+        registry.GetCounter("service/attack_one/" + suffix);
+    deanon_by_distance_[d] =
+        registry.GetCounter("service/deanonymized/" + suffix);
+  }
 }
 
 Server::~Server() { Shutdown(); }
@@ -125,8 +169,77 @@ util::Status Server::Start() {
         exec::ResolveThreads(config_.num_workers));
     executor_ = owned_executor_.get();
   }
+  started_at_ = std::chrono::steady_clock::now();
+  if (config_.introspection_tick_ms > 0) {
+    // Seed the ring before serving so the first stats/health query already
+    // has a baseline sample to difference against.
+    window_.SampleNow();
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return util::Status::OK();
+}
+
+void Server::WatchdogLoop() {
+  obs::SetCurrentThreadName("service/watchdog");
+  const auto tick =
+      std::chrono::milliseconds(std::max(1, config_.introspection_tick_ms));
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mu_);
+      if (watchdog_cv_.wait_for(lock, tick,
+                                [this] { return watchdog_stop_; })) {
+        return;
+      }
+    }
+    window_.SampleNow();
+    EvaluateHealth();
+  }
+}
+
+void Server::EvaluateHealth() {
+  HealthState next = HealthState::kOk;
+  const size_t depth = queue_.size();
+  const size_t capacity = queue_.capacity();
+  const auto shed = window_.CounterRate("service/shed", config_.shed_window_sec);
+  const auto miss =
+      window_.CounterRate("service/deadline_exceeded", config_.miss_window_sec);
+  const auto received = window_.CounterRate("service/requests_received",
+                                            config_.miss_window_sec);
+  if (shed.delta > 0 || (capacity > 0 && depth >= capacity)) {
+    next = HealthState::kShedding;
+  } else if ((capacity > 0 &&
+              static_cast<double>(depth) >=
+                  config_.degraded_queue_fraction *
+                      static_cast<double>(capacity)) ||
+             (received.delta > 0 &&
+              static_cast<double>(miss.delta) >
+                  config_.degraded_miss_rate *
+                      static_cast<double>(received.delta))) {
+    next = HealthState::kDegraded;
+  }
+  const int prev = health_.exchange(static_cast<int>(next));
+  health_gauge_->Set(static_cast<double>(static_cast<int>(next)));
+  if (prev != static_cast<int>(next)) health_transitions_->Increment();
+}
+
+HealthState Server::health() const {
+  return static_cast<HealthState>(health_.load(std::memory_order_relaxed));
+}
+
+Server::LiveStats Server::Live(double window_sec) const {
+  LiveStats live;
+  const auto received =
+      window_.CounterRate("service/requests_received", window_sec);
+  live.window_sec = received.seconds;
+  live.qps = received.rate;
+  live.p99_us =
+      window_.HistogramWindow("service/request_latency_us", window_sec)
+          .Percentile(99.0);
+  live.queue_depth = queue_.size();
+  live.requests_received = window_.CounterValue("service/requests_received");
+  live.health = health();
+  return live;
 }
 
 void Server::AcceptLoop() {
@@ -179,6 +292,26 @@ void Server::ReadLoop(std::shared_ptr<Connection> conn) {
                        request.status().message(), JsonValue()});
       continue;
     }
+    const uint64_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (IsAdminMethod(request.value().method)) {
+      // Introspection verbs bypass the admission queue entirely: they are
+      // answered right here on the reader thread, so `stats` and `health`
+      // respond within deadline even when the serving path is saturated
+      // and shedding — exactly when an operator needs them.
+      obs::ScopedRequestId rid_scope(rid);
+      HINPRIV_SPAN("service/admin");
+      admin_requests_->Increment();
+      Response response = ProcessAdmin(request.value());
+      if (response.code == ResponseCode::kOk) {
+        responses_ok_->Increment();
+      } else if (response.code == ResponseCode::kInvalidRequest) {
+        invalid_->Increment();
+      } else if (response.code == ResponseCode::kInternal) {
+        internal_errors_->Increment();
+      }
+      Respond(conn, response);
+      continue;
+    }
     if (stopping_.load(std::memory_order_acquire)) {
       Respond(conn, Response{request.value().id, ResponseCode::kShuttingDown,
                              "server is draining", JsonValue()});
@@ -188,6 +321,7 @@ void Server::ReadLoop(std::shared_ptr<Connection> conn) {
     pending.conn = conn;
     pending.request = std::move(request).value();
     pending.admitted = std::chrono::steady_clock::now();
+    pending.rid = rid;
     const uint64_t id = pending.request.id;
     if (!queue_.TryPush(std::move(pending))) {
       // Admission control: a full queue sheds immediately instead of
@@ -224,8 +358,11 @@ void Server::DrainOne() {
     batches_->Increment();
     batch_size_->Record(n);
     for (const PendingRequest& pending : batch) {
+      obs::ScopedRequestId rid_scope(pending.rid);
       HINPRIV_SPAN("service/handle_request");
+      const auto popped = std::chrono::steady_clock::now();
       Response response = Process(pending);
+      const auto processed = std::chrono::steady_clock::now();
       switch (response.code) {
         case ResponseCode::kOk:
           responses_ok_->Increment();
@@ -246,10 +383,21 @@ void Server::DrainOne() {
           break;
       }
       Respond(pending.conn, response);
-      const auto elapsed = std::chrono::steady_clock::now() - pending.admitted;
-      latency_us_->Record(static_cast<uint64_t>(std::max<int64_t>(
-          0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-                 .count())));
+      const auto responded = std::chrono::steady_clock::now();
+      latency_us_->Record(ElapsedUs(pending.admitted, responded));
+
+      SlowQueryRecord record;
+      record.rid = pending.rid;
+      record.method = pending.request.method;
+      record.target = pending.request.target;
+      record.has_target = pending.request.has_target;
+      record.max_distance = ResolveMaxDistance(pending.request);
+      record.code = response.code;
+      record.queue_us = ElapsedUs(pending.admitted, popped);
+      record.run_us = ElapsedUs(popped, processed);
+      record.write_us = ElapsedUs(processed, responded);
+      record.total_us = ElapsedUs(pending.admitted, responded);
+      slow_log_.Record(record);
     }
   }
   std::lock_guard<std::mutex> lock(drain_mu_);
@@ -287,13 +435,44 @@ Response Server::Process(const PendingRequest& pending) {
       return ProcessAttackOne(request, token);
     case Method::kRisk:
       return ProcessRisk(request);
-    case Method::kStats:
-      return ProcessStats(request);
     case Method::kSleep:
       return ProcessSleep(request, token);
+    case Method::kStats:
+    case Method::kHealth:
+    case Method::kMetrics:
+    case Method::kTraceStart:
+    case Method::kTraceStop:
+    case Method::kTraceDump:
+      // Admin verbs are normally answered inline by the reader thread and
+      // never reach the queue; handle them anyway for robustness.
+      return ProcessAdmin(request);
   }
   response.code = ResponseCode::kInternal;
   response.error = "unhandled method";
+  return response;
+}
+
+Response Server::ProcessAdmin(const Request& request) {
+  switch (request.method) {
+    case Method::kStats:
+      return ProcessStats(request);
+    case Method::kHealth:
+      return ProcessHealth(request);
+    case Method::kMetrics:
+      return ProcessMetrics(request);
+    case Method::kTraceStart:
+      return ProcessTraceStart(request);
+    case Method::kTraceStop:
+      return ProcessTraceStop(request);
+    case Method::kTraceDump:
+      return ProcessTraceDump(request);
+    default:
+      break;
+  }
+  Response response;
+  response.id = request.id;
+  response.code = ResponseCode::kInternal;
+  response.error = "not an admin method";
   return response;
 }
 
@@ -308,6 +487,11 @@ Response Server::ProcessAttackOne(const Request& request,
     return response;
   }
   const int max_distance = ResolveMaxDistance(request);
+  const size_t distance_slot =
+      max_distance >= 0 && max_distance <= kMaxDistanceBucket
+          ? static_cast<size_t>(max_distance)
+          : kDistanceSlots - 1;
+  attack_by_distance_[distance_slot]->Increment();
   // With more than one executor worker, a single query fans its candidate
   // scan out across the pool (grains run at kNormal priority, below the
   // kHigh drain tasks); the result is bit-identical to the serial path.
@@ -340,6 +524,9 @@ Response Server::ProcessAttackOne(const Request& request,
   // for the entity is 1/k with k the candidate count (Definition 7 with
   // loss 1).
   payload.Set("deanonymized", JsonValue::Bool(candidates.size() == 1));
+  if (candidates.size() == 1) {
+    deanon_by_distance_[distance_slot]->Increment();
+  }
   const size_t encoded = std::min(candidates.size(), kMaxEncodedCandidates);
   JsonValue list = JsonValue::Array();
   for (size_t i = 0; i < encoded; ++i) {
@@ -441,8 +628,199 @@ Response Server::ProcessStats(const Request& request) {
             JsonValue::Int(static_cast<int64_t>(stats.prefilter_rejects)));
   dehin.Set("cache_hits", JsonValue::Int(static_cast<int64_t>(stats.cache_hits)));
   dehin.Set("full_tests", JsonValue::Int(static_cast<int64_t>(stats.full_tests)));
+  const uint64_t cache_lookups = stats.cache_hits + stats.full_tests;
+  dehin.Set("cache_hit_rate",
+            JsonValue::Number(cache_lookups > 0
+                                  ? static_cast<double>(stats.cache_hits) /
+                                        static_cast<double>(cache_lookups)
+                                  : 0.0));
   dehin.Set("dominance_kernel", JsonValue::Str(stats.dominance_kernel));
   payload.Set("dehin", std::move(dehin));
+
+  // --- live introspection: uptime, health, windowed rates/percentiles,
+  // per-distance counters, slow queries, tracing state.
+  payload.Set("uptime_sec",
+              JsonValue::Number(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    started_at_)
+                                    .count()));
+  payload.Set("health", JsonValue::Str(HealthStateName(health())));
+  payload.Set("requests_received",
+              JsonValue::Int(static_cast<int64_t>(requests_received_->Value())));
+  payload.Set("responses_ok",
+              JsonValue::Int(static_cast<int64_t>(responses_ok_->Value())));
+  payload.Set("shed", JsonValue::Int(static_cast<int64_t>(shed_->Value())));
+  payload.Set("deadline_exceeded",
+              JsonValue::Int(static_cast<int64_t>(deadline_exceeded_->Value())));
+  payload.Set("tracing", JsonValue::Bool(obs::TracingEnabled()));
+
+  JsonValue windows = JsonValue::Array();
+  for (const double w : {1.0, 10.0, 60.0}) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("requested_window_sec", JsonValue::Number(w));
+    const auto received = window_.CounterRate("service/requests_received", w);
+    entry.Set("window_sec", JsonValue::Number(received.seconds));
+    entry.Set("qps", JsonValue::Number(received.rate));
+    entry.Set("shed_per_sec",
+              JsonValue::Number(window_.CounterRate("service/shed", w).rate));
+    entry.Set("deadline_miss_per_sec",
+              JsonValue::Number(
+                  window_.CounterRate("service/deadline_exceeded", w).rate));
+    const obs::HistogramSnapshot latency =
+        window_.HistogramWindow("service/request_latency_us", w);
+    JsonValue lat = JsonValue::Object();
+    lat.Set("count", JsonValue::Int(static_cast<int64_t>(latency.count)));
+    lat.Set("p50_us", JsonValue::Number(latency.Percentile(50.0)));
+    lat.Set("p95_us", JsonValue::Number(latency.Percentile(95.0)));
+    lat.Set("p99_us", JsonValue::Number(latency.Percentile(99.0)));
+    entry.Set("latency", std::move(lat));
+    windows.Append(std::move(entry));
+  }
+  payload.Set("windows", std::move(windows));
+
+  JsonValue per_distance = JsonValue::Object();
+  for (size_t d = 0; d < kDistanceSlots; ++d) {
+    const uint64_t attacks = attack_by_distance_[d]->Value();
+    if (attacks == 0) continue;
+    JsonValue slot = JsonValue::Object();
+    slot.Set("attacks", JsonValue::Int(static_cast<int64_t>(attacks)));
+    slot.Set("deanonymized",
+             JsonValue::Int(
+                 static_cast<int64_t>(deanon_by_distance_[d]->Value())));
+    per_distance.Set(d <= static_cast<size_t>(kMaxDistanceBucket)
+                         ? "d" + std::to_string(d)
+                         : std::string("overflow"),
+                     std::move(slot));
+  }
+  payload.Set("per_distance", std::move(per_distance));
+
+  JsonValue slow = JsonValue::Array();
+  for (const SlowQueryRecord& record : slow_log_.WorstFirst()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("rid", JsonValue::Int(static_cast<int64_t>(record.rid)));
+    entry.Set("method", JsonValue::Str(MethodName(record.method)));
+    if (record.has_target) {
+      entry.Set("target", JsonValue::Int(record.target));
+    }
+    entry.Set("max_distance", JsonValue::Int(record.max_distance));
+    entry.Set("code", JsonValue::Str(ResponseCodeName(record.code)));
+    entry.Set("queue_us", JsonValue::Int(static_cast<int64_t>(record.queue_us)));
+    entry.Set("run_us", JsonValue::Int(static_cast<int64_t>(record.run_us)));
+    entry.Set("write_us", JsonValue::Int(static_cast<int64_t>(record.write_us)));
+    entry.Set("total_us", JsonValue::Int(static_cast<int64_t>(record.total_us)));
+    slow.Append(std::move(entry));
+  }
+  payload.Set("slow_queries", std::move(slow));
+
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessHealth(const Request& request) {
+  Response response;
+  response.id = request.id;
+  const HealthState state = health();
+  JsonValue payload = JsonValue::Object();
+  payload.Set("health", JsonValue::Str(HealthStateName(state)));
+  payload.Set("queue_depth",
+              JsonValue::Int(static_cast<int64_t>(queue_.size())));
+  payload.Set("queue_capacity",
+              JsonValue::Int(static_cast<int64_t>(queue_.capacity())));
+  const auto shed = window_.CounterRate("service/shed", config_.shed_window_sec);
+  payload.Set("shed_per_sec", JsonValue::Number(shed.rate));
+  const auto miss =
+      window_.CounterRate("service/deadline_exceeded", config_.miss_window_sec);
+  const auto received = window_.CounterRate("service/requests_received",
+                                            config_.miss_window_sec);
+  payload.Set("deadline_miss_rate",
+              JsonValue::Number(
+                  received.delta > 0
+                      ? static_cast<double>(miss.delta) /
+                            static_cast<double>(received.delta)
+                      : 0.0));
+  payload.Set("uptime_sec",
+              JsonValue::Number(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    started_at_)
+                                    .count()));
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessMetrics(const Request& request) {
+  Response response;
+  response.id = request.id;
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  JsonValue payload = JsonValue::Object();
+  if (!request.path.empty()) {
+    const util::Status status =
+        obs::WritePrometheusText(snapshot, request.path);
+    if (!status.ok()) {
+      response.code = ResponseCode::kInternal;
+      response.error = status.message();
+      return response;
+    }
+    payload.Set("path", JsonValue::Str(request.path));
+  } else {
+    const std::string text = obs::ToPrometheusText(snapshot);
+    payload.Set("content_type",
+                JsonValue::Str("text/plain; version=0.0.4"));
+    payload.Set("text", JsonValue::Str(text));
+  }
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessTraceStart(const Request& request) {
+  Response response;
+  response.id = request.id;
+  obs::StartTracing();
+  JsonValue payload = JsonValue::Object();
+  payload.Set("tracing", JsonValue::Bool(true));
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessTraceStop(const Request& request) {
+  Response response;
+  response.id = request.id;
+  obs::StopTracing();
+  JsonValue payload = JsonValue::Object();
+  payload.Set("tracing", JsonValue::Bool(false));
+  payload.Set("events",
+              JsonValue::Int(
+                  static_cast<int64_t>(obs::NumRecordedTraceEvents())));
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessTraceDump(const Request& request) {
+  Response response;
+  response.id = request.id;
+  JsonValue payload = JsonValue::Object();
+  if (!request.path.empty()) {
+    const util::Status status = obs::WriteChromeTrace(request.path);
+    if (!status.ok()) {
+      response.code = ResponseCode::kInternal;
+      response.error = status.message();
+      return response;
+    }
+    payload.Set("path", JsonValue::Str(request.path));
+  } else {
+    std::string trace = obs::ChromeTraceJson();
+    if (trace.size() > kMaxInlineTraceBytes) {
+      response.code = ResponseCode::kInvalidRequest;
+      response.error =
+          "trace too large for an inline dump (" +
+          std::to_string(trace.size()) +
+          " bytes); pass 'path' to write it server-side";
+      return response;
+    }
+    payload.Set("trace", JsonValue::Str(std::move(trace)));
+  }
+  payload.Set("events",
+              JsonValue::Int(
+                  static_cast<int64_t>(obs::NumRecordedTraceEvents())));
   response.result = std::move(payload);
   return response;
 }
@@ -533,6 +911,15 @@ void Server::Shutdown() {
   // post-Shutdown server inert; a shared executor is left running.
   owned_executor_.reset();
   executor_ = nullptr;
+
+  // Stop the introspection watchdog after the drain so the last health
+  // evaluation saw the final counter values.
+  {
+    std::lock_guard<std::mutex> watchdog_lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
 
   // 4. Final telemetry snapshot, after all request processing quiesced.
   if (!config_.metrics_json_path.empty()) {

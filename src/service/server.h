@@ -15,8 +15,10 @@
 #include "exec/executor.h"
 #include "hin/graph.h"
 #include "obs/metrics.h"
+#include "obs/windowed.h"
 #include "service/protocol.h"
 #include "service/request_queue.h"
+#include "service/slow_query_log.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 
@@ -61,7 +63,38 @@ struct ServerConfig {
   std::string metrics_json_path;
   // Attack configuration (match options, prefilter/cache/kernels).
   core::DehinConfig dehin;
+
+  // --- live introspection ---------------------------------------------------
+  // Watchdog tick: every tick the global registry is sampled into the
+  // windowed ring and the health state is re-evaluated. <= 0 disables the
+  // watchdog thread entirely (stats still answers, with empty windows and
+  // health pinned at "ok").
+  int introspection_tick_ms = 250;
+  // Snapshots retained in the windowed ring; tick * ring bounds the widest
+  // answerable window (the defaults cover a 60s window with headroom).
+  size_t introspection_ring = 256;
+  // Worst-N slow-query log returned by the `stats` verb.
+  size_t slow_log_capacity = 16;
+  // Health policy (see DESIGN.md §11): "shedding" when any request was
+  // shed within shed_window_sec or the queue is full; otherwise "degraded"
+  // when the queue sits at or above degraded_queue_fraction of capacity or
+  // the deadline-miss fraction over miss_window_sec exceeds
+  // degraded_miss_rate; otherwise "ok".
+  double shed_window_sec = 1.0;
+  double miss_window_sec = 10.0;
+  double degraded_queue_fraction = 0.75;
+  double degraded_miss_rate = 0.10;
 };
+
+// Watchdog-derived serving condition, exported as the service/health_state
+// gauge (the numeric value) and by the `health` admin verb (the name).
+enum class HealthState {
+  kOk = 0,
+  kDegraded = 1,
+  kShedding = 2,
+};
+
+const char* HealthStateName(HealthState state);
 
 // The resident de-anonymization attack service. Loads nothing itself: the
 // caller provides the anonymized target graph and the adversary's
@@ -106,6 +139,22 @@ class Server {
   // Instantaneous queue depth (observability).
   size_t queue_depth() const { return queue_.size(); }
 
+  // Current watchdog health verdict (kOk until the first watchdog tick).
+  HealthState health() const;
+
+  // One-line self-report over roughly the last `window_sec` seconds, read
+  // from the windowed aggregator: the `serve --heartbeat_sec` loop and the
+  // introspection tests consume this without a network round-trip.
+  struct LiveStats {
+    double window_sec = 0.0;  // actually covered seconds
+    double qps = 0.0;
+    double p99_us = 0.0;
+    size_t queue_depth = 0;
+    uint64_t requests_received = 0;  // cumulative, as of the last sample
+    HealthState health = HealthState::kOk;
+  };
+  LiveStats Live(double window_sec = 10.0) const;
+
   // Graceful drain: stop accepting connections and admitting requests,
   // finish everything already admitted, join every thread, flush the
   // final metrics snapshot. Idempotent and thread-safe; blocks until the
@@ -127,6 +176,9 @@ class Server {
     std::shared_ptr<Connection> conn;
     Request request;
     std::chrono::steady_clock::time_point admitted;
+    // Monotonically increasing server-side request id, assigned at
+    // admission and installed as the span context while the request runs.
+    uint64_t rid = 0;
   };
 
   void AcceptLoop();
@@ -143,6 +195,17 @@ class Server {
   Response ProcessStats(const Request& request);
   Response ProcessSleep(const Request& request,
                         const util::CancelToken& token);
+  // Admin verbs, dispatched inline on the reader thread (never queued) so
+  // they answer while the serving path is saturated.
+  Response ProcessAdmin(const Request& request);
+  Response ProcessHealth(const Request& request);
+  Response ProcessMetrics(const Request& request);
+  Response ProcessTraceStart(const Request& request);
+  Response ProcessTraceStop(const Request& request);
+  Response ProcessTraceDump(const Request& request);
+
+  void WatchdogLoop();
+  void EvaluateHealth();
 
   void Respond(const std::shared_ptr<Connection>& conn,
                const Response& response);
@@ -194,6 +257,24 @@ class Server {
   std::mutex risk_mu_;
   std::map<int, RiskEntry> risk_cache_;
 
+  // Introspection plane: a windowed view over the global registry, fed by
+  // the watchdog thread (which also re-evaluates the health verdict each
+  // tick), plus the worst-N slow-query log and the request-id source.
+  obs::WindowedAggregator window_;
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::atomic<int> health_{static_cast<int>(HealthState::kOk)};
+  std::chrono::steady_clock::time_point started_at_{};
+  std::atomic<uint64_t> next_rid_{0};
+  SlowQueryLog slow_log_;
+
+  // Distances 0..kMaxDistanceBucket get their own per-distance counters;
+  // anything larger lands in the final overflow slot.
+  static constexpr int kMaxDistanceBucket = 8;
+  static constexpr size_t kDistanceSlots = kMaxDistanceBucket + 2;
+
   // Registry instruments, resolved once at construction.
   obs::Counter* requests_received_;
   obs::Counter* responses_ok_;
@@ -208,6 +289,11 @@ class Server {
   obs::Gauge* queue_depth_gauge_;
   obs::Histogram* latency_us_;
   obs::Histogram* batch_size_;
+  obs::Counter* admin_requests_;
+  obs::Gauge* health_gauge_;
+  obs::Counter* health_transitions_;
+  obs::Counter* attack_by_distance_[kDistanceSlots];
+  obs::Counter* deanon_by_distance_[kDistanceSlots];
 };
 
 }  // namespace hinpriv::service

@@ -1,0 +1,39 @@
+#include "service/slow_query_log.h"
+
+#include <algorithm>
+
+namespace hinpriv::service {
+
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  worst_.reserve(capacity_);
+}
+
+void SlowQueryLog::Record(const SlowQueryRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (worst_.size() == capacity_ &&
+      record.total_us <= worst_.back().total_us) {
+    return;
+  }
+  // Insert in descending total_us order; ties keep earlier records first.
+  const auto pos = std::upper_bound(
+      worst_.begin(), worst_.end(), record,
+      [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+        return a.total_us > b.total_us;
+      });
+  worst_.insert(pos, record);
+  if (worst_.size() > capacity_) worst_.pop_back();
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::WorstFirst() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worst_;
+}
+
+uint64_t SlowQueryLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace hinpriv::service

@@ -1,0 +1,62 @@
+#ifndef HINPRIV_SERVICE_SLOW_QUERY_LOG_H_
+#define HINPRIV_SERVICE_SLOW_QUERY_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "hin/types.h"
+#include "service/protocol.h"
+
+namespace hinpriv::service {
+
+// One completed request as the slow-query log records it: the request id
+// assigned at admission plus a per-phase wall-clock breakdown (time queued
+// before a worker popped it, time inside the method handler, time writing
+// the response frame).
+struct SlowQueryRecord {
+  uint64_t rid = 0;
+  Method method = Method::kStats;
+  hin::VertexId target = 0;
+  bool has_target = false;
+  int max_distance = -1;
+  ResponseCode code = ResponseCode::kOk;
+  uint64_t queue_us = 0;
+  uint64_t run_us = 0;
+  uint64_t write_us = 0;
+  uint64_t total_us = 0;
+};
+
+// Bounded worst-N log of the slowest requests by total latency. Record()
+// is serving-path: one mutex acquisition and, when the candidate beats the
+// current floor, one ordered insertion into a vector that never exceeds
+// `capacity` — no allocation churn once warm. The `stats` admin verb dumps
+// WorstFirst() so the worst recent requests are inspectable live, each with
+// its per-phase breakdown and request id (joinable against a trace dump).
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity);
+
+  // Considers one completed request; keeps it only if it ranks among the
+  // `capacity` slowest seen so far.
+  void Record(const SlowQueryRecord& record);
+
+  // The retained records, slowest first.
+  std::vector<SlowQueryRecord> WorstFirst() const;
+
+  // Total requests offered to Record() (retained or not).
+  uint64_t recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryRecord> worst_;  // sorted, slowest first
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace hinpriv::service
+
+#endif  // HINPRIV_SERVICE_SLOW_QUERY_LOG_H_

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
@@ -282,6 +284,81 @@ TEST(TraceTest, BalancedSpansAcrossThreads) {
   EXPECT_EQ(std::count(begin_names.begin(), begin_names.end(), "inner"), 1);
   EXPECT_EQ(std::count(begin_names.begin(), begin_names.end(), "worker_span"),
             1);
+}
+
+TEST(TraceTest, BoundedBufferDropsOldestAndCounts) {
+  Counter* dropped =
+      MetricsRegistry::Global().GetCounter("obs/trace_dropped_events");
+  dropped->Reset();
+  SetTraceBufferCapacity(8);
+  StartTracing();
+  // 100 sequential spans = 200 events against a cap of 8: the oldest must
+  // go, the newest must stay, and every eviction must be counted.
+  for (int i = 0; i < 100; ++i) {
+    HINPRIV_SPAN("bounded_span");
+  }
+  StopTracing();
+  SetTraceBufferCapacity(1 << 16);  // restore the default for other tests
+
+  EXPECT_LE(NumRecordedTraceEvents(), 8u);
+  EXPECT_EQ(dropped->Value(), 200u - NumRecordedTraceEvents());
+
+  // The export stays well-formed even when eviction split B/E pairs.
+  const std::string json = ChromeTraceJson();
+  const std::optional<JsonValue> root = ParseTrace(json);
+  ASSERT_TRUE(root.has_value()) << json;
+  const JsonValue* events = root->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int depth = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "B") ++depth;
+    if (ph->string == "E") {
+      ASSERT_GT(depth, 0) << "orphaned E escaped the exporter";
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceTest, RequestIdAnnotatesSpans) {
+  EXPECT_EQ(CurrentRequestId(), 0u);
+  StartTracing();
+  {
+    ScopedRequestId rid(42);
+    EXPECT_EQ(CurrentRequestId(), 42u);
+    HINPRIV_SPAN("request_span");
+    {
+      ScopedRequestId nested(43);
+      HINPRIV_SPAN("nested_request_span");
+    }
+    EXPECT_EQ(CurrentRequestId(), 42u);
+  }
+  EXPECT_EQ(CurrentRequestId(), 0u);
+  { HINPRIV_SPAN("no_request_span"); }
+  StopTracing();
+
+  const std::string json = ChromeTraceJson();
+  const std::optional<JsonValue> root = ParseTrace(json);
+  ASSERT_TRUE(root.has_value()) << json;
+  const JsonValue* events = root->Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<std::string, double> rid_by_name;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string != "B") continue;
+    const JsonValue* name = event.Get("name");
+    ASSERT_NE(name, nullptr);
+    const JsonValue* args = event.Get("args");
+    const JsonValue* rid =
+        args != nullptr ? args->Get("rid") : nullptr;
+    rid_by_name[name->string] = rid != nullptr ? rid->number : 0.0;
+  }
+  EXPECT_EQ(rid_by_name["request_span"], 42.0);
+  EXPECT_EQ(rid_by_name["nested_request_span"], 43.0);
+  EXPECT_EQ(rid_by_name["no_request_span"], 0.0);
 }
 
 TEST(TraceTest, RestartMidSpanDropsOrphanEnd) {

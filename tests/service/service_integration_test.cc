@@ -206,7 +206,7 @@ TEST(ServiceIntegrationTest, SaturatedQueueShedsWithBusy) {
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
 
   const auto probe_start = std::chrono::steady_clock::now();
-  auto probe = prober.value().Stats();
+  auto probe = prober.value().AttackOne(0, 1);
   const auto probe_elapsed = std::chrono::steady_clock::now() - probe_start;
   ASSERT_TRUE(probe.ok());
   EXPECT_EQ(probe.value().code, ResponseCode::kBusy);
@@ -214,6 +214,18 @@ TEST(ServiceIntegrationTest, SaturatedQueueShedsWithBusy) {
   // sleeps holding the worker and the queue slot resolve.
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
                 probe_elapsed)
+                .count(),
+            500);
+
+  // Admin verbs bypass the admission queue entirely: stats answers OK on
+  // the reader thread even while the worker and queue are both occupied.
+  const auto stats_start = std::chrono::steady_clock::now();
+  auto stats = prober.value().Stats();
+  const auto stats_elapsed = std::chrono::steady_clock::now() - stats_start;
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().code, ResponseCode::kOk);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                stats_elapsed)
                 .count(),
             500);
 

@@ -1,0 +1,112 @@
+#include "service/slow_query_log.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace hinpriv::service {
+namespace {
+
+SlowQueryRecord Record(uint64_t rid, uint64_t total_us) {
+  SlowQueryRecord record;
+  record.rid = rid;
+  record.method = Method::kAttackOne;
+  record.total_us = total_us;
+  record.run_us = total_us;
+  return record;
+}
+
+TEST(SlowQueryLogTest, KeepsWorstNInOrder) {
+  SlowQueryLog log(3);
+  log.Record(Record(1, 100));
+  log.Record(Record(2, 500));
+  log.Record(Record(3, 50));
+  log.Record(Record(4, 300));  // evicts rid 3
+  log.Record(Record(5, 10));   // below the floor, dropped
+
+  const std::vector<SlowQueryRecord> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_EQ(worst[0].rid, 2u);
+  EXPECT_EQ(worst[1].rid, 4u);
+  EXPECT_EQ(worst[2].rid, 1u);
+  EXPECT_EQ(log.recorded(), 5u);
+}
+
+TEST(SlowQueryLogTest, CapacityClampsToOne) {
+  SlowQueryLog log(0);
+  EXPECT_EQ(log.capacity(), 1u);
+  log.Record(Record(1, 10));
+  log.Record(Record(2, 20));
+  const std::vector<SlowQueryRecord> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].rid, 2u);
+}
+
+TEST(SlowQueryLogTest, TiesKeepEarlierRecords) {
+  SlowQueryLog log(2);
+  log.Record(Record(1, 100));
+  log.Record(Record(2, 100));
+  log.Record(Record(3, 100));  // tie with the floor: dropped
+  const std::vector<SlowQueryRecord> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].rid, 1u);
+  EXPECT_EQ(worst[1].rid, 2u);
+}
+
+TEST(SlowQueryLogTest, PreservesPhaseBreakdown) {
+  SlowQueryLog log(4);
+  SlowQueryRecord record;
+  record.rid = 7;
+  record.method = Method::kRisk;
+  record.target = 12;
+  record.has_target = true;
+  record.max_distance = 2;
+  record.code = ResponseCode::kDeadlineExceeded;
+  record.queue_us = 10;
+  record.run_us = 20;
+  record.write_us = 30;
+  record.total_us = 60;
+  log.Record(record);
+  const std::vector<SlowQueryRecord> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].method, Method::kRisk);
+  EXPECT_TRUE(worst[0].has_target);
+  EXPECT_EQ(worst[0].target, 12u);
+  EXPECT_EQ(worst[0].max_distance, 2);
+  EXPECT_EQ(worst[0].code, ResponseCode::kDeadlineExceeded);
+  EXPECT_EQ(worst[0].queue_us, 10u);
+  EXPECT_EQ(worst[0].run_us, 20u);
+  EXPECT_EQ(worst[0].write_us, 30u);
+  EXPECT_EQ(worst[0].total_us, 60u);
+}
+
+TEST(SlowQueryLogTest, ConcurrentRecordersStayBoundedAndCounted) {
+  SlowQueryLog log(8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(Record(static_cast<uint64_t>(t * kPerThread + i),
+                          static_cast<uint64_t>(i)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<SlowQueryRecord> worst = log.WorstFirst();
+  ASSERT_EQ(worst.size(), 8u);
+  for (size_t i = 1; i < worst.size(); ++i) {
+    EXPECT_GE(worst[i - 1].total_us, worst[i].total_us);
+  }
+  // Every retained record is from the global worst tail.
+  for (const SlowQueryRecord& record : worst) {
+    EXPECT_GE(record.total_us, static_cast<uint64_t>(kPerThread - 8));
+  }
+  EXPECT_EQ(log.recorded(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace hinpriv::service

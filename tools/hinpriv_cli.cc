@@ -9,10 +9,11 @@
 //                         [--trace-out=run.trace.json]
 //   hinpriv_cli audit     --in=net.graph [--max_distance=3]
 //   hinpriv_cli stats     --in=net.graph
+//   hinpriv_cli stats     --port=7470 [--watch=2]      # live server stats
 //   hinpriv_cli snapshot  --in=net.graph --out=net.snap [--verify]
 //   hinpriv_cli serve     --target=anon.graph --aux=net.graph [--port=7470]
 //                         [--workers=4] [--queue_capacity=128]
-//                         [--snapshot=net.snap] [--mlock]
+//                         [--snapshot=net.snap] [--mlock] [--heartbeat_sec=10]
 //   hinpriv_cli query     --port=7470 --method=attack_one --target_id=123
 //
 // Every subcommand exchanges graphs through hin::LoadGraphAuto /
@@ -20,6 +21,7 @@
 // auto-detected); `generate` can additionally emit the KDD Cup 2012
 // three-file layout for tools built against the original release.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -70,7 +72,8 @@ int Usage() {
       "  anonymize  publish a graph through an anonymization scheme\n"
       "  attack     run DeHIN against a published graph\n"
       "  audit      privacy-risk audit of a graph before publication\n"
-      "  stats      structural statistics of a graph\n"
+      "  stats      structural statistics of a graph, or (--port) live\n"
+      "             introspection of a running serve instance\n"
       "  convert    convert between text and binary graph formats\n"
       "  snapshot   write a graph as an mmap-able HINPRIVS snapshot\n"
       "  project    meta-path projection of a full t.qq graph\n"
@@ -462,14 +465,137 @@ int RunAudit(int argc, char** argv) {
   return 0;
 }
 
+// Renders one `stats` admin response as a compact operator view: health
+// line, windowed rates/percentiles, per-distance counters, and the
+// slow-query log, worst first.
+void PrintLiveStats(const service::JsonValue& result) {
+  std::printf("health: %-9s uptime: %.1fs   queue: %lld/%lld   workers: %lld"
+              "   tracing: %s\n",
+              result.GetString("health", "unknown").c_str(),
+              result.GetDouble("uptime_sec"),
+              static_cast<long long>(result.GetInt("queue_depth")),
+              static_cast<long long>(result.GetInt("queue_capacity")),
+              static_cast<long long>(result.GetInt("num_workers")),
+              result.GetBool("tracing") ? "on" : "off");
+  std::printf("requests: %lld received, %lld ok, %lld shed, %lld "
+              "deadline-missed\n",
+              static_cast<long long>(result.GetInt("requests_received")),
+              static_cast<long long>(result.GetInt("responses_ok")),
+              static_cast<long long>(result.GetInt("shed")),
+              static_cast<long long>(result.GetInt("deadline_exceeded")));
+  if (const service::JsonValue* dehin = result.Find("dehin");
+      dehin != nullptr) {
+    std::printf("cache: %lld hits, %lld full tests (hit rate %.3f)   "
+                "prefilter rejects: %lld\n",
+                static_cast<long long>(dehin->GetInt("cache_hits")),
+                static_cast<long long>(dehin->GetInt("full_tests")),
+                dehin->GetDouble("cache_hit_rate"),
+                static_cast<long long>(dehin->GetInt("prefilter_rejects")));
+  }
+  if (const service::JsonValue* windows = result.Find("windows");
+      windows != nullptr && windows->is_array()) {
+    std::printf("%-8s %10s %8s %8s %9s %9s %9s %7s\n", "window", "qps",
+                "shed/s", "miss/s", "p50_us", "p95_us", "p99_us", "n");
+    for (const service::JsonValue& w : windows->items()) {
+      const service::JsonValue* latency = w.Find("latency");
+      std::printf("%-8s %10.1f %8.2f %8.2f %9.0f %9.0f %9.0f %7lld\n",
+                  (util::FormatDouble(w.GetDouble("requested_window_sec"), 0) +
+                   "s (" + util::FormatDouble(w.GetDouble("window_sec"), 1) +
+                   ")")
+                      .c_str(),
+                  w.GetDouble("qps"), w.GetDouble("shed_per_sec"),
+                  w.GetDouble("deadline_miss_per_sec"),
+                  latency != nullptr ? latency->GetDouble("p50_us") : 0.0,
+                  latency != nullptr ? latency->GetDouble("p95_us") : 0.0,
+                  latency != nullptr ? latency->GetDouble("p99_us") : 0.0,
+                  static_cast<long long>(
+                      latency != nullptr ? latency->GetInt("count") : 0));
+    }
+  }
+  if (const service::JsonValue* per_distance = result.Find("per_distance");
+      per_distance != nullptr && !per_distance->members().empty()) {
+    std::printf("per-distance:");
+    for (const auto& [name, slot] : per_distance->members()) {
+      std::printf("  %s: %lld attacks / %lld deanonymized", name.c_str(),
+                  static_cast<long long>(slot.GetInt("attacks")),
+                  static_cast<long long>(slot.GetInt("deanonymized")));
+    }
+    std::printf("\n");
+  }
+  if (const service::JsonValue* slow = result.Find("slow_queries");
+      slow != nullptr && slow->size() > 0) {
+    std::printf("slow queries (worst first):\n");
+    for (const service::JsonValue& q : slow->items()) {
+      std::printf("  rid=%-6lld %-10s", static_cast<long long>(q.GetInt("rid")),
+                  q.GetString("method").c_str());
+      if (const service::JsonValue* target = q.Find("target");
+          target != nullptr) {
+        std::printf(" target=%lld", static_cast<long long>(target->AsInt()));
+      }
+      std::printf(" d=%lld %s total=%lldus (queue=%lld run=%lld write=%lld)\n",
+                  static_cast<long long>(q.GetInt("max_distance")),
+                  q.GetString("code").c_str(),
+                  static_cast<long long>(q.GetInt("total_us")),
+                  static_cast<long long>(q.GetInt("queue_us")),
+                  static_cast<long long>(q.GetInt("run_us")),
+                  static_cast<long long>(q.GetInt("write_us")));
+    }
+  }
+}
+
+// Live mode of `stats`: one round-trip to a running serve instance, or a
+// terminal dashboard refreshed every --watch seconds until interrupted.
+int RunLiveStats(const std::string& host, uint16_t port, double watch_sec) {
+  if (watch_sec > 0) service::InstallShutdownSignalHandlers();
+  auto client = service::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  while (true) {
+    auto response = client.value().Stats();
+    if (!response.ok()) return Fail(response.status());
+    if (response.value().code != service::ResponseCode::kOk) {
+      return Fail(util::Status::FailedPrecondition(
+          std::string("stats request failed: ") +
+          service::ResponseCodeName(response.value().code) + " " +
+          response.value().error));
+    }
+    if (watch_sec > 0) {
+      // ANSI clear-screen keeps the dashboard in place between refreshes.
+      std::printf("\x1b[2J\x1b[H");
+    }
+    PrintLiveStats(response.value().result);
+    std::fflush(stdout);
+    if (watch_sec <= 0) return 0;
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(watch_sec));
+    while (std::chrono::steady_clock::now() < wake) {
+      if (service::ShutdownToken().cancelled()) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+}
+
 int RunStats(int argc, char** argv) {
   util::FlagParser flags;
   flags.Define("in", "", "graph (hinpriv-graph format)");
+  flags.Define("host", "127.0.0.1", "live mode: server address");
+  flags.Define("port", "0",
+               "live mode: poll a running serve instance on this port "
+               "instead of reading --in");
+  flags.Define("watch", "0",
+               "live mode: refresh every N seconds until interrupted "
+               "(0 = print once)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) return Fail(status);
   if (flags.help_requested()) {
     std::printf("%s", flags.Usage("hinpriv_cli stats").c_str());
     return 0;
+  }
+  if (flags.GetInt("port") > 0) {
+    return RunLiveStats(flags.GetString("host"),
+                        static_cast<uint16_t>(flags.GetInt("port")),
+                        flags.GetDouble("watch"));
   }
   auto graph = hin::LoadGraphAuto(flags.GetString("in"));
   if (!graph.ok()) return Fail(graph.status());
@@ -621,6 +747,9 @@ int RunServe(int argc, char** argv) {
   flags.Define("trace_out", "",
                "record phase spans and write Chrome trace-event JSON to "
                "this path on shutdown");
+  flags.Define("heartbeat_sec", "0",
+               "print a one-line self-report (q/s, queue depth, p99, "
+               "health) to stderr every N seconds (0 = off)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) return Fail(status);
   if (flags.help_requested()) {
@@ -690,8 +819,29 @@ int RunServe(int argc, char** argv) {
               config.queue_capacity, config.max_batch);
   std::fflush(stdout);
 
+  const double heartbeat_sec = flags.GetDouble("heartbeat_sec");
+  auto next_heartbeat =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(heartbeat_sec, 0.0)));
   while (!service::ShutdownToken().cancelled()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (heartbeat_sec > 0 &&
+        std::chrono::steady_clock::now() >= next_heartbeat) {
+      // Self-report through the same windowed aggregator the stats verb
+      // reads, so the log line and a live `stats --watch` agree.
+      const service::Server::LiveStats live = server.Live(heartbeat_sec);
+      std::fprintf(stderr,
+                   "[serve] health=%s qps=%.1f p99=%.0fus queue=%zu "
+                   "received=%llu (%.1fs window)\n",
+                   service::HealthStateName(live.health), live.qps,
+                   live.p99_us, live.queue_depth,
+                   static_cast<unsigned long long>(live.requests_received),
+                   live.window_sec);
+      next_heartbeat +=
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(heartbeat_sec));
+    }
   }
   std::printf("shutdown signal received; draining in-flight requests\n");
   server.Shutdown();
@@ -712,7 +862,9 @@ int RunQuery(int argc, char** argv) {
   util::FlagParser flags;
   flags.Define("host", "127.0.0.1", "server address");
   flags.Define("port", "7470", "server port");
-  flags.Define("method", "stats", "attack_one | risk | stats | sleep");
+  flags.Define("method", "stats",
+               "attack_one | risk | stats | sleep | health | metrics | "
+               "trace_start | trace_stop | trace_dump");
   flags.Define("target_id", "-1",
                "anonymized vertex id (required for attack_one; optional for "
                "risk: present = per-entity R(t), absent = network R(T))");
@@ -720,6 +872,9 @@ int RunQuery(int argc, char** argv) {
                "max neighbor distance (-1 = server default)");
   flags.Define("deadline_ms", "0", "per-request deadline in ms (0 = none)");
   flags.Define("sleep_ms", "0", "sleep method only: how long to hold a worker");
+  flags.Define("path", "",
+               "metrics / trace_dump: server-side output path (required for "
+               "traces larger than one frame)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) return Fail(status);
   if (flags.help_requested()) {
@@ -730,7 +885,8 @@ int RunQuery(int argc, char** argv) {
   if (!method.has_value()) {
     return Fail(util::Status::InvalidArgument(
         "unknown method '" + flags.GetString("method") +
-        "' (want attack_one|risk|stats|sleep)"));
+        "' (want attack_one|risk|stats|sleep|health|metrics|trace_start|"
+        "trace_stop|trace_dump)"));
   }
   auto client = service::Client::Connect(
       flags.GetString("host"), static_cast<uint16_t>(flags.GetInt("port")));
@@ -747,6 +903,7 @@ int RunQuery(int argc, char** argv) {
   request.max_distance = static_cast<int>(flags.GetInt("max_distance"));
   request.deadline_ms = flags.GetDouble("deadline_ms");
   request.sleep_ms = flags.GetDouble("sleep_ms");
+  request.path = flags.GetString("path");
 
   auto response = client.value().Call(request);
   if (!response.ok()) return Fail(response.status());
