@@ -50,6 +50,15 @@ int main(int argc, char** argv) {
   flags.Define("max_distance", "2", "neighbor distance n for every attack");
   flags.Define("threads", "1,2,4,8",
                "comma-separated worker counts to sweep");
+  flags.Define("chunks_per_worker", "8",
+               "adaptive-grain target: grains aimed per worker when a scan "
+               "leaves the grain unset (exec::GrainPolicy)");
+  flags.Define("max_grain", "8192",
+               "upper clamp on the adaptive grain (iterations per claim)");
+  flags.Define("grain_sweep", "",
+               "comma-separated chunks_per_worker values to sweep on the "
+               "intra-query path at the highest thread count (each run "
+               "differential-guarded)");
   flags.Define("json", "", "also write machine-readable results to this path");
   bench::ParseFlagsOrDie(&flags, argc, argv);
 
@@ -165,6 +174,10 @@ int main(int argc, char** argv) {
       exec::Executor pool(threads);
       core::Dehin::ParallelScanOptions scan;
       scan.executor = &pool;
+      scan.grain_policy.chunks_per_worker =
+          static_cast<size_t>(flags.GetInt("chunks_per_worker"));
+      scan.grain_policy.max_grain =
+          static_cast<size_t>(flags.GetInt("max_grain"));
       const uint64_t tasks0 = tasks_counter->Value();
       const uint64_t steals0 = steals_counter->Value();
       uint64_t hash = 0;
@@ -209,6 +222,69 @@ int main(int argc, char** argv) {
       json_entries.push_back(std::move(entry));
     }
   }
+  // --- grain sweep: intra-query path at the highest thread count, one run
+  // per chunks_per_worker setting. Finer grains cost more claims (exec
+  // tasks); coarser ones starve the tail — the sweep makes the tradeoff
+  // measurable instead of folklore.
+  const std::string grain_sweep_flag = flags.GetString("grain_sweep");
+  if (!grain_sweep_flag.empty()) {
+    const size_t sweep_threads = thread_counts.back();
+    for (const auto& field : util::Split(grain_sweep_flag, ',')) {
+      auto parsed = util::ParseUint64(util::Trim(field));
+      if (!parsed.ok() || parsed.value() == 0) {
+        std::fprintf(stderr, "bad --grain_sweep entry: %s\n",
+                     std::string(field).c_str());
+        return 2;
+      }
+      const size_t chunks = parsed.value();
+      core::Dehin dehin(&dataset.value().auxiliary,
+                        bench::AttackConfig(false, flags));
+      exec::Executor pool(sweep_threads);
+      core::Dehin::ParallelScanOptions scan;
+      scan.executor = &pool;
+      scan.grain_policy.chunks_per_worker = chunks;
+      scan.grain_policy.max_grain =
+          static_cast<size_t>(flags.GetInt("max_grain"));
+      const uint64_t tasks0 = tasks_counter->Value();
+      uint64_t hash = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (hin::VertexId vt = 0; vt < num_targets; ++vt) {
+        auto result = dehin.DeanonymizeParallel(target, vt, n, scan);
+        if (!result.ok()) {
+          std::fprintf(stderr, "grain-sweep scan failed at vt=%u: %s\n", vt,
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        hash = HashCandidates(hash, result.value());
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (hash != serial_hash) {
+        std::fprintf(stderr,
+                     "DIFFERENTIAL FAILURE: grain sweep at %zu chunks/worker "
+                     "diverged from serial\n",
+                     chunks);
+        return 1;
+      }
+      const double tasks = static_cast<double>(tasks_counter->Value() - tasks0);
+      table.AddRow({"grain c/w=" + std::to_string(chunks),
+                    std::to_string(sweep_threads),
+                    util::FormatDouble(elapsed, 3),
+                    util::FormatDouble(intra_base_s / elapsed, 2),
+                    util::FormatDouble(tasks, 0), "-"});
+      bench::BenchJsonEntry entry;
+      entry.name = "grain_sweep/chunks_per_worker=" + std::to_string(chunks);
+      entry.real_time_s = elapsed;
+      entry.counters = {{"threads", static_cast<double>(sweep_threads)},
+                        {"chunks_per_worker", static_cast<double>(chunks)},
+                        {"speedup_vs_1thread", intra_base_s / elapsed},
+                        {"exec_tasks", tasks}};
+      json_entries.push_back(std::move(entry));
+    }
+  }
+
   table.Print(std::cout);
   std::printf("\nall configurations passed the differential guard "
               "(bit-identical to serial)\n");
@@ -219,6 +295,9 @@ int main(int argc, char** argv) {
         flags,
         {{"max_distance", flags.GetString("max_distance")},
          {"threads_swept", flags.GetString("threads")},
+         {"chunks_per_worker", flags.GetString("chunks_per_worker")},
+         {"max_grain", flags.GetString("max_grain")},
+         {"grain_sweep", flags.GetString("grain_sweep")},
          {"hardware_concurrency",
           std::to_string(std::thread::hardware_concurrency())}});
     if (!bench::WriteBenchJson(json_path, json_entries, context)) return 1;

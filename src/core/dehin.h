@@ -13,14 +13,11 @@
 #include "core/match_cache.h"
 #include "core/matchers.h"
 #include "core/neighborhood_stats.h"
+#include "exec/executor.h"
 #include "hin/graph.h"
 #include "obs/metrics.h"
 #include "util/cancellation.h"
 #include "util/status.h"
-
-namespace hinpriv::exec {
-class Executor;
-}  // namespace hinpriv::exec
 
 namespace hinpriv::core {
 
@@ -59,6 +56,15 @@ struct DehinConfig {
   // tier when the CPU lacks them. All tiers are bit-identical (pinned by
   // the differential fuzz suite), so this knob never changes results.
   DominanceKernel dominance_kernel = DominanceKernel::kAuto;
+  // Only auxiliary vertices with id < candidate_limit are eligible
+  // candidates (0 = every vertex). The neighborhood recursion still walks
+  // the whole graph — only the root candidate scan is restricted. This is
+  // the sharded tier's hook: a shard's subgraph orders its owned vertices
+  // first and its halo (neighborhood-completion) vertices after, and sets
+  // the limit to the owned count so halo vertices — whose own
+  // neighborhoods may be truncated at the shard boundary — are never
+  // scored as candidates.
+  size_t candidate_limit = 0;
   // A link type (and direction) whose target-side neighborhood covers more
   // than this fraction of the target graph is considered saturated by fake
   // links and skipped: a rational adversary knows real social networks
@@ -192,8 +198,13 @@ class Dehin {
     // the process-wide exec::Executor::Global().
     exec::Executor* executor = nullptr;
     // Auxiliary vertices (or index candidates) per claimed grain; 0 picks
-    // the executor's adaptive grain (~8 chunks per worker).
+    // the adaptive grain from `grain_policy` (~8 chunks per worker by
+    // default).
     size_t grain = 0;
+    // Adaptive-grain policy applied when `grain` is 0; the
+    // parallel_scaling bench sweeps chunks_per_worker/max_grain through
+    // this knob.
+    exec::GrainPolicy grain_policy;
     // Same cooperative-stop contract as the cancellable Deanonymize:
     // polled per grain claim and per candidate, returns
     // Status::DeadlineExceeded / Status::Cancelled, and never inserts

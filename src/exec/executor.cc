@@ -283,12 +283,7 @@ ParallelForResult Executor::ParallelFor(
   state->n = n;
   state->grain = options.grain;
   if (state->grain == 0) {
-    // ~8 chunks per worker: enough slack for dynamic rebalancing of skewed
-    // iteration costs, few enough claims that the shared counter stays
-    // cold. Clamped so huge ranges don't degenerate into per-item tasks.
-    const size_t target_chunks = num_workers() * 8;
-    state->grain = std::clamp<size_t>(n / std::max<size_t>(target_chunks, 1),
-                                      1, 8192);
+    state->grain = options.grain_policy.Resolve(n, num_workers());
   }
 
   const size_t chunks = (n + state->grain - 1) / state->grain;

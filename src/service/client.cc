@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -60,6 +61,11 @@ util::Result<Client> Client::Connect(const std::string& host, uint16_t port) {
     ::close(fd);
     return status;
   }
+  // Frames are written as a 4-byte length prefix then the payload; with
+  // Nagle enabled the payload write stalls on the peer's delayed ACK of
+  // the prefix (~40ms per request).
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Client(fd);
 }
 

@@ -1,8 +1,5 @@
 #include "service/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -26,6 +23,17 @@ namespace {
 // identified targets; cap the encoded list so one response cannot approach
 // kMaxFrameBytes. The count and a `truncated` flag are always exact.
 constexpr size_t kMaxEncodedCandidates = 1024;
+
+// Grace added to a coordinator's per-shard receive timeout on top of the
+// request's remaining deadline: the shard enforces the deadline itself and
+// answers DEADLINE_EXCEEDED, so the socket timeout only has to catch a
+// wedged or dead shard, not race the deadline.
+constexpr double kShardRecvGraceMs = 250.0;
+// Receive timeouts for the coordinator's admin fan-outs (the shard side
+// answers these inline on its event loop, so they are fast even under
+// compute saturation).
+constexpr double kShardStatsTimeoutMs = 2000.0;
+constexpr double kShardHealthTimeoutMs = 1000.0;
 
 std::chrono::steady_clock::duration MillisToDuration(double ms) {
   return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -58,8 +66,8 @@ const char* HealthStateName(HealthState state) {
   return "ok";
 }
 
-Server::Connection::~Connection() {
-  if (fd >= 0) ::close(fd);
+std::string Server::MetricName(const char* base) const {
+  return obs::ShardMetricName(base, config_.metric_shard);
 }
 
 Server::Server(const hin::Graph* target, const hin::Graph* auxiliary,
@@ -67,7 +75,6 @@ Server::Server(const hin::Graph* target, const hin::Graph* auxiliary,
     : target_(target),
       aux_(auxiliary),
       config_(std::move(config)),
-      dehin_(auxiliary, config_.dehin),
       queue_(config_.queue_capacity),
       window_(nullptr,
               obs::WindowedAggregatorOptions{
@@ -76,31 +83,39 @@ Server::Server(const hin::Graph* target, const hin::Graph* auxiliary,
                   std::max<size_t>(2, config_.introspection_ring),
                   {}}),
       slow_log_(config_.slow_log_capacity) {
+  if (!coordinator()) {
+    dehin_ = std::make_unique<core::Dehin>(aux_, config_.dehin);
+  }
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  requests_received_ = registry.GetCounter("service/requests_received");
-  responses_ok_ = registry.GetCounter("service/responses_ok");
-  shed_ = registry.GetCounter("service/shed");
-  deadline_exceeded_ = registry.GetCounter("service/deadline_exceeded");
-  cancelled_ = registry.GetCounter("service/cancelled");
-  invalid_ = registry.GetCounter("service/invalid_requests");
-  internal_errors_ = registry.GetCounter("service/internal_errors");
-  connections_accepted_ = registry.GetCounter("service/connections_accepted");
-  batches_ = registry.GetCounter("service/batches");
-  write_errors_ = registry.GetCounter("service/write_errors");
-  queue_depth_gauge_ = registry.GetGauge("service/queue_depth");
-  latency_us_ = registry.GetHistogram("service/request_latency_us");
-  batch_size_ = registry.GetHistogram("service/batch_size");
-  admin_requests_ = registry.GetCounter("service/admin_requests");
-  health_gauge_ = registry.GetGauge("service/health_state");
-  health_transitions_ = registry.GetCounter("service/health_transitions");
+  requests_received_ =
+      registry.GetCounter(MetricName("service/requests_received"));
+  responses_ok_ = registry.GetCounter(MetricName("service/responses_ok"));
+  shed_ = registry.GetCounter(MetricName("service/shed"));
+  deadline_exceeded_ =
+      registry.GetCounter(MetricName("service/deadline_exceeded"));
+  cancelled_ = registry.GetCounter(MetricName("service/cancelled"));
+  invalid_ = registry.GetCounter(MetricName("service/invalid_requests"));
+  internal_errors_ = registry.GetCounter(MetricName("service/internal_errors"));
+  connections_accepted_ =
+      registry.GetCounter(MetricName("service/connections_accepted"));
+  batches_ = registry.GetCounter(MetricName("service/batches"));
+  write_errors_ = registry.GetCounter(MetricName("service/write_errors"));
+  queue_depth_gauge_ = registry.GetGauge(MetricName("service/queue_depth"));
+  latency_us_ =
+      registry.GetHistogram(MetricName("service/request_latency_us"));
+  batch_size_ = registry.GetHistogram(MetricName("service/batch_size"));
+  admin_requests_ = registry.GetCounter(MetricName("service/admin_requests"));
+  health_gauge_ = registry.GetGauge(MetricName("service/health_state"));
+  health_transitions_ =
+      registry.GetCounter(MetricName("service/health_transitions"));
   for (size_t d = 0; d < kDistanceSlots; ++d) {
     const std::string suffix = d <= kMaxDistanceBucket
                                    ? "d" + std::to_string(d)
                                    : std::string("overflow");
-    attack_by_distance_[d] =
-        registry.GetCounter("service/attack_one/" + suffix);
-    deanon_by_distance_[d] =
-        registry.GetCounter("service/deanonymized/" + suffix);
+    attack_by_distance_[d] = registry.GetCounter(
+        MetricName(("service/attack_one/" + suffix).c_str()));
+    deanon_by_distance_[d] = registry.GetCounter(
+        MetricName(("service/deanonymized/" + suffix).c_str()));
   }
 }
 
@@ -111,56 +126,31 @@ util::Status Server::Start() {
     return util::Status::InvalidArgument("server already started");
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return util::Status::IoError(std::string("socket: ") +
-                                 std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return util::Status::InvalidArgument("unparseable IPv4 host '" +
-                                         config_.host + "'");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const util::Status status = util::Status::IoError(
-        "bind " + config_.host + ":" + std::to_string(config_.port) + ": " +
-        std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, SOMAXCONN) != 0) {
-    const util::Status status =
-        util::Status::IoError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) != 0) {
-    const util::Status status = util::Status::IoError(
-        std::string("getsockname: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  port_ = ntohs(bound.sin_port);
+  EventLoop::Options loop_options;
+  loop_options.max_pending_write_bytes = config_.max_pending_write_bytes;
+  loop_options.drain_grace_ms = config_.drain_grace_ms;
+  loop_options.on_accept = [this](uint64_t) {
+    connections_accepted_->Increment();
+  };
+  loop_options.on_dropped_response = [this] {
+    // The peer hung up without waiting, or never read its responses; the
+    // frames are dropped but the server keeps serving.
+    write_errors_->Increment();
+  };
+  loop_ = std::make_unique<EventLoop>(
+      [this](uint64_t conn_id, std::string frame) {
+        OnFrame(conn_id, std::move(frame));
+      },
+      std::move(loop_options));
+  HINPRIV_RETURN_IF_ERROR(loop_->Listen(config_.host, config_.port));
+  port_ = loop_->port();
 
   // Build the expensive per-target Dehin state (prefilter tables, shared
-  // match cache shell) before the first request pays for it.
-  if (target_->num_vertices() > 0) {
+  // match cache shell) before the first request pays for it. A coordinator
+  // owns no scan state — its shards warmed their own at their Start().
+  if (dehin_ != nullptr && target_->num_vertices() > 0) {
     HINPRIV_SPAN("service/warm_target_state");
-    (void)dehin_.Deanonymize(*target_, 0, 0);
+    (void)dehin_->Deanonymize(*target_, 0, 0);
   }
 
   executor_ = config_.executor;
@@ -169,6 +159,10 @@ util::Status Server::Start() {
         exec::ResolveThreads(config_.num_workers));
     executor_ = owned_executor_.get();
   }
+  if (coordinator()) {
+    router_ = std::make_unique<ShardRouter>(config_.shard_endpoints);
+    admin_thread_ = std::thread([this] { AdminLoop(); });
+  }
   started_at_ = std::chrono::steady_clock::now();
   if (config_.introspection_tick_ms > 0) {
     // Seed the ring before serving so the first stats/health query already
@@ -176,7 +170,7 @@ util::Status Server::Start() {
     window_.SampleNow();
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  loop_->Start();
   return util::Status::OK();
 }
 
@@ -201,11 +195,12 @@ void Server::EvaluateHealth() {
   HealthState next = HealthState::kOk;
   const size_t depth = queue_.size();
   const size_t capacity = queue_.capacity();
-  const auto shed = window_.CounterRate("service/shed", config_.shed_window_sec);
-  const auto miss =
-      window_.CounterRate("service/deadline_exceeded", config_.miss_window_sec);
-  const auto received = window_.CounterRate("service/requests_received",
-                                            config_.miss_window_sec);
+  const auto shed =
+      window_.CounterRate(MetricName("service/shed"), config_.shed_window_sec);
+  const auto miss = window_.CounterRate(MetricName("service/deadline_exceeded"),
+                                        config_.miss_window_sec);
+  const auto received = window_.CounterRate(
+      MetricName("service/requests_received"), config_.miss_window_sec);
   if (shed.delta > 0 || (capacity > 0 && depth >= capacity)) {
     next = HealthState::kShedding;
   } else if ((capacity > 0 &&
@@ -230,119 +225,130 @@ HealthState Server::health() const {
 Server::LiveStats Server::Live(double window_sec) const {
   LiveStats live;
   const auto received =
-      window_.CounterRate("service/requests_received", window_sec);
+      window_.CounterRate(MetricName("service/requests_received"), window_sec);
   live.window_sec = received.seconds;
   live.qps = received.rate;
   live.p99_us =
-      window_.HistogramWindow("service/request_latency_us", window_sec)
+      window_
+          .HistogramWindow(MetricName("service/request_latency_us"), window_sec)
           .Percentile(99.0);
   live.queue_depth = queue_.size();
-  live.requests_received = window_.CounterValue("service/requests_received");
+  live.requests_received =
+      window_.CounterValue(MetricName("service/requests_received"));
   live.health = health();
   return live;
 }
 
-void Server::AcceptLoop() {
-  obs::SetCurrentThreadName("service/acceptor");
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // Shutdown() closes listen_fd_, which surfaces here as EBADF /
-      // EINVAL / ECONNABORTED depending on the kernel's timing.
-      break;
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      break;
-    }
-    connections_accepted_->Increment();
-    auto conn = std::make_shared<Connection>(fd);
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.emplace(fd, conn);
-    }
-    // readers_ is only touched by this thread and by Shutdown() after
-    // this thread has been joined, so no lock is needed.
-    readers_.emplace_back([this, conn] { ReadLoop(conn); });
+void Server::OnFrame(uint64_t conn_id, std::string frame) {
+  HINPRIV_SPAN("service/admit_request");
+  requests_received_->Increment();
+  auto doc = JsonValue::Parse(frame);
+  if (!doc.ok()) {
+    invalid_->Increment();
+    Respond(conn_id, Response{0, ResponseCode::kInvalidRequest,
+                              doc.status().message(), JsonValue()});
+    return;
   }
+  auto request = DecodeRequest(doc.value());
+  if (!request.ok()) {
+    invalid_->Increment();
+    Respond(conn_id,
+            Response{static_cast<uint64_t>(doc.value().GetInt("id", 0)),
+                     ResponseCode::kInvalidRequest, request.status().message(),
+                     JsonValue()});
+    return;
+  }
+  const uint64_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (IsAdminMethod(request.value().method)) {
+    // Introspection verbs bypass the admission queue: they answer within
+    // deadline even when the serving path is saturated and shedding —
+    // exactly when an operator needs them. Local admin verbs run right
+    // here on the loop thread (pure computation, no blocking); the
+    // coordinator's stats/health fan-outs block on shard I/O, so they go
+    // to the dedicated admin thread instead of stalling the loop.
+    if (coordinator() && (request.value().method == Method::kStats ||
+                          request.value().method == Method::kHealth)) {
+      PendingRequest pending;
+      pending.conn_id = conn_id;
+      pending.request = std::move(request).value();
+      pending.admitted = std::chrono::steady_clock::now();
+      pending.rid = rid;
+      {
+        std::lock_guard<std::mutex> lock(admin_mu_);
+        admin_queue_.push_back(std::move(pending));
+      }
+      admin_cv_.notify_one();
+      return;
+    }
+    obs::ScopedRequestId rid_scope(rid);
+    HINPRIV_SPAN("service/admin");
+    admin_requests_->Increment();
+    Response response = ProcessAdmin(request.value());
+    if (response.code == ResponseCode::kOk) {
+      responses_ok_->Increment();
+    } else if (response.code == ResponseCode::kInvalidRequest) {
+      invalid_->Increment();
+    } else if (response.code == ResponseCode::kInternal) {
+      internal_errors_->Increment();
+    }
+    Respond(conn_id, response);
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    Respond(conn_id, Response{request.value().id, ResponseCode::kShuttingDown,
+                              "server is draining", JsonValue()});
+    return;
+  }
+  PendingRequest pending;
+  pending.conn_id = conn_id;
+  pending.request = std::move(request).value();
+  pending.admitted = std::chrono::steady_clock::now();
+  pending.rid = rid;
+  const uint64_t id = pending.request.id;
+  if (!queue_.TryPush(std::move(pending))) {
+    // Admission control: a full queue sheds immediately instead of
+    // building a backlog that would blow every queued deadline.
+    shed_->Increment();
+    Respond(conn_id, Response{id, ResponseCode::kBusy, "request queue full",
+                              JsonValue()});
+    return;
+  }
+  queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  // One high-priority drain task per admitted request: requests are
+  // admitted ahead of any queued intra-query scan grains (kNormal), so
+  // a long parallel scan cannot starve the request path.
+  {
+    std::lock_guard<std::mutex> drain_lock(drain_mu_);
+    ++drain_tasks_;
+  }
+  executor_->Submit([this] { DrainOne(); }, exec::Priority::kHigh);
 }
 
-void Server::ReadLoop(std::shared_ptr<Connection> conn) {
-  obs::SetCurrentThreadName("service/reader");
+void Server::AdminLoop() {
+  obs::SetCurrentThreadName("service/admin");
   while (true) {
-    auto frame = ReadFrame(conn->fd);
-    if (!frame.ok() || !frame.value().has_value()) break;
-
-    HINPRIV_SPAN("service/admit_request");
-    requests_received_->Increment();
-    auto doc = JsonValue::Parse(*frame.value());
-    if (!doc.ok()) {
-      invalid_->Increment();
-      Respond(conn, Response{0, ResponseCode::kInvalidRequest,
-                             doc.status().message(), JsonValue()});
-      continue;
-    }
-    auto request = DecodeRequest(doc.value());
-    if (!request.ok()) {
-      invalid_->Increment();
-      Respond(conn,
-              Response{static_cast<uint64_t>(doc.value().GetInt("id", 0)),
-                       ResponseCode::kInvalidRequest,
-                       request.status().message(), JsonValue()});
-      continue;
-    }
-    const uint64_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (IsAdminMethod(request.value().method)) {
-      // Introspection verbs bypass the admission queue entirely: they are
-      // answered right here on the reader thread, so `stats` and `health`
-      // respond within deadline even when the serving path is saturated
-      // and shedding — exactly when an operator needs them.
-      obs::ScopedRequestId rid_scope(rid);
-      HINPRIV_SPAN("service/admin");
-      admin_requests_->Increment();
-      Response response = ProcessAdmin(request.value());
-      if (response.code == ResponseCode::kOk) {
-        responses_ok_->Increment();
-      } else if (response.code == ResponseCode::kInvalidRequest) {
-        invalid_->Increment();
-      } else if (response.code == ResponseCode::kInternal) {
-        internal_errors_->Increment();
-      }
-      Respond(conn, response);
-      continue;
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      Respond(conn, Response{request.value().id, ResponseCode::kShuttingDown,
-                             "server is draining", JsonValue()});
-      continue;
-    }
     PendingRequest pending;
-    pending.conn = conn;
-    pending.request = std::move(request).value();
-    pending.admitted = std::chrono::steady_clock::now();
-    pending.rid = rid;
-    const uint64_t id = pending.request.id;
-    if (!queue_.TryPush(std::move(pending))) {
-      // Admission control: a full queue sheds immediately instead of
-      // building a backlog that would blow every queued deadline.
-      shed_->Increment();
-      Respond(conn, Response{id, ResponseCode::kBusy,
-                             "request queue full", JsonValue()});
-      continue;
-    }
-    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
-    // One high-priority drain task per admitted request: requests are
-    // admitted ahead of any queued intra-query scan grains (kNormal), so
-    // a long parallel scan cannot starve the request path.
     {
-      std::lock_guard<std::mutex> drain_lock(drain_mu_);
-      ++drain_tasks_;
+      std::unique_lock<std::mutex> lock(admin_mu_);
+      admin_cv_.wait(lock,
+                     [this] { return admin_stop_ || !admin_queue_.empty(); });
+      if (admin_queue_.empty()) return;  // admin_stop_ and drained
+      pending = std::move(admin_queue_.front());
+      admin_queue_.pop_front();
     }
-    executor_->Submit([this] { DrainOne(); }, exec::Priority::kHigh);
+    obs::ScopedRequestId rid_scope(pending.rid);
+    HINPRIV_SPAN("service/admin");
+    admin_requests_->Increment();
+    Response response = ProcessAdmin(pending.request);
+    if (response.code == ResponseCode::kOk) {
+      responses_ok_->Increment();
+    } else if (response.code == ResponseCode::kInvalidRequest) {
+      invalid_->Increment();
+    } else if (response.code == ResponseCode::kInternal) {
+      internal_errors_->Increment();
+    }
+    Respond(pending.conn_id, response);
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  conns_.erase(conn->fd);
 }
 
 void Server::DrainOne() {
@@ -382,7 +388,7 @@ void Server::DrainOne() {
         default:
           break;
       }
-      Respond(pending.conn, response);
+      Respond(pending.conn_id, response);
       const auto responded = std::chrono::steady_clock::now();
       latency_us_->Record(ElapsedUs(pending.admitted, responded));
 
@@ -432,7 +438,8 @@ Response Server::Process(const PendingRequest& pending) {
 
   switch (request.method) {
     case Method::kAttackOne:
-      return ProcessAttackOne(request, token);
+      return coordinator() ? ProcessAttackOneSharded(pending, token)
+                           : ProcessAttackOne(pending, token);
     case Method::kRisk:
       return ProcessRisk(request);
     case Method::kSleep:
@@ -443,8 +450,9 @@ Response Server::Process(const PendingRequest& pending) {
     case Method::kTraceStart:
     case Method::kTraceStop:
     case Method::kTraceDump:
-      // Admin verbs are normally answered inline by the reader thread and
-      // never reach the queue; handle them anyway for robustness.
+      // Admin verbs are normally answered inline by the event loop (or the
+      // coordinator's admin thread) and never reach the queue; handle them
+      // anyway for robustness.
       return ProcessAdmin(request);
   }
   response.code = ResponseCode::kInternal;
@@ -476,9 +484,10 @@ Response Server::ProcessAdmin(const Request& request) {
   return response;
 }
 
-Response Server::ProcessAttackOne(const Request& request,
+Response Server::ProcessAttackOne(const PendingRequest& pending,
                                   const util::CancelToken& token) {
   HINPRIV_SPAN("service/attack_one");
+  const Request& request = pending.request;
   Response response;
   response.id = request.id;
   if (request.target >= target_->num_vertices()) {
@@ -502,10 +511,10 @@ Response Server::ProcessAttackOne(const Request& request,
               core::Dehin::ParallelScanOptions scan;
               scan.executor = executor_;
               scan.cancel = &token;
-              return dehin_.DeanonymizeParallel(*target_, request.target,
-                                                max_distance, scan);
+              return dehin_->DeanonymizeParallel(*target_, request.target,
+                                                 max_distance, scan);
             }()
-          : dehin_.Deanonymize(*target_, request.target, max_distance, &token);
+          : dehin_->Deanonymize(*target_, request.target, max_distance, &token);
   if (!result.ok()) {
     response.code =
         result.status().code() == util::Status::Code::kDeadlineExceeded
@@ -528,12 +537,157 @@ Response Server::ProcessAttackOne(const Request& request,
     deanon_by_distance_[distance_slot]->Increment();
   }
   const size_t encoded = std::min(candidates.size(), kMaxEncodedCandidates);
+  // A shard worker serves a slice whose vertex ids are slice-local;
+  // translate accepted candidates back to auxiliary-graph ids so the
+  // coordinator merges in one id space. The map is monotone over the
+  // owned prefix, so the list stays sorted.
+  const std::vector<hin::VertexId>& id_map = config_.aux_id_map;
   JsonValue list = JsonValue::Array();
   for (size_t i = 0; i < encoded; ++i) {
-    list.Append(JsonValue::Int(candidates[i]));
+    const hin::VertexId c = candidates[i];
+    list.Append(JsonValue::Int(
+        !id_map.empty() && c < id_map.size() ? id_map[c] : c));
   }
   payload.Set("candidates", std::move(list));
   payload.Set("truncated", JsonValue::Bool(encoded < candidates.size()));
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessAttackOneSharded(const PendingRequest& pending,
+                                         const util::CancelToken& token) {
+  HINPRIV_SPAN("service/attack_one_sharded");
+  const Request& request = pending.request;
+  Response response;
+  response.id = request.id;
+  if (request.target >= target_->num_vertices()) {
+    response.code = ResponseCode::kInvalidRequest;
+    response.error = "target vertex out of range";
+    return response;
+  }
+  const int max_distance = ResolveMaxDistance(request);
+  if (config_.shard_halo_depth >= 0 &&
+      max_distance > config_.shard_halo_depth) {
+    // Beyond the extracted halo a shard's verdicts would silently diverge
+    // from the unsharded scan; refusing is the only honest answer.
+    response.code = ResponseCode::kInvalidRequest;
+    response.error = "max_distance " + std::to_string(max_distance) +
+                     " exceeds the shard tier's halo depth " +
+                     std::to_string(config_.shard_halo_depth);
+    return response;
+  }
+  const size_t distance_slot =
+      max_distance >= 0 && max_distance <= kMaxDistanceBucket
+          ? static_cast<size_t>(max_distance)
+          : kDistanceSlots - 1;
+  attack_by_distance_[distance_slot]->Increment();
+
+  // Scatter with the remaining deadline budget: the shard measures its
+  // deadline from its own admission, so passing the remaining-from-here
+  // milliseconds preserves the end-to-end budget (minus network time,
+  // which on the loopback tier is microseconds).
+  Request shard_request = request;
+  shard_request.id = pending.rid;  // unique per pooled connection lifetime
+  shard_request.max_distance = max_distance;
+  double recv_timeout_ms = 0.0;
+  const double deadline_ms = request.deadline_ms > 0
+                                 ? request.deadline_ms
+                                 : config_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - pending.admitted)
+            .count();
+    const double remaining_ms = deadline_ms - elapsed_ms;
+    if (remaining_ms <= 0 || token.deadline_exceeded()) {
+      response.code = ResponseCode::kDeadlineExceeded;
+      response.error = "deadline expired before scatter";
+      return response;
+    }
+    shard_request.deadline_ms = remaining_ms;
+    recv_timeout_ms = remaining_ms + kShardRecvGraceMs;
+  }
+  const std::vector<ShardReply> replies =
+      router_->ScatterToAll(shard_request, recv_timeout_ms);
+
+  // Merge. Every shard owns a disjoint span of the auxiliary vertex space
+  // and returns its accepted candidates sorted ascending in parent ids,
+  // so the union sorted ascending IS the unsharded candidate list; the
+  // exact counts sum because ownership is a partition. The first
+  // kMaxEncodedCandidates of the sorted union equal the unsharded
+  // encoding even when shards truncated: a candidate with global rank
+  // <= 1024 has within-shard rank <= 1024 and is therefore present.
+  std::vector<uint64_t> merged;
+  uint64_t total = 0;
+  size_t shards_ok = 0;
+  JsonValue failed = JsonValue::Array();
+  bool all_deadline = true;
+  bool all_busy = true;
+  std::string first_error;
+  for (const ShardReply& reply : replies) {
+    if (reply.transport_ok && reply.response.code == ResponseCode::kOk) {
+      ++shards_ok;
+      const JsonValue& result = reply.response.result;
+      total += static_cast<uint64_t>(result.GetInt("num_candidates", 0));
+      if (const JsonValue* list = result.Find("candidates");
+          list != nullptr && list->is_array()) {
+        for (const JsonValue& c : list->items()) {
+          merged.push_back(static_cast<uint64_t>(c.AsInt()));
+        }
+      }
+      continue;
+    }
+    const ResponseCode code =
+        reply.transport_ok ? reply.response.code : ResponseCode::kInternal;
+    if (code != ResponseCode::kDeadlineExceeded) all_deadline = false;
+    if (code != ResponseCode::kBusy) all_busy = false;
+    const std::string reason =
+        reply.transport_ok
+            ? (reply.response.error.empty() ? ResponseCodeName(code)
+                                            : reply.response.error)
+            : reply.error;
+    if (first_error.empty()) {
+      first_error = "shard " + std::to_string(reply.shard) + ": " + reason;
+    }
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shard", JsonValue::Int(static_cast<int64_t>(reply.shard)));
+    entry.Set("code", JsonValue::Str(ResponseCodeName(code)));
+    entry.Set("error", JsonValue::Str(reason));
+    failed.Append(std::move(entry));
+  }
+  if (shards_ok == 0) {
+    response.code = all_deadline ? ResponseCode::kDeadlineExceeded
+                    : all_busy  ? ResponseCode::kBusy
+                                : ResponseCode::kInternal;
+    response.error = "all " + std::to_string(replies.size()) +
+                     " shards failed (" + first_error + ")";
+    return response;
+  }
+  std::sort(merged.begin(), merged.end());
+  const size_t encoded =
+      std::min<size_t>(std::min<uint64_t>(total, merged.size()),
+                       kMaxEncodedCandidates);
+
+  JsonValue payload = JsonValue::Object();
+  payload.Set("target", JsonValue::Int(request.target));
+  payload.Set("max_distance", JsonValue::Int(max_distance));
+  payload.Set("num_candidates", JsonValue::Int(static_cast<int64_t>(total)));
+  payload.Set("deanonymized", JsonValue::Bool(total == 1));
+  if (total == 1) deanon_by_distance_[distance_slot]->Increment();
+  JsonValue list = JsonValue::Array();
+  for (size_t i = 0; i < encoded; ++i) {
+    list.Append(JsonValue::Int(static_cast<int64_t>(merged[i])));
+  }
+  payload.Set("candidates", std::move(list));
+  payload.Set("truncated", JsonValue::Bool(encoded < total));
+  payload.Set("shards", JsonValue::Int(static_cast<int64_t>(replies.size())));
+  if (shards_ok < replies.size()) {
+    // Partial degradation: the answer covers only the responsive shards'
+    // spans. `deanonymized` may be a false positive here (a missing shard
+    // could hold more candidates), so the partial flag is load-bearing.
+    payload.Set("partial", JsonValue::Bool(true));
+    payload.Set("failed_shards", std::move(failed));
+  }
   response.result = std::move(payload);
   return response;
 }
@@ -601,19 +755,143 @@ Response Server::ProcessRisk(const Request& request) {
   return response;
 }
 
+void Server::AppendShardStats(JsonValue* payload) {
+  Request fanout;
+  fanout.id = next_rid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  fanout.method = Method::kStats;
+  const std::vector<ShardReply> replies =
+      router_->ScatterToAll(fanout, kShardStatsTimeoutMs);
+
+  // Honest aggregation (see DESIGN.md §12): shard windows may cover
+  // different spans (a restarted shard's ring is shorter), so per-window
+  // rate sums are reported alongside the min/max covered seconds instead
+  // of pretending uniform coverage. Consumers that need a single number
+  // should use qps_sum only when min/max coverage agree.
+  JsonValue shards = JsonValue::Array();
+  size_t shards_ok = 0;
+  struct WindowAgg {
+    double requested = 0.0;
+    double min_covered = 0.0;
+    double max_covered = 0.0;
+    double qps_sum = 0.0;
+    size_t reporting = 0;
+  };
+  std::vector<WindowAgg> aggs;
+  for (const ShardReply& reply : replies) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shard", JsonValue::Int(static_cast<int64_t>(reply.shard)));
+    const ShardEndpoint& ep = router_->endpoint(reply.shard);
+    entry.Set("endpoint",
+              JsonValue::Str(ep.host + ":" + std::to_string(ep.port)));
+    const bool ok =
+        reply.transport_ok && reply.response.code == ResponseCode::kOk;
+    entry.Set("ok", JsonValue::Bool(ok));
+    if (!ok) {
+      entry.Set("error", JsonValue::Str(reply.transport_ok
+                                            ? reply.response.error
+                                            : reply.error));
+      shards.Append(std::move(entry));
+      continue;
+    }
+    ++shards_ok;
+    const JsonValue& stats = reply.response.result;
+    if (const JsonValue* windows = stats.Find("windows");
+        windows != nullptr && windows->is_array()) {
+      for (const JsonValue& w : windows->items()) {
+        const double requested = w.GetDouble("requested_window_sec");
+        const double covered = w.GetDouble("window_sec");
+        const double qps = w.GetDouble("qps");
+        WindowAgg* agg = nullptr;
+        for (WindowAgg& candidate : aggs) {
+          if (candidate.requested == requested) {
+            agg = &candidate;
+            break;
+          }
+        }
+        if (agg == nullptr) {
+          aggs.push_back(WindowAgg{requested, covered, covered, 0.0, 0});
+          agg = &aggs.back();
+        }
+        agg->min_covered = std::min(agg->min_covered, covered);
+        agg->max_covered = std::max(agg->max_covered, covered);
+        agg->qps_sum += qps;
+        ++agg->reporting;
+      }
+    }
+    entry.Set("stats", stats);
+    shards.Append(std::move(entry));
+  }
+  payload->Set("shards", std::move(shards));
+
+  JsonValue aggregate = JsonValue::Object();
+  aggregate.Set("num_shards",
+                JsonValue::Int(static_cast<int64_t>(replies.size())));
+  aggregate.Set("shards_ok", JsonValue::Int(static_cast<int64_t>(shards_ok)));
+  JsonValue agg_windows = JsonValue::Array();
+  for (const WindowAgg& agg : aggs) {
+    JsonValue w = JsonValue::Object();
+    w.Set("requested_window_sec", JsonValue::Number(agg.requested));
+    w.Set("min_window_sec", JsonValue::Number(agg.min_covered));
+    w.Set("max_window_sec", JsonValue::Number(agg.max_covered));
+    w.Set("shards_reporting",
+          JsonValue::Int(static_cast<int64_t>(agg.reporting)));
+    w.Set("qps_sum", JsonValue::Number(agg.qps_sum));
+    agg_windows.Append(std::move(w));
+  }
+  aggregate.Set("windows", std::move(agg_windows));
+  payload->Set("aggregate", std::move(aggregate));
+}
+
+HealthState Server::AppendShardHealth(JsonValue* payload) {
+  Request fanout;
+  fanout.id = next_rid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  fanout.method = Method::kHealth;
+  const std::vector<ShardReply> replies =
+      router_->ScatterToAll(fanout, kShardHealthTimeoutMs);
+  HealthState worst = health();
+  JsonValue shards = JsonValue::Array();
+  for (const ShardReply& reply : replies) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shard", JsonValue::Int(static_cast<int64_t>(reply.shard)));
+    const bool ok =
+        reply.transport_ok && reply.response.code == ResponseCode::kOk;
+    if (!ok) {
+      // An unreachable shard means partial answers: that is shedding-grade
+      // degradation regardless of the coordinator's own condition.
+      worst = HealthState::kShedding;
+      entry.Set("health", JsonValue::Str("unreachable"));
+      entry.Set("error", JsonValue::Str(reply.transport_ok
+                                            ? reply.response.error
+                                            : reply.error));
+      shards.Append(std::move(entry));
+      continue;
+    }
+    const std::string state = reply.response.result.GetString("health", "ok");
+    entry.Set("health", JsonValue::Str(state));
+    if (state == "shedding") {
+      worst = std::max(worst, HealthState::kShedding);
+    } else if (state == "degraded") {
+      worst = std::max(worst, HealthState::kDegraded);
+    }
+    shards.Append(std::move(entry));
+  }
+  payload->Set("shards", std::move(shards));
+  return worst;
+}
+
 Response Server::ProcessStats(const Request& request) {
   Response response;
   response.id = request.id;
-  const core::DehinStats stats = dehin_.stats();
   JsonValue payload = JsonValue::Object();
   payload.Set("target_vertices",
               JsonValue::Int(static_cast<int64_t>(target_->num_vertices())));
   payload.Set("target_edges",
               JsonValue::Int(static_cast<int64_t>(target_->num_edges())));
   payload.Set("aux_vertices",
-              JsonValue::Int(static_cast<int64_t>(aux_->num_vertices())));
-  payload.Set("aux_edges",
-              JsonValue::Int(static_cast<int64_t>(aux_->num_edges())));
+              JsonValue::Int(static_cast<int64_t>(
+                  aux_ != nullptr ? aux_->num_vertices() : 0)));
+  payload.Set("aux_edges", JsonValue::Int(static_cast<int64_t>(
+                               aux_ != nullptr ? aux_->num_edges() : 0)));
   payload.Set("queue_depth", JsonValue::Int(static_cast<int64_t>(queue_.size())));
   payload.Set("queue_capacity",
               JsonValue::Int(static_cast<int64_t>(queue_.capacity())));
@@ -621,21 +899,27 @@ Response Server::ProcessStats(const Request& request) {
               JsonValue::Int(static_cast<int64_t>(
                   executor_ != nullptr ? executor_->num_workers() : 0)));
   payload.Set("parallel_scan",
-              JsonValue::Bool(config_.parallel_scan && executor_ != nullptr &&
+              JsonValue::Bool(dehin_ != nullptr && config_.parallel_scan &&
+                              executor_ != nullptr &&
                               executor_->num_workers() > 1));
-  JsonValue dehin = JsonValue::Object();
-  dehin.Set("prefilter_rejects",
-            JsonValue::Int(static_cast<int64_t>(stats.prefilter_rejects)));
-  dehin.Set("cache_hits", JsonValue::Int(static_cast<int64_t>(stats.cache_hits)));
-  dehin.Set("full_tests", JsonValue::Int(static_cast<int64_t>(stats.full_tests)));
-  const uint64_t cache_lookups = stats.cache_hits + stats.full_tests;
-  dehin.Set("cache_hit_rate",
-            JsonValue::Number(cache_lookups > 0
-                                  ? static_cast<double>(stats.cache_hits) /
-                                        static_cast<double>(cache_lookups)
-                                  : 0.0));
-  dehin.Set("dominance_kernel", JsonValue::Str(stats.dominance_kernel));
-  payload.Set("dehin", std::move(dehin));
+  if (dehin_ != nullptr) {
+    const core::DehinStats stats = dehin_->stats();
+    JsonValue dehin = JsonValue::Object();
+    dehin.Set("prefilter_rejects",
+              JsonValue::Int(static_cast<int64_t>(stats.prefilter_rejects)));
+    dehin.Set("cache_hits",
+              JsonValue::Int(static_cast<int64_t>(stats.cache_hits)));
+    dehin.Set("full_tests",
+              JsonValue::Int(static_cast<int64_t>(stats.full_tests)));
+    const uint64_t cache_lookups = stats.cache_hits + stats.full_tests;
+    dehin.Set("cache_hit_rate",
+              JsonValue::Number(cache_lookups > 0
+                                    ? static_cast<double>(stats.cache_hits) /
+                                          static_cast<double>(cache_lookups)
+                                    : 0.0));
+    dehin.Set("dominance_kernel", JsonValue::Str(stats.dominance_kernel));
+    payload.Set("dehin", std::move(dehin));
+  }
 
   // --- live introspection: uptime, health, windowed rates/percentiles,
   // per-distance counters, slow queries, tracing state.
@@ -658,16 +942,20 @@ Response Server::ProcessStats(const Request& request) {
   for (const double w : {1.0, 10.0, 60.0}) {
     JsonValue entry = JsonValue::Object();
     entry.Set("requested_window_sec", JsonValue::Number(w));
-    const auto received = window_.CounterRate("service/requests_received", w);
+    const auto received =
+        window_.CounterRate(MetricName("service/requests_received"), w);
     entry.Set("window_sec", JsonValue::Number(received.seconds));
     entry.Set("qps", JsonValue::Number(received.rate));
     entry.Set("shed_per_sec",
-              JsonValue::Number(window_.CounterRate("service/shed", w).rate));
-    entry.Set("deadline_miss_per_sec",
               JsonValue::Number(
-                  window_.CounterRate("service/deadline_exceeded", w).rate));
+                  window_.CounterRate(MetricName("service/shed"), w).rate));
+    entry.Set(
+        "deadline_miss_per_sec",
+        JsonValue::Number(
+            window_.CounterRate(MetricName("service/deadline_exceeded"), w)
+                .rate));
     const obs::HistogramSnapshot latency =
-        window_.HistogramWindow("service/request_latency_us", w);
+        window_.HistogramWindow(MetricName("service/request_latency_us"), w);
     JsonValue lat = JsonValue::Object();
     lat.Set("count", JsonValue::Int(static_cast<int64_t>(latency.count)));
     lat.Set("p50_us", JsonValue::Number(latency.Percentile(50.0)));
@@ -712,6 +1000,13 @@ Response Server::ProcessStats(const Request& request) {
   }
   payload.Set("slow_queries", std::move(slow));
 
+  // Coordinator: per-shard stats plus the honestly-covered aggregate.
+  // Runs on the dedicated admin thread (OnFrame routed it there), so the
+  // shard fan-out below never blocks the event loop.
+  if (coordinator() && router_ != nullptr) {
+    AppendShardStats(&payload);
+  }
+
   response.result = std::move(payload);
   return response;
 }
@@ -719,19 +1014,24 @@ Response Server::ProcessStats(const Request& request) {
 Response Server::ProcessHealth(const Request& request) {
   Response response;
   response.id = request.id;
-  const HealthState state = health();
   JsonValue payload = JsonValue::Object();
+  HealthState state = health();
+  if (coordinator() && router_ != nullptr) {
+    // Worst-of tier health; also appends the per-shard breakdown.
+    state = AppendShardHealth(&payload);
+  }
   payload.Set("health", JsonValue::Str(HealthStateName(state)));
   payload.Set("queue_depth",
               JsonValue::Int(static_cast<int64_t>(queue_.size())));
   payload.Set("queue_capacity",
               JsonValue::Int(static_cast<int64_t>(queue_.capacity())));
-  const auto shed = window_.CounterRate("service/shed", config_.shed_window_sec);
+  const auto shed =
+      window_.CounterRate(MetricName("service/shed"), config_.shed_window_sec);
   payload.Set("shed_per_sec", JsonValue::Number(shed.rate));
-  const auto miss =
-      window_.CounterRate("service/deadline_exceeded", config_.miss_window_sec);
-  const auto received = window_.CounterRate("service/requests_received",
-                                            config_.miss_window_sec);
+  const auto miss = window_.CounterRate(MetricName("service/deadline_exceeded"),
+                                        config_.miss_window_sec);
+  const auto received = window_.CounterRate(
+      MetricName("service/requests_received"), config_.miss_window_sec);
   payload.Set("deadline_miss_rate",
               JsonValue::Number(
                   received.delta > 0
@@ -851,13 +1151,9 @@ Response Server::ProcessSleep(const Request& request,
   return response;
 }
 
-void Server::Respond(const std::shared_ptr<Connection>& conn,
-                     const Response& response) {
-  const std::string payload = EncodeResponse(response).Serialize();
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  if (!WriteFrame(conn->fd, payload).ok()) {
-    // The peer may have hung up without waiting; the response is dropped
-    // but the worker keeps draining.
+void Server::Respond(uint64_t conn_id, const Response& response) {
+  if (loop_ == nullptr ||
+      !loop_->Send(conn_id, EncodeResponse(response).Serialize())) {
     write_errors_->Increment();
   }
 }
@@ -870,43 +1166,38 @@ void Server::Shutdown() {
   }
   stopping_.store(true, std::memory_order_release);
 
-  // 1. Stop accepting connections: closing the listen socket kicks the
-  //    acceptor out of accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  // Cleared only after the join: the acceptor reads listen_fd_ right up to
-  // the moment accept() returns the close-induced error.
-  listen_fd_ = -1;
+  // 1. Stop accepting new connections. Established connections keep their
+  //    sockets: frames that still arrive are answered SHUTTING_DOWN by
+  //    OnFrame (stopping_ is set), and responses to in-flight requests
+  //    still go out through the loop.
+  if (loop_ != nullptr) loop_->StopAccepting();
 
-  // 2. Stop admitting requests: SHUT_RD unblocks every reader's read()
-  //    with EOF while leaving the write side open, so responses to
-  //    in-flight requests still go out.
-  {
-    std::lock_guard<std::mutex> conns_lock(conns_mu_);
-    for (auto& [fd, conn] : conns_) {
-      ::shutdown(fd, SHUT_RD);
-    }
-  }
-  for (std::thread& reader : readers_) {
-    if (reader.joinable()) reader.join();
-  }
-  readers_.clear();
-
-  // 3. Drain: the readers are joined, so the set of admitted requests —
-  //    and therefore of submitted drain tasks — is final. Each push
-  //    submitted one task and every task pops at least one item whenever
-  //    the queue is nonempty, so outstanding-tasks >= queued-items always
-  //    holds: once the count hits zero, every admitted request has been
-  //    answered. Close() just documents that no pushes can follow.
+  // 2. Drain: stopping_ refuses new admissions, so the set of admitted
+  //    requests — and therefore of submitted drain tasks — is final
+  //    modulo frames already in flight on the loop thread, each of which
+  //    observes stopping_. Each push submitted one task and every task
+  //    pops at least one item whenever the queue is nonempty, so
+  //    outstanding-tasks >= queued-items always holds: once the count
+  //    hits zero, every admitted request has been answered.
   queue_.Close();
   {
     std::unique_lock<std::mutex> drain_lock(drain_mu_);
     drain_cv_.wait(drain_lock, [this] { return drain_tasks_ == 0; });
   }
   queue_depth_gauge_->Set(0.0);
+
+  // 3. Stop the coordinator's admin thread after the serving drain (it
+  //    drains its own queue before exiting, so queued stats fan-outs are
+  //    still answered).
+  if (admin_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> admin_lock(admin_mu_);
+      admin_stop_ = true;
+    }
+    admin_cv_.notify_all();
+    admin_thread_.join();
+  }
+
   // Joining an owned pool here (rather than at destruction) keeps the
   // post-Shutdown server inert; a shared executor is left running.
   owned_executor_.reset();
@@ -921,7 +1212,13 @@ void Server::Shutdown() {
   watchdog_cv_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
 
-  // 4. Final telemetry snapshot, after all request processing quiesced.
+  // 4. Flush: every response above was enqueued into the loop; Shutdown
+  //    keeps writing until the queues empty (bounded by drain_grace_ms),
+  //    then closes every socket and joins the loop thread.
+  if (loop_ != nullptr) loop_->Shutdown();
+  router_.reset();
+
+  // 5. Final telemetry snapshot, after all request processing quiesced.
   if (!config_.metrics_json_path.empty()) {
     (void)obs::WriteMetricsJson(obs::MetricsRegistry::Global().Snapshot(),
                                 config_.metrics_json_path);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,8 +17,10 @@
 #include "hin/graph.h"
 #include "obs/metrics.h"
 #include "obs/windowed.h"
+#include "service/event_loop.h"
 #include "service/protocol.h"
 #include "service/request_queue.h"
+#include "service/shard_router.h"
 #include "service/slow_query_log.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -40,6 +43,11 @@ struct ServerConfig {
   // borrowed, must outlive the server. Request drain tasks are submitted
   // at Priority::kHigh and intra-query scan grains at kNormal, so
   // admitted requests never starve behind another query's scan work.
+  //
+  // A coordinator and its shard servers must NEVER share one executor:
+  // coordinator drain tasks block on shard network I/O, so a shared pool
+  // deadlocks the moment every worker holds a coordinator task waiting on
+  // shard replies that have no worker left to compute them.
   exec::Executor* executor = nullptr;
   // When the executor has more than one worker, serve attack_one with the
   // intra-query parallel candidate scan (Dehin::DeanonymizeParallel);
@@ -63,6 +71,37 @@ struct ServerConfig {
   std::string metrics_json_path;
   // Attack configuration (match options, prefilter/cache/kernels).
   core::DehinConfig dehin;
+
+  // --- sharded tier (see DESIGN.md §12) -------------------------------------
+  // Nonempty switches this server into *coordinator* mode: attack_one is
+  // scattered to every endpoint (position i = shard i) and the verdicts
+  // merged into an answer bit-identical to the unsharded scan. The
+  // coordinator runs no local candidate scan, so `auxiliary` may be null;
+  // risk and sleep stay local (risk needs only the target graph).
+  std::vector<ShardEndpoint> shard_endpoints;
+  // Halo depth the shard slices were extracted with. A coordinator rejects
+  // attack_one whose resolved max_distance exceeds it (INVALID_REQUEST):
+  // beyond the halo, shard verdicts would silently diverge from the
+  // unsharded scan. < 0 = don't enforce (unsharded mode, or full-graph
+  // shards in tests).
+  int shard_halo_depth = -1;
+  // Shard-worker side: sub-id -> parent-id translation applied to accepted
+  // candidates before they are encoded (ShardSlice::to_parent). The map is
+  // monotone over the owned prefix, so per-shard candidate lists stay
+  // sorted after translation. Empty = serve ids untranslated.
+  std::vector<hin::VertexId> aux_id_map;
+  // >= 0 labels every service/* instrument of this server with a
+  // `|shard=N` suffix (rendered as a real `shard="N"` Prometheus label),
+  // so an M-shard tier in one process exports M labeled series instead of
+  // fighting over one set of counters. -1 = unlabeled (the coordinator and
+  // standalone servers).
+  int metric_shard = -1;
+  // Event-loop front-end: disconnect a connection whose queued unsent
+  // response bytes exceed this (a client that pipelines requests but never
+  // reads).
+  size_t max_pending_write_bytes = 64u << 20;
+  // How long Shutdown() keeps flushing queued responses to slow readers.
+  int drain_grace_ms = 5000;
 
   // --- live introspection ---------------------------------------------------
   // Watchdog tick: every tick the global registry is sampled into the
@@ -106,20 +145,34 @@ const char* HealthStateName(HealthState state);
 // (at normal priority), so a lone expensive query can saturate the pool
 // without starving newly admitted requests.
 //
+// The front-end is a single-threaded epoll event loop (EventLoop): one
+// thread owns every socket, assembles frames from readiness-driven reads,
+// answers admin verbs inline (they never block on compute, so `stats`
+// responds while the pool is saturated), and admits serving verbs into
+// the bounded queue — shedding BUSY on overflow exactly as before.
+//
 // Production semantics (see DESIGN.md §7):
 //   * admission control — a full queue sheds with BUSY immediately;
 //   * per-request deadlines — enforced both while queued and inside the
 //     Dehin recursion via util::CancelToken (DEADLINE_EXCEEDED);
 //   * micro-batching — same-method runs pop together for cache locality;
 //   * graceful drain — Shutdown() stops accepting, finishes every
-//     admitted request, joins all threads, and flushes a final metrics
-//     snapshot.
+//     admitted request, flushes every queued response, joins all threads,
+//     and writes a final metrics snapshot.
+//
+// Coordinator mode (config.shard_endpoints nonempty, DESIGN.md §12):
+// attack_one fans out to the shard tier over the same wire protocol and
+// the per-shard verdicts merge into the unsharded answer; stats/health
+// aggregate the tier with honest per-shard window coverage. Coordinator
+// stats/health fan-outs block on shard I/O, so they run on a dedicated
+// admin thread instead of the event loop.
 //
 // Telemetry: service/* counters (received, ok, shed, deadline_exceeded,
 // invalid, connections, batches, write_errors), the service/queue_depth
 // gauge, service/request_latency_us and service/batch_size histograms,
-// and HINPRIV_SPAN coverage of the accept/read/worker loops, so a serving
-// run produces the same Chrome-trace flame timelines as the batch path.
+// and HINPRIV_SPAN coverage of the loop/worker paths, so a serving run
+// produces the same Chrome-trace flame timelines as the batch path. With
+// config.metric_shard >= 0 every instrument carries a `|shard=N` label.
 class Server {
  public:
   Server(const hin::Graph* target, const hin::Graph* auxiliary,
@@ -129,8 +182,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens, spawns the acceptor and worker threads, and warms the
-  // per-target Dehin state so the first request does not pay the build.
+  // Binds, listens, spawns the event loop and worker threads, and warms
+  // the per-target Dehin state so the first request does not pay the
+  // build.
   util::Status Start();
 
   // The actually-bound port (differs from config.port when that was 0).
@@ -165,15 +219,8 @@ class Server {
   bool finished() const;
 
  private:
-  struct Connection {
-    explicit Connection(int fd_in) : fd(fd_in) {}
-    ~Connection();
-    const int fd;
-    std::mutex write_mu;
-  };
-
   struct PendingRequest {
-    std::shared_ptr<Connection> conn;
+    uint64_t conn_id = 0;
     Request request;
     std::chrono::steady_clock::time_point admitted;
     // Monotonically increasing server-side request id, assigned at
@@ -181,21 +228,28 @@ class Server {
     uint64_t rid = 0;
   };
 
-  void AcceptLoop();
-  void ReadLoop(std::shared_ptr<Connection> conn);
+  // EventLoop frame handler: parse, answer admin inline (or hand the
+  // coordinator fan-out verbs to the admin thread), admit into the queue
+  // or shed. Runs on the loop thread — never blocks on compute.
+  void OnFrame(uint64_t conn_id, std::string frame);
   // One executor task per admitted request: drains up to max_batch
   // compatible head items non-blockingly (another task may already have
   // batched this task's item away, in which case it pops nothing).
   void DrainOne();
+  // Coordinator-only: serves the admin verbs that block on shard fan-out
+  // (stats, health) off the event loop.
+  void AdminLoop();
 
   Response Process(const PendingRequest& pending);
-  Response ProcessAttackOne(const Request& request,
+  Response ProcessAttackOne(const PendingRequest& pending,
                             const util::CancelToken& token);
+  Response ProcessAttackOneSharded(const PendingRequest& pending,
+                                   const util::CancelToken& token);
   Response ProcessRisk(const Request& request);
   Response ProcessStats(const Request& request);
   Response ProcessSleep(const Request& request,
                         const util::CancelToken& token);
-  // Admin verbs, dispatched inline on the reader thread (never queued) so
+  // Admin verbs, dispatched inline on the loop thread (never queued) so
   // they answer while the serving path is saturated.
   Response ProcessAdmin(const Request& request);
   Response ProcessHealth(const Request& request);
@@ -203,12 +257,24 @@ class Server {
   Response ProcessTraceStart(const Request& request);
   Response ProcessTraceStop(const Request& request);
   Response ProcessTraceDump(const Request& request);
+  // Coordinator fan-out aggregation for stats/health (admin thread).
+  void AppendShardStats(JsonValue* payload);
+  HealthState AppendShardHealth(JsonValue* payload);
 
   void WatchdogLoop();
   void EvaluateHealth();
 
-  void Respond(const std::shared_ptr<Connection>& conn,
-               const Response& response);
+  void Respond(uint64_t conn_id, const Response& response);
+
+  // True when this server coordinates a shard tier instead of scanning
+  // locally.
+  bool coordinator() const { return !config_.shard_endpoints.empty(); }
+
+  // The registry instrument name for `base` under this server's shard
+  // label (config_.metric_shard). Every instrument resolution AND every
+  // windowed-aggregator query must go through this, or a labeled shard
+  // server would sample one name and query another.
+  std::string MetricName(const char* base) const;
 
   // Per-distance risk results over the target graph, computed lazily and
   // cached (signature pass + per-tuple risk); per-entity queries then cost
@@ -225,9 +291,9 @@ class Server {
   const hin::Graph* target_;
   const hin::Graph* aux_;
   ServerConfig config_;
-  core::Dehin dehin_;
+  // Null in coordinator mode — the coordinator owns no candidate scan.
+  std::unique_ptr<core::Dehin> dehin_;
 
-  int listen_fd_ = -1;
   uint16_t port_ = 0;
 
   std::atomic<bool> started_{false};
@@ -236,7 +302,14 @@ class Server {
   std::mutex shutdown_mu_;  // serializes Shutdown callers
 
   BoundedQueue<PendingRequest> queue_;
-  std::thread acceptor_;
+  std::unique_ptr<EventLoop> loop_;
+  // Coordinator mode only: scatter-gather fabric + dedicated admin thread.
+  std::unique_ptr<ShardRouter> router_;
+  std::thread admin_thread_;
+  std::mutex admin_mu_;
+  std::condition_variable admin_cv_;
+  std::deque<PendingRequest> admin_queue_;
+  bool admin_stop_ = false;
 
   // Execution pool: config_.executor when the caller shares one, else an
   // owned pool sized from config_.num_workers. Outstanding drain tasks
@@ -249,10 +322,6 @@ class Server {
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   size_t drain_tasks_ = 0;
-
-  std::mutex conns_mu_;
-  std::map<int, std::shared_ptr<Connection>> conns_;  // by fd
-  std::vector<std::thread> readers_;                  // joined at Shutdown
 
   std::mutex risk_mu_;
   std::map<int, RiskEntry> risk_cache_;
@@ -275,7 +344,8 @@ class Server {
   static constexpr int kMaxDistanceBucket = 8;
   static constexpr size_t kDistanceSlots = kMaxDistanceBucket + 2;
 
-  // Registry instruments, resolved once at construction.
+  // Registry instruments, resolved once at construction (under the
+  // metric_shard label when configured).
   obs::Counter* requests_received_;
   obs::Counter* responses_ok_;
   obs::Counter* shed_;

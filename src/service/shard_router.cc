@@ -1,0 +1,170 @@
+#include "service/shard_router.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "obs/trace.h"
+#include "service/json.h"
+
+namespace hinpriv::service {
+
+namespace {
+
+void SetRecvTimeout(int fd, double timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      std::fmod(timeout_ms, 1000.0) * 1000.0);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;  // floor: 1ms
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void ClearRecvTimeout(int fd) {
+  timeval tv{};  // zero = block forever (the default)
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<ShardEndpoint> endpoints)
+    : endpoints_(std::move(endpoints)), idle_(endpoints_.size()) {}
+
+ShardRouter::~ShardRouter() { CloseIdle(); }
+
+void ShardRouter::CloseIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::vector<int>& pool : idle_) {
+    for (int fd : pool) ::close(fd);
+    pool.clear();
+  }
+}
+
+int ShardRouter::Checkout(size_t shard, std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_[shard].empty()) {
+      const int fd = idle_[shard].back();
+      idle_[shard].pop_back();
+      return fd;
+    }
+  }
+  const ShardEndpoint& ep = endpoints_[shard];
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *error = "unparseable IPv4 host '" + ep.host + "'";
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    *error = "connect " + ep.host + ":" + std::to_string(ep.port) + ": " +
+             std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  // Scatter frames are small; coalescing them behind Nagle only adds a
+  // round-trip of latency to every fan-out.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void ShardRouter::Return(size_t shard, int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_[shard].push_back(fd);
+}
+
+std::vector<ShardReply> ShardRouter::ScatterToAll(const Request& request,
+                                                  double recv_timeout_ms) {
+  HINPRIV_SPAN("service/scatter");
+  const size_t n = endpoints_.size();
+  std::vector<ShardReply> replies(n);
+  std::vector<int> fds(n, -1);
+  const std::string payload = EncodeRequest(request).Serialize();
+
+  // Scatter: write the frame to every reachable shard before reading any
+  // reply, so all shards compute concurrently.
+  for (size_t s = 0; s < n; ++s) {
+    replies[s].shard = s;
+    const int fd = Checkout(s, &replies[s].error);
+    if (fd < 0) continue;
+    const util::Status wrote = WriteFrame(fd, payload);
+    if (!wrote.ok()) {
+      // A pooled fd may be stale (shard restarted under us); one fresh
+      // connection is a cheap second chance before reporting the shard
+      // down.
+      ::close(fd);
+      std::string retry_error;
+      const int fresh = Checkout(s, &retry_error);
+      if (fresh < 0) {
+        replies[s].error = retry_error;
+        continue;
+      }
+      const util::Status rewrote = WriteFrame(fresh, payload);
+      if (!rewrote.ok()) {
+        ::close(fresh);
+        replies[s].error = rewrote.ToString();
+        continue;
+      }
+      fds[s] = fresh;
+      continue;
+    }
+    fds[s] = fd;
+  }
+
+  // Gather: one reply per shard, in shard order. Later shards keep
+  // computing while earlier ones are read, so total wall time is
+  // max(shard latencies) + merge, not the sum.
+  for (size_t s = 0; s < n; ++s) {
+    const int fd = fds[s];
+    if (fd < 0) continue;
+    SetRecvTimeout(fd, recv_timeout_ms);
+    auto frame = ReadFrame(fd);
+    if (!frame.ok() || !frame.value().has_value()) {
+      replies[s].error = frame.ok() ? "shard closed connection mid-call"
+                                    : frame.status().ToString();
+      ::close(fd);
+      continue;
+    }
+    auto doc = JsonValue::Parse(*frame.value());
+    if (!doc.ok()) {
+      replies[s].error = doc.status().ToString();
+      ::close(fd);
+      continue;
+    }
+    auto response = DecodeResponse(doc.value());
+    if (!response.ok() || response.value().id != request.id) {
+      // An id mismatch means the stream is desynchronized (a previous
+      // timed-out reply surfacing late); the connection is poisoned.
+      replies[s].error = response.ok() ? "shard reply id mismatch"
+                                       : response.status().ToString();
+      ::close(fd);
+      continue;
+    }
+    replies[s].transport_ok = true;
+    replies[s].response = std::move(response).value();
+    ClearRecvTimeout(fd);
+    Return(s, fd);
+  }
+  return replies;
+}
+
+}  // namespace hinpriv::service

@@ -1,0 +1,78 @@
+#ifndef HINPRIV_SERVICE_SHARD_ROUTER_H_
+#define HINPRIV_SERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace hinpriv::service {
+
+// One shard worker's address. The coordinator never learns the shard plan
+// itself — partition membership is baked into each worker's slice — so the
+// endpoint list *is* the tier topology: position i handles shard i.
+struct ShardEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// One shard's answer to a scattered request. `transport_ok` false means
+// the shard could not be reached or the exchange failed mid-frame (its
+// `error` says why); the response code (BUSY, DEADLINE_EXCEEDED, ...) is a
+// *successful* transport whose verdict the merge policy handles.
+struct ShardReply {
+  size_t shard = 0;
+  bool transport_ok = false;
+  Response response;
+  std::string error;
+};
+
+// Scatter-gather fabric between the coordinator and its shard workers:
+// pooled blocking connections over the existing length-prefixed protocol.
+// Each ScatterToAll() checks one connection per shard out of the idle
+// pool (connecting fresh when the pool is dry), writes every request
+// frame first, then reads the replies in shard order — the shards compute
+// concurrently during the sequential gather. A connection that errors is
+// closed, not returned, so a restarted shard heals on the next call.
+//
+// Thread-safe: concurrent callers each hold their own checked-out
+// connections; only the idle pool is locked.
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::vector<ShardEndpoint> endpoints);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  size_t num_shards() const { return endpoints_.size(); }
+  const ShardEndpoint& endpoint(size_t shard) const {
+    return endpoints_[shard];
+  }
+
+  // Fans `request` (same id, same body) to every shard and gathers one
+  // reply per shard, indexed by shard. recv_timeout_ms > 0 bounds each
+  // read via SO_RCVTIMEO — the coordinator passes its remaining deadline
+  // plus a grace margin so a wedged shard cannot hold a worker hostage.
+  std::vector<ShardReply> ScatterToAll(const Request& request,
+                                       double recv_timeout_ms);
+
+  // Drops all pooled connections (tests; shard-restart hygiene).
+  void CloseIdle();
+
+ private:
+  // Pooled fd or fresh connect; -1 with `error` set on failure.
+  int Checkout(size_t shard, std::string* error);
+  void Return(size_t shard, int fd);
+
+  std::vector<ShardEndpoint> endpoints_;
+  std::mutex mu_;
+  std::vector<std::vector<int>> idle_;
+};
+
+}  // namespace hinpriv::service
+
+#endif  // HINPRIV_SERVICE_SHARD_ROUTER_H_

@@ -1,0 +1,97 @@
+#ifndef HINPRIV_SHARD_SHARD_PLAN_H_
+#define HINPRIV_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hin/graph.h"
+#include "hin/snapshot.h"
+#include "util/status.h"
+
+namespace hinpriv::shard {
+
+// Deterministic hash partition of an auxiliary vertex space into N shards.
+// Every vertex is *owned* by exactly one shard — the one that scores it as
+// a candidate — so the union of per-shard candidate verdicts is a disjoint
+// cover of the unsharded scan's. Assignment is a pure function of
+// (vertex id, num_shards, hash_seed): a coordinator and its shard workers
+// never exchange the plan, they just agree on the three numbers.
+struct ShardPlanOptions {
+  size_t num_shards = 1;
+  // Mixed into the per-vertex hash; changing it reshuffles the partition
+  // (useful for rebalancing experiments) without touching any other knob.
+  uint64_t hash_seed = 0x48494e505256ull;  // "HINPRV"
+};
+
+class ShardPlan {
+ public:
+  ShardPlan(size_t num_vertices, ShardPlanOptions options);
+
+  size_t num_shards() const { return options_.num_shards; }
+  size_t num_vertices() const { return num_vertices_; }
+  uint64_t hash_seed() const { return options_.hash_seed; }
+
+  // The owning shard of `v` (SplitMix64 of the seeded id, mod N — uniform
+  // for any id distribution, including the dense ids synthetic graphs use).
+  size_t ShardOf(hin::VertexId v) const;
+
+  // All vertices owned by `shard`, ascending. Ascending order matters: the
+  // slice extraction below seeds the subgraph with this list, so owned
+  // sub-ids [0, num_owned) map monotonically to parent ids and a shard's
+  // sorted candidate list stays sorted after translation.
+  std::vector<hin::VertexId> OwnedVertices(size_t shard) const;
+
+  // Owned-vertex count per shard (observability / balance checks).
+  std::vector<size_t> OwnedCounts() const;
+
+ private:
+  size_t num_vertices_;
+  ShardPlanOptions options_;
+};
+
+// One shard's extracted slice of the auxiliary graph: the owned vertices
+// (sub-ids [0, num_owned)) plus a halo of every vertex within `halo_depth`
+// hops, as one induced subgraph. With halo_depth >= the attack's max
+// neighbor distance, per-owned-vertex LinkMatch verdicts on the slice are
+// bit-identical to the full graph (see hin::HaloInducedSubgraph); the
+// shard server therefore runs an unmodified Dehin over `graph` with
+// DehinConfig::candidate_limit = num_owned and translates accepted
+// candidates through `to_parent`.
+struct ShardSlice {
+  hin::Graph graph;
+  // to_parent[sub-id] = auxiliary-graph vertex id.
+  std::vector<hin::VertexId> to_parent;
+  size_t num_owned = 0;
+  int halo_depth = 0;
+};
+
+util::Result<ShardSlice> ExtractShardSlice(const hin::Graph& aux,
+                                           const ShardPlan& plan, size_t shard,
+                                           int halo_depth);
+
+// --- persistence -----------------------------------------------------------
+// A slice persists as two files so a shard worker maps only its slice of
+// the auxiliary network:
+//   <prefix>.<shard>of<N>.d<halo>.hinprivs   zero-copy HINPRIVS snapshot
+//   <prefix>.<shard>of<N>.d<halo>.shardmap   sidecar: num_owned + to_parent
+// Loading mmaps the snapshot through the existing arena-backed path (page
+// cache shared between workers mapping the same file) and reads the small
+// sidecar eagerly.
+
+std::string ShardSlicePath(const std::string& prefix, size_t shard,
+                           size_t num_shards, int halo_depth);
+std::string ShardMapPath(const std::string& prefix, size_t shard,
+                         size_t num_shards, int halo_depth);
+
+util::Status SaveShardSlice(const ShardSlice& slice, const std::string& prefix,
+                            size_t shard, size_t num_shards);
+
+util::Result<ShardSlice> LoadShardSlice(const std::string& prefix,
+                                        size_t shard, size_t num_shards,
+                                        int halo_depth,
+                                        const hin::SnapshotOptions& options = {});
+
+}  // namespace hinpriv::shard
+
+#endif  // HINPRIV_SHARD_SHARD_PLAN_H_
