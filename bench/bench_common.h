@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -181,6 +182,12 @@ inline std::vector<std::pair<std::string, std::string>> CommonBenchContext(
   context.emplace_back("aux_users", flags.GetString("aux_users"));
   context.emplace_back("target_size", flags.GetString("target_size"));
   context.emplace_back("seed", flags.GetString("seed"));
+  // Caveat for cross-machine comparison: wall times in these JSONs depend
+  // on the core count of the machine that produced them (parallel scans,
+  // background page reclaim), so a perf trajectory is only meaningful
+  // between runs whose hardware_concurrency agrees.
+  context.emplace_back("hardware_concurrency",
+                       std::to_string(std::thread::hardware_concurrency()));
   for (auto& pair : extra) context.push_back(std::move(pair));
   return context;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hin/graph_delta.h"
 #include "util/hashing.h"
 
 namespace hinpriv::core {
@@ -43,6 +44,110 @@ uint64_t CandidateIndex::ExactKey(const hin::Graph& graph,
         h, static_cast<uint64_t>(static_cast<int64_t>(graph.attribute(v, a))));
   }
   return util::Mix64(h);
+}
+
+uint64_t CandidateIndex::ExactKeyBeforeBumps(
+    hin::VertexId v,
+    const std::vector<std::pair<hin::AttributeId, hin::AttrValue>>& bumps)
+    const {
+  uint64_t h = 0x853c49e6748fea9bULL;
+  for (hin::AttributeId a : options_.exact_attributes) {
+    hin::AttrValue value = aux_.attribute(v, a);
+    for (const auto& [attr, amount] : bumps) {
+      if (attr == a) value -= amount;
+    }
+    h = util::HashCombine(h,
+                          static_cast<uint64_t>(static_cast<int64_t>(value)));
+  }
+  return util::Mix64(h);
+}
+
+void CandidateIndex::ApplyDelta(const hin::GraphDelta& delta) {
+  // Bucket order is (primary value descending, id ascending) — a strict
+  // total order, so every vertex has exactly one correct position and
+  // incremental insertion reproduces the rebuilt order bit for bit. With
+  // no primary the order is id-ascending (construction order), which the
+  // same comparator yields.
+  auto less = [&](hin::VertexId a, hin::VertexId b) {
+    if (has_primary_) {
+      const hin::AttrValue av = aux_.attribute(a, primary_);
+      const hin::AttrValue bv = aux_.attribute(b, primary_);
+      if (av != bv) return av > bv;
+    }
+    return a < b;
+  };
+
+  // Sum bumps per vertex, then classify: bumps to attributes the index
+  // does not key are no-ops; a primary bump re-positions the vertex inside
+  // its bucket; an exact-key bump moves it between buckets.
+  std::unordered_map<hin::VertexId,
+                     std::vector<std::pair<hin::AttributeId, hin::AttrValue>>>
+      per_vertex;
+  for (const hin::GraphDelta::AttrBump& b : delta.attr_bumps) {
+    auto& bumps = per_vertex[b.v];
+    auto it = std::find_if(bumps.begin(), bumps.end(),
+                           [&](const auto& p) { return p.first == b.attr; });
+    if (it != bumps.end()) {
+      it->second += b.delta;
+    } else {
+      bumps.emplace_back(b.attr, b.delta);
+    }
+  }
+
+  std::unordered_map<uint64_t, std::vector<hin::VertexId>> removals;
+  std::vector<std::pair<uint64_t, hin::VertexId>> insertions;
+  insertions.reserve(per_vertex.size() + delta.new_vertices.size());
+  for (const auto& [v, bumps] : per_vertex) {
+    bool key_changed = false;
+    bool order_changed = false;
+    for (const auto& [attr, amount] : bumps) {
+      if (std::find(options_.exact_attributes.begin(),
+                    options_.exact_attributes.end(),
+                    attr) != options_.exact_attributes.end()) {
+        key_changed = true;
+      }
+      if (has_primary_ && attr == primary_) order_changed = true;
+    }
+    if (!key_changed && !order_changed) continue;
+    const uint64_t new_key = ExactKey(aux_, v);
+    const uint64_t old_key =
+        key_changed ? ExactKeyBeforeBumps(v, bumps) : new_key;
+    removals[old_key].push_back(v);
+    insertions.emplace_back(new_key, v);
+  }
+
+  // One removal pass per touched bucket. Surviving entries keep their
+  // relative order — their attribute values are unchanged, so that order
+  // is exactly the rebuilt order.
+  for (auto& [key, victims] : removals) {
+    auto it = buckets_.find(key);
+    if (it == buckets_.end()) continue;
+    auto& bucket = it->second;
+    std::sort(victims.begin(), victims.end());
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [&](hin::VertexId v) {
+                                  return std::binary_search(victims.begin(),
+                                                            victims.end(), v);
+                                }),
+                 bucket.end());
+    if (bucket.empty()) buckets_.erase(it);
+  }
+
+  // New vertices (ids follow the base contiguously) join their buckets at
+  // the sorted position, exactly like the re-inserted movers.
+  for (size_t i = 0; i < delta.new_vertices.size(); ++i) {
+    const hin::VertexId v =
+        static_cast<hin::VertexId>(delta.base_num_vertices + i);
+    insertions.emplace_back(ExactKey(aux_, v), v);
+  }
+  for (const auto& [key, v] : insertions) {
+    auto& bucket = buckets_[key];
+    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), v, less), v);
+  }
+
+  obs::MetricsRegistry::Global()
+      .GetGauge("dehin/candidate_index/buckets")
+      ->Set(static_cast<double>(buckets_.size()));
 }
 
 }  // namespace hinpriv::core

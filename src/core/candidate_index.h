@@ -3,11 +3,16 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/matchers.h"
 #include "hin/graph.h"
 #include "obs/metrics.h"
+
+namespace hinpriv::hin {
+struct GraphDelta;
+}  // namespace hinpriv::hin
 
 namespace hinpriv::core {
 
@@ -54,10 +59,35 @@ class CandidateIndex {
     scan_length_->Record(scanned);
   }
 
+  // Incrementally maintains the index after hin::GraphBuilder::ApplyDelta
+  // has mutated the indexed graph (call order matters: the graph must
+  // already hold the post-delta values). New vertices are inserted at their
+  // sorted bucket position; existing vertices move only when a bumped
+  // attribute participates in a key — a primary-growable bump re-positions
+  // within its bucket, an exact-key bump (possible under non-default
+  // options) moves it between buckets, and bumps to unkeyed attributes are
+  // no-ops. Cost is O(|delta| log B) bucket work instead of the O(V log V)
+  // full rebuild; the result is structurally identical to a rebuild
+  // (asserted by OrderIdenticalTo in the differential tests).
+  void ApplyDelta(const hin::GraphDelta& delta);
+
+  // Exact structural equality with another index: same bucket keys and the
+  // same vertex order inside every bucket. The differential guard for the
+  // incremental path — the bucket sort's strict total order (primary value
+  // descending, id ascending) makes rebuilt order unique, so identity here
+  // implies identical candidate enumeration.
+  bool OrderIdenticalTo(const CandidateIndex& other) const {
+    return buckets_ == other.buckets_;
+  }
+
   size_t num_buckets() const { return buckets_.size(); }
 
  private:
   uint64_t ExactKey(const hin::Graph& graph, hin::VertexId v) const;
+  uint64_t ExactKeyBeforeBumps(
+      hin::VertexId v,
+      const std::vector<std::pair<hin::AttributeId, hin::AttrValue>>& bumps)
+      const;
 
   const hin::Graph& aux_;
   MatchOptions options_;

@@ -8,6 +8,7 @@
 
 #include "exec/executor.h"
 #include "hin/graph_builder.h"
+#include "hin/graph_delta.h"
 #include "matching/hopcroft_karp.h"
 #include "obs/trace.h"
 
@@ -87,6 +88,115 @@ Dehin::Dehin(const hin::Graph* auxiliary, DehinConfig config)
 
 const char* Dehin::dominance_kernel_name() const {
   return prefilter_enabled() ? kernel_.name : "off";
+}
+
+std::vector<std::vector<hin::VertexId>> Dehin::DirtyClosure(
+    const hin::GraphDelta& delta, size_t radius) const {
+  const size_t n = aux_->num_vertices();
+  // A cached (·, va, d) entry depends on va's neighborhood out to d hops
+  // (neighbor attributes and edge strengths), so a change at distance k
+  // from va dirties its depth-d entries for every d >= k. Distance-0 seeds
+  // are the delta's touched vertices themselves.
+  std::vector<uint8_t> dist(n, 0xff);
+  std::vector<hin::VertexId> frontier;
+  auto touch = [&](hin::VertexId v) {
+    if (dist[v] == 0xff) {
+      dist[v] = 0;
+      frontier.push_back(v);
+    }
+  };
+  for (size_t v = delta.base_num_vertices; v < n; ++v) {
+    touch(static_cast<hin::VertexId>(v));
+  }
+  for (const hin::GraphDelta::EdgeAdd& e : delta.edge_adds) {
+    touch(e.src);
+    touch(e.dst);
+  }
+  for (const hin::GraphDelta::AttrBump& b : delta.attr_bumps) touch(b.v);
+
+  radius = std::min<size_t>(radius, 0xfe);
+  std::vector<std::vector<hin::VertexId>> by_depth(radius);
+  std::vector<hin::VertexId> reached = frontier;
+  for (size_t d = 1; d <= radius; ++d) {
+    std::vector<hin::VertexId> next;
+    for (hin::VertexId v : frontier) {
+      for (hin::LinkTypeId lt : config_.match.link_types) {
+        for (const hin::Edge& e : aux_->OutEdges(lt, v)) {
+          if (dist[e.neighbor] == 0xff) {
+            dist[e.neighbor] = static_cast<uint8_t>(d);
+            next.push_back(e.neighbor);
+          }
+        }
+        for (const hin::Edge& e : aux_->InEdges(lt, v)) {
+          if (dist[e.neighbor] == 0xff) {
+            dist[e.neighbor] = static_cast<uint8_t>(d);
+            next.push_back(e.neighbor);
+          }
+        }
+      }
+    }
+    reached.insert(reached.end(), next.begin(), next.end());
+    by_depth[d - 1] = reached;  // everything within distance d
+    frontier = std::move(next);
+  }
+  return by_depth;
+}
+
+util::Status Dehin::ApplyAuxDelta(const hin::GraphDelta& delta) {
+  HINPRIV_SPAN("dehin/apply_delta");
+  if (aux_->num_vertices() !=
+      delta.base_num_vertices + delta.new_vertices.size()) {
+    return util::Status::FailedPrecondition(
+        "ApplyAuxDelta must run after hin::GraphBuilder::ApplyDelta has "
+        "mutated the auxiliary graph");
+  }
+  if (index_) {
+    HINPRIV_SPAN("dehin/apply_delta/index");
+    index_->ApplyDelta(delta);
+  }
+  if (aux_stats_) {
+    HINPRIV_SPAN("dehin/apply_delta/stats");
+    aux_stats_->ApplyDelta(*aux_, delta);
+  }
+
+  // Epoch-invalidate every cached target state's shared match cache for
+  // the delta's d-hop closure; per-call memos (shared cache ablated) need
+  // nothing — they never outlive a query.
+  uint64_t dirty_vertices = 0;
+  {
+    HINPRIV_SPAN("dehin/apply_delta/caches");
+    std::vector<std::shared_ptr<const TargetState>> states;
+    {
+      std::lock_guard<std::mutex> lock(target_mu_);
+      states.reserve(target_states_.size());
+      for (const auto& [graph, state] : target_states_) {
+        states.push_back(state);
+      }
+    }
+    size_t radius = 0;
+    for (const auto& state : states) {
+      if (state->cache) {
+        radius = std::max(radius, state->cache->MaxPopulatedDepth());
+      }
+    }
+    if (radius > 0) {
+      const std::vector<std::vector<hin::VertexId>> dirty =
+          DirtyClosure(delta, radius);
+      for (const auto& state : states) {
+        if (state->cache) state->cache->Invalidate(dirty);
+      }
+      if (!dirty.empty()) dirty_vertices = dirty.back().size();
+    }
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("dehin/delta_batches")->Increment();
+  registry.GetCounter("dehin/delta_new_vertices")
+      ->Add(delta.new_vertices.size());
+  registry.GetCounter("dehin/delta_new_edges")->Add(delta.edge_adds.size());
+  registry.GetCounter("dehin/delta_attr_bumps")->Add(delta.attr_bumps.size());
+  registry.GetCounter("dehin/delta_dirty_vertices")->Add(dirty_vertices);
+  return util::Status::OK();
 }
 
 bool Dehin::EntityMatch(const hin::Graph& target, hin::VertexId vt,

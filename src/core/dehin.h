@@ -232,6 +232,20 @@ class Dehin {
   const DehinConfig& config() const { return config_; }
   const hin::Graph& auxiliary() const { return *aux_; }
 
+  // Incrementally absorbs one growth batch into the warm state, after the
+  // auxiliary graph has been mutated in place by
+  // hin::GraphBuilder::ApplyDelta (call order matters): the candidate
+  // index re-buckets O(|delta|) vertices, the auxiliary prefilter stats
+  // recompute only the delta's 1-hop closure, and every cached target
+  // state's shared match cache is invalidated epoch-wise for the delta's
+  // d-hop closure (d = its deepest memoized depth) instead of being
+  // flushed — untouched entries keep hitting. Target graphs are unchanged
+  // by auxiliary growth, so per-target stats and saturation limits stay
+  // valid. The caller must guarantee exclusive access (no concurrent
+  // Deanonymize) for the duration of the call; the attack service holds
+  // its warm-state lock exclusively here.
+  util::Status ApplyAuxDelta(const hin::GraphDelta& delta);
+
   // Snapshot of the acceleration counters accumulated so far.
   DehinStats stats() const;
   void ResetStats() const;
@@ -304,6 +318,13 @@ class Dehin {
   // Layer-1 necessary-condition test; false proves LinkMatch would reject.
   bool PrefilterPass(hin::VertexId vt, hin::VertexId va,
                      const TargetState& state) const;
+
+  // Cumulative closure lists for cache invalidation: element d-1 holds
+  // every auxiliary vertex within distance d of the delta's touched set
+  // (new vertices, edge endpoints, attr-bumped vertices), BFS'd
+  // undirected over the configured link types.
+  std::vector<std::vector<hin::VertexId>> DirtyClosure(
+      const hin::GraphDelta& delta, size_t radius) const;
 
   bool EntityMatch(const hin::Graph& target, hin::VertexId vt,
                    hin::VertexId va) const;

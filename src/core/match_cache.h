@@ -1,6 +1,7 @@
 #ifndef HINPRIV_CORE_MATCH_CACHE_H_
 #define HINPRIV_CORE_MATCH_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -30,6 +31,17 @@ namespace hinpriv::core {
 // by its own mutex, so concurrent Deanonymize calls rarely contend. A
 // single-shard instance doubles as the per-call local memo when the shared
 // cache is ablated.
+//
+// Growth deltas invalidate epoch-wise instead of flushing: every entry
+// carries the epoch it was inserted in, and Invalidate() bumps the epoch
+// while recording, per depth, which auxiliary vertices went stale. A
+// lookup whose entry epoch is at or below the vertex's stale mark (or the
+// global flush floor) misses; untouched entries keep hitting across the
+// batch. Invalidate()/InvalidateAll() require external exclusion against
+// concurrent Lookup/Insert (the service's apply_delta holds its warm-state
+// lock exclusively); stale entries are discarded lazily by overwriting
+// inserts.
+//
 // Per-shard probe accounting (see MatchCache::ShardStats). There are no
 // evictions to count: the cache is unbounded by design and dropped
 // wholesale with its owning Dehin target state.
@@ -37,11 +49,15 @@ struct MatchCacheShardStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t inserts = 0;
+  // Misses that found an entry whose epoch was invalidated — the measure
+  // of how much a growth delta actually cost this shard.
+  uint64_t stale = 0;
 
   MatchCacheShardStats& operator+=(const MatchCacheShardStats& o) {
     hits += o.hits;
     misses += o.misses;
     inserts += o.inserts;
+    stale += o.stale;
     return *this;
   }
 };
@@ -67,7 +83,11 @@ class MatchCache {
       if (d < shard.by_depth.size()) {
         const auto& map = shard.by_depth[d];
         if (auto it = map.find(pair_key); it != map.end()) {
-          result = it->second;
+          if (EntryValid(d, pair_key, it->second.epoch)) {
+            result = it->second.value;
+          } else {
+            ++shard.stats.stale;
+          }
         }
       }
       // Per-shard tallies ride the lock already held, so they cost nothing
@@ -86,19 +106,40 @@ class MatchCache {
   }
 
   void Insert(int depth, uint64_t pair_key, bool value) {
+    const uint32_t epoch = epoch_.load(std::memory_order_relaxed);
     Shard& shard = shards_[ShardIndex(pair_key)];
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       const size_t d = static_cast<size_t>(depth) - 1;
       if (d >= shard.by_depth.size()) shard.by_depth.resize(d + 1);
-      shard.by_depth[d].emplace(pair_key, value);
+      // insert_or_assign so a stale entry from a previous epoch is
+      // replaced in place; LinkMatch results are deterministic per epoch,
+      // so same-epoch overwrites are value-identical.
+      shard.by_depth[d].insert_or_assign(pair_key, Entry{value, epoch});
       ++shard.stats.inserts;
     }
     GlobalInsertCounter()->Increment();
   }
 
-  // Total entries across shards and depths (takes every shard lock; for
-  // observability, not the hot path).
+  // Epoch-scoped invalidation for one growth batch. dirty_by_depth[d]
+  // lists the auxiliary vertices whose depth-(d+1) entries a delta may
+  // have changed (the delta's d-hop closure); every (·, va, d+1) entry
+  // inserted before this call goes stale, everything else survives.
+  // Requires external exclusion against concurrent Lookup/Insert.
+  void Invalidate(
+      const std::vector<std::vector<hin::VertexId>>& dirty_by_depth);
+
+  // Conservative fallback: every existing entry goes stale (still O(1) —
+  // nothing is walked or freed). Same exclusion requirement.
+  void InvalidateAll();
+
+  // Deepest depth any shard has memoized — bounds the closure radius an
+  // invalidation needs. Takes every shard lock; not the hot path.
+  size_t MaxPopulatedDepth() const;
+
+  // Total entries across shards and depths, including lazily-discarded
+  // stale ones (takes every shard lock; for observability, not the hot
+  // path).
   size_t size() const;
 
   size_t num_shards() const { return shards_.size(); }
@@ -110,11 +151,15 @@ class MatchCache {
   MatchCacheShardStats TotalStats() const;
 
  private:
+  struct Entry {
+    bool value = false;
+    uint32_t epoch = 0;
+  };
   struct Shard {
     mutable std::mutex mu;
     // by_depth[d] memoizes depth d+1; depths appear lazily as the recursion
     // reaches them, so the vector stays as short as max_distance.
-    std::vector<std::unordered_map<uint64_t, bool>> by_depth;
+    std::vector<std::unordered_map<uint64_t, Entry>> by_depth;
     // Guarded by mu (mutable: Lookup is const).
     mutable MatchCacheShardStats stats;
   };
@@ -129,8 +174,32 @@ class MatchCache {
     return util::Mix64(pair_key) & shard_mask_;
   }
 
+  // An entry is valid when it postdates both the global flush floor and
+  // its aux vertex's per-depth stale mark. dirty_ is only written under
+  // the callers' exclusion contract, so plain reads here are race-free.
+  bool EntryValid(size_t d, uint64_t pair_key, uint32_t entry_epoch) const {
+    if (entry_epoch <= flush_floor_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (d < dirty_.size()) {
+      const auto& row = dirty_[d];
+      const hin::VertexId va =
+          static_cast<hin::VertexId>(pair_key & 0xffffffffULL);
+      if (va < row.size() && entry_epoch <= row[va]) return false;
+    }
+    return true;
+  }
+
   std::vector<Shard> shards_;
   size_t shard_mask_;
+  // Current insertion epoch; bumped by each invalidation. Atomic so
+  // relaxed reads in Insert are well-defined without taking a lock.
+  std::atomic<uint32_t> epoch_{1};
+  // Entries at or below this epoch are stale regardless of vertex.
+  std::atomic<uint32_t> flush_floor_{0};
+  // dirty_[d][va]: the epoch at which (·, va, depth d+1) entries went
+  // stale; 0 (or out of range) means never invalidated.
+  std::vector<std::vector<uint32_t>> dirty_;
 };
 
 }  // namespace hinpriv::core

@@ -2,13 +2,21 @@
 
 #include <algorithm>
 
+#include "hin/graph_delta.h"
+
 namespace hinpriv::core {
 
 NeighborhoodStats::NeighborhoodStats(
     const hin::Graph& graph, const std::vector<hin::LinkTypeId>& link_types,
-    bool use_in_edges) {
+    bool use_in_edges)
+    : link_types_(link_types), use_in_edges_(use_in_edges) {
+  num_slots_ = link_types_.size() * (use_in_edges_ ? 2 : 1);
+  BuildFull(graph);
+}
+
+void NeighborhoodStats::BuildFull(const hin::Graph& graph) {
   const size_t n = graph.num_vertices();
-  num_slots_ = link_types.size() * (use_in_edges ? 2 : 1);
+  base_vertices_ = n;
   offsets_stride_ = n + 1;
   offsets_.Reset(num_slots_ * offsets_stride_);
 
@@ -26,9 +34,9 @@ NeighborhoodStats::NeighborhoodStats(
     off[n] = total;
     ++slot;
   };
-  for (hin::LinkTypeId lt : link_types) {
+  for (hin::LinkTypeId lt : link_types_) {
     lay_out_slot(lt, /*incoming=*/false);
-    if (use_in_edges) lay_out_slot(lt, /*incoming=*/true);
+    if (use_in_edges_) lay_out_slot(lt, /*incoming=*/true);
   }
 
   // Pass 2: fill and sort each vertex's strength run in place.
@@ -45,10 +53,106 @@ NeighborhoodStats::NeighborhoodStats(
     }
     ++slot;
   };
-  for (hin::LinkTypeId lt : link_types) {
+  for (hin::LinkTypeId lt : link_types_) {
     fill_slot(lt, /*incoming=*/false);
-    if (use_in_edges) fill_slot(lt, /*incoming=*/true);
+    if (use_in_edges_) fill_slot(lt, /*incoming=*/true);
   }
+
+  // A full build supersedes any patch state.
+  patch_rows_ = 0;
+  patch_stride_ = 0;
+  patch_row_.clear();
+  patch_offsets_.Reset(0);
+  patch_strengths_.Reset(0);
+}
+
+void NeighborhoodStats::ApplyDelta(const hin::Graph& graph,
+                                   const hin::GraphDelta& delta) {
+  const size_t n = graph.num_vertices();
+
+  // Touched set = the delta's 1-hop strength closure: new vertices plus
+  // both endpoints of every added edge. Attribute bumps never change
+  // neighborhood strengths, so they are not part of it. The patch set
+  // accumulates: previously patched vertices stay patched (the base arenas
+  // no longer describe them).
+  std::vector<uint32_t> new_patch_row(n, kNoPatch);
+  for (size_t v = 0; v < patch_row_.size(); ++v) {
+    if (patch_row_[v] != kNoPatch) new_patch_row[v] = 0;  // marked, re-rowed
+  }
+  for (size_t v = delta.base_num_vertices; v < n; ++v) new_patch_row[v] = 0;
+  for (const hin::GraphDelta::EdgeAdd& e : delta.edge_adds) {
+    new_patch_row[e.src] = 0;
+    new_patch_row[e.dst] = 0;
+  }
+
+  // One O(n) pass assigns rows in vertex-id order and collects the patched
+  // list; everything below iterates that list, not the vertex range, so a
+  // batch costs O(|patched| * degree), not O(V * slots).
+  std::vector<hin::VertexId> patched;
+  size_t rows = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (new_patch_row[v] != kNoPatch) {
+      new_patch_row[v] = static_cast<uint32_t>(rows++);
+      patched.push_back(static_cast<hin::VertexId>(v));
+    }
+  }
+
+  // Compaction: once a quarter of the graph reads through the patch table,
+  // fold everything back into one full build — amortized O(E) per O(V)
+  // patched vertices, and the hot path goes back to mostly-base reads.
+  if (rows > n / 4) {
+    BuildFull(graph);
+    return;
+  }
+
+  // Rebuild the patch table wholesale for the merged patched set (the
+  // aligned arenas are Reset-then-fill only). Layout mirrors the base
+  // arenas with vertices replaced by rows, preserving the zero-padded
+  // alignment contract the dominance kernels rely on.
+  const size_t stride = rows + 1;
+  util::AlignedBuffer<uint64_t> offsets(num_slots_ * stride);
+
+  uint64_t total = 0;
+  size_t slot = 0;
+  auto lay_out_slot = [&](hin::LinkTypeId lt, bool incoming) {
+    uint64_t* off = offsets.data() + slot * stride;
+    uint32_t row = 0;
+    for (hin::VertexId v : patched) {
+      off[row++] = total;
+      total += incoming ? graph.InDegree(lt, v) : graph.OutDegree(lt, v);
+    }
+    off[rows] = total;
+    ++slot;
+  };
+  for (hin::LinkTypeId lt : link_types_) {
+    lay_out_slot(lt, /*incoming=*/false);
+    if (use_in_edges_) lay_out_slot(lt, /*incoming=*/true);
+  }
+
+  util::AlignedBuffer<hin::Strength> strengths(total);
+  slot = 0;
+  auto fill_slot = [&](hin::LinkTypeId lt, bool incoming) {
+    const uint64_t* off = offsets.data() + slot * stride;
+    uint32_t row = 0;
+    for (hin::VertexId v : patched) {
+      const auto edges =
+          incoming ? graph.InEdges(lt, v) : graph.OutEdges(lt, v);
+      hin::Strength* out = strengths.data() + off[row++];
+      for (size_t i = 0; i < edges.size(); ++i) out[i] = edges[i].strength;
+      std::sort(out, out + edges.size());
+    }
+    ++slot;
+  };
+  for (hin::LinkTypeId lt : link_types_) {
+    fill_slot(lt, /*incoming=*/false);
+    if (use_in_edges_) fill_slot(lt, /*incoming=*/true);
+  }
+
+  patch_rows_ = rows;
+  patch_stride_ = stride;
+  patch_row_ = std::move(new_patch_row);
+  patch_offsets_ = std::move(offsets);
+  patch_strengths_ = std::move(strengths);
 }
 
 bool NeighborhoodStats::StrengthMultisetDominates(

@@ -2,6 +2,7 @@
 #define HINPRIV_CORE_NEIGHBORHOOD_STATS_H_
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -9,6 +10,10 @@
 #include "hin/graph.h"
 #include "hin/types.h"
 #include "util/simd.h"
+
+namespace hinpriv::hin {
+struct GraphDelta;
+}  // namespace hinpriv::hin
 
 namespace hinpriv::core {
 
@@ -30,6 +35,12 @@ namespace hinpriv::core {
 // array — both util::kSimdAlignment-aligned with zeroed padding, so the
 // dominance kernels (core/dominance_kernels.h) can run full-width loads at
 // any span offset without faulting.
+//
+// Growth deltas are absorbed incrementally (ApplyDelta): vertices touched
+// by a delta move into a side patch table (same two-arena layout, same
+// alignment guarantees) rebuilt per batch from the touched set, while the
+// untouched majority keeps reading the original arenas. When the patched
+// fraction crosses a threshold the stats compact back into one full build.
 class NeighborhoodStats {
  public:
   NeighborhoodStats(const hin::Graph& graph,
@@ -46,6 +57,11 @@ class NeighborhoodStats {
   // needed.
   std::span<const hin::Strength> SortedStrengths(size_t slot,
                                                  hin::VertexId v) const {
+    if (v < patch_row_.size() && patch_row_[v] != kNoPatch) {
+      const uint64_t* off =
+          patch_offsets_.data() + slot * patch_stride_ + patch_row_[v];
+      return {patch_strengths_.data() + off[0], off[1] - off[0]};
+    }
     const uint64_t* off = SlotOffsets(slot) + v;
     return {strengths_.data() + off[0], off[1] - off[0]};
   }
@@ -62,18 +78,31 @@ class NeighborhoodStats {
                      hin::VertexId va, size_t saturation_limit,
                      DominanceFn dominates) const {
     for (size_t slot = 0; slot < num_slots_; ++slot) {
-      const uint64_t* t_off = SlotOffsets(slot) + vt;
-      const size_t t_size = t_off[1] - t_off[0];
-      if (t_size == 0 || t_size > saturation_limit) continue;
-      const uint64_t* a_off = aux_stats.SlotOffsets(slot) + va;
-      if (!dominates(strengths_.data() + t_off[0], t_size,
-                     aux_stats.strengths_.data() + a_off[0],
-                     a_off[1] - a_off[0])) {
+      const std::span<const hin::Strength> t = SortedStrengths(slot, vt);
+      if (t.empty() || t.size() > saturation_limit) continue;
+      const std::span<const hin::Strength> a =
+          aux_stats.SortedStrengths(slot, va);
+      if (!dominates(t.data(), t.size(), a.data(), a.size())) {
         return false;
       }
     }
     return true;
   }
+
+  // Incrementally absorbs one growth batch after the graph has been
+  // mutated by hin::GraphBuilder::ApplyDelta. Only vertices in the delta's
+  // 1-hop closure — new vertices plus the endpoints of added edges (attr
+  // bumps do not touch strengths) — have their slots recomputed, into the
+  // patch arenas; the base arenas stay untouched, so cost is proportional
+  // to the patched set's degree sum, not E. The patch set accumulates
+  // across batches; once it exceeds ~1/4 of the graph the stats compact
+  // into a fresh full build (amortized O(E) every O(V) patched vertices).
+  void ApplyDelta(const hin::Graph& graph, const hin::GraphDelta& delta);
+
+  // Observability for tests and the delta bench: how many vertices read
+  // from the patch table, and how many the base arenas cover.
+  size_t num_patched() const { return patch_rows_; }
+  size_t base_vertices() const { return base_vertices_; }
 
   // Necessary condition for Algorithm 2's per-type acceptance test: a
   // perfect left matching assigns each target edge a distinct auxiliary
@@ -92,16 +121,35 @@ class NeighborhoodStats {
       std::span<const hin::Strength> aux_sorted, bool growth_aware);
 
  private:
-  // Offsets of `slot`: num_vertices + 1 absolute positions into the shared
-  // strengths arena.
+  static constexpr uint32_t kNoPatch = std::numeric_limits<uint32_t>::max();
+
+  // Full (re)build of the base arenas from `graph`; clears the patch table.
+  void BuildFull(const hin::Graph& graph);
+
+  // Offsets of `slot`: base_vertices_ + 1 absolute positions into the
+  // shared strengths arena. Valid for unpatched vertices only (every
+  // vertex >= base_vertices_ is patched by construction).
   const uint64_t* SlotOffsets(size_t slot) const {
     return offsets_.data() + slot * offsets_stride_;
   }
 
+  std::vector<hin::LinkTypeId> link_types_;
+  bool use_in_edges_ = false;
+
   size_t num_slots_ = 0;
-  size_t offsets_stride_ = 0;  // num_vertices + 1
+  size_t base_vertices_ = 0;   // vertex count at the last full build
+  size_t offsets_stride_ = 0;  // base_vertices_ + 1
   util::AlignedBuffer<uint64_t> offsets_;
   util::AlignedBuffer<hin::Strength> strengths_;
+
+  // Patch table: row r of `slot` lives at patch_offsets_[slot *
+  // patch_stride_ + r .. +1], absolute into patch_strengths_. patch_row_
+  // maps vertex id -> row (kNoPatch when the base arenas are current).
+  size_t patch_rows_ = 0;
+  size_t patch_stride_ = 0;  // patch_rows_ + 1
+  std::vector<uint32_t> patch_row_;
+  util::AlignedBuffer<uint64_t> patch_offsets_;
+  util::AlignedBuffer<hin::Strength> patch_strengths_;
 };
 
 }  // namespace hinpriv::core

@@ -10,6 +10,8 @@
 
 namespace hinpriv::hin {
 
+struct GraphDelta;
+
 // Mutable staging area for constructing an immutable Graph.
 //
 // Usage:
@@ -51,6 +53,17 @@ class GraphBuilder {
   // Finalizes: sorts, merges duplicates, builds per-link-type CSR (out and
   // in). Consumes the builder.
   util::Result<Graph> Build() &&;
+
+  // Applies one growth batch (graph_delta.h) in place to a heap-built
+  // graph: appends the delta's new vertices and attribute columns, applies
+  // growable-attribute bumps, and linearly merges the new edges into fresh
+  // per-link-type CSRs — bit-identical to what Build() would produce over
+  // the union edge multiset, at O(V + E + |delta| log |delta|) instead of a
+  // full re-sort. Rejects mmap'd snapshot graphs (immutable) and invalid
+  // deltas without mutating the graph. The caller must guarantee exclusive
+  // access to the graph (and everything holding spans into it) for the
+  // duration of the call.
+  static util::Status ApplyDelta(Graph* graph, const GraphDelta& delta);
 
  private:
   struct StagedEdge {

@@ -1,0 +1,262 @@
+#include "hin/graph_delta.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace hinpriv::hin {
+
+namespace {
+
+constexpr char kMagic[] = "hinpriv-delta";
+constexpr int kVersion = 1;
+
+// Reads the next non-empty line; returns IoError at end of stream.
+util::Status NextLine(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    const std::string_view trimmed = util::Trim(*line);
+    if (!trimmed.empty()) {
+      *line = std::string(trimmed);
+      return util::Status::OK();
+    }
+  }
+  return util::Status::IoError("unexpected end of delta stream");
+}
+
+util::Result<std::vector<std::string_view>> ExpectFields(
+    const std::string& line, size_t min_fields) {
+  auto fields = util::Split(line, ' ');
+  if (fields.size() < min_fields) {
+    return util::Status::Corruption("malformed delta line: '" + line + "'");
+  }
+  return fields;
+}
+
+// Parses a section header "<keyword> <count>" and returns the count.
+util::Result<uint64_t> SectionCount(std::istream& is, const char* keyword) {
+  std::string line;
+  HINPRIV_RETURN_IF_ERROR(NextLine(is, &line));
+  auto fields = ExpectFields(line, 2);
+  if (!fields.ok()) return fields.status();
+  if (fields.value()[0] != keyword) {
+    return util::Status::Corruption(std::string("expected '") + keyword +
+                                    "' section, got: '" + line + "'");
+  }
+  return util::ParseUint64(fields.value()[1]);
+}
+
+}  // namespace
+
+util::Status ValidateDelta(const Graph& graph, const GraphDelta& delta) {
+  const NetworkSchema& schema = graph.schema();
+  if (delta.base_num_vertices != graph.num_vertices()) {
+    return util::Status::FailedPrecondition(
+        "delta base vertex count " + std::to_string(delta.base_num_vertices) +
+        " does not match graph (" + std::to_string(graph.num_vertices()) + ")");
+  }
+  const size_t base_n = delta.base_num_vertices;
+  const size_t grown_n = base_n + delta.new_vertices.size();
+
+  for (const GraphDelta::NewVertex& nv : delta.new_vertices) {
+    if (nv.type >= schema.num_entity_types()) {
+      return util::Status::InvalidArgument("new vertex entity type out of range");
+    }
+    if (nv.attrs.size() != schema.entity_type(nv.type).attributes.size()) {
+      return util::Status::InvalidArgument(
+          "new vertex attribute count mismatch for entity type '" +
+          schema.entity_type(nv.type).name + "'");
+    }
+  }
+
+  for (const GraphDelta::AttrBump& bump : delta.attr_bumps) {
+    if (bump.v >= base_n) {
+      return util::Status::InvalidArgument(
+          "attr bump targets a non-base vertex " + std::to_string(bump.v));
+    }
+    const EntityTypeId t = graph.entity_type(bump.v);
+    const auto& attrs = schema.entity_type(t).attributes;
+    if (bump.attr >= attrs.size()) {
+      return util::Status::InvalidArgument("attr bump attribute out of range");
+    }
+    if (!attrs[bump.attr].growable) {
+      return util::Status::InvalidArgument(
+          "attr bump on non-growable attribute '" + attrs[bump.attr].name +
+          "' — growth is monotone on growable attributes only");
+    }
+    if (bump.delta <= 0) {
+      return util::Status::InvalidArgument(
+          "attr bump delta must be positive (monotone growth)");
+    }
+  }
+
+  auto type_of = [&](VertexId v) -> EntityTypeId {
+    return v < base_n ? graph.entity_type(v)
+                      : delta.new_vertices[v - base_n].type;
+  };
+  for (const GraphDelta::EdgeAdd& e : delta.edge_adds) {
+    if (e.link >= schema.num_link_types()) {
+      return util::Status::InvalidArgument("edge add link type out of range");
+    }
+    if (e.src >= grown_n || e.dst >= grown_n) {
+      return util::Status::InvalidArgument("edge add endpoint out of range");
+    }
+    if (e.strength == 0) {
+      return util::Status::InvalidArgument("edge add strength must be >= 1");
+    }
+    const LinkTypeDef& def = schema.link_type(e.link);
+    if (type_of(e.src) != def.src || type_of(e.dst) != def.dst) {
+      return util::Status::InvalidArgument(
+          "edge add endpoints violate link type '" + def.name + "'");
+    }
+    if (e.src == e.dst && !def.allows_self_link) {
+      return util::Status::InvalidArgument("self-link not allowed for '" +
+                                           def.name + "'");
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status SaveDeltaStream(const std::vector<GraphDelta>& deltas,
+                             std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  for (const GraphDelta& d : deltas) {
+    os << "batch " << d.base_num_vertices << '\n';
+    os << "new_vertices " << d.new_vertices.size() << '\n';
+    for (const auto& nv : d.new_vertices) {
+      os << nv.type;
+      for (AttrValue a : nv.attrs) os << ' ' << a;
+      os << '\n';
+    }
+    os << "attr_bumps " << d.attr_bumps.size() << '\n';
+    for (const auto& b : d.attr_bumps) {
+      os << b.v << ' ' << b.attr << ' ' << b.delta << '\n';
+    }
+    os << "edge_adds " << d.edge_adds.size() << '\n';
+    for (const auto& e : d.edge_adds) {
+      os << e.link << ' ' << e.src << ' ' << e.dst << ' ' << e.strength
+         << '\n';
+    }
+    os << "end\n";
+  }
+  os << "done\n";
+  if (!os) return util::Status::IoError("write failure while saving deltas");
+  return util::Status::OK();
+}
+
+util::Status SaveDeltaStreamToFile(const std::vector<GraphDelta>& deltas,
+                                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for write: " + path);
+  return SaveDeltaStream(deltas, out);
+}
+
+util::Result<std::vector<GraphDelta>> LoadDeltaStream(std::istream& is) {
+  std::string line;
+  HINPRIV_RETURN_IF_ERROR(NextLine(is, &line));
+  {
+    auto fields = ExpectFields(line, 2);
+    if (!fields.ok()) return fields.status();
+    if (fields.value()[0] != kMagic) {
+      return util::Status::Corruption("bad magic: expected 'hinpriv-delta'");
+    }
+    auto version = util::ParseInt64(fields.value()[1]);
+    if (!version.ok() || version.value() != kVersion) {
+      return util::Status::Corruption("unsupported delta format version");
+    }
+  }
+
+  std::vector<GraphDelta> deltas;
+  while (true) {
+    HINPRIV_RETURN_IF_ERROR(NextLine(is, &line));
+    if (line == "done") break;
+    auto fields = ExpectFields(line, 2);
+    if (!fields.ok()) return fields.status();
+    if (fields.value()[0] != "batch") {
+      return util::Status::Corruption("expected 'batch' or 'done', got: '" +
+                                      line + "'");
+    }
+    auto base_n = util::ParseUint64(fields.value()[1]);
+    if (!base_n.ok()) return base_n.status();
+
+    GraphDelta d;
+    d.base_num_vertices = base_n.value();
+
+    auto num_new = SectionCount(is, "new_vertices");
+    if (!num_new.ok()) return num_new.status();
+    d.new_vertices.reserve(num_new.value());
+    for (uint64_t i = 0; i < num_new.value(); ++i) {
+      HINPRIV_RETURN_IF_ERROR(NextLine(is, &line));
+      auto row = ExpectFields(line, 1);
+      if (!row.ok()) return row.status();
+      GraphDelta::NewVertex nv;
+      auto type = util::ParseUint64(row.value()[0]);
+      if (!type.ok()) return type.status();
+      nv.type = static_cast<EntityTypeId>(type.value());
+      nv.attrs.reserve(row.value().size() - 1);
+      for (size_t f = 1; f < row.value().size(); ++f) {
+        auto value = util::ParseInt64(row.value()[f]);
+        if (!value.ok()) return value.status();
+        nv.attrs.push_back(static_cast<AttrValue>(value.value()));
+      }
+      d.new_vertices.push_back(std::move(nv));
+    }
+
+    auto num_bumps = SectionCount(is, "attr_bumps");
+    if (!num_bumps.ok()) return num_bumps.status();
+    d.attr_bumps.reserve(num_bumps.value());
+    for (uint64_t i = 0; i < num_bumps.value(); ++i) {
+      HINPRIV_RETURN_IF_ERROR(NextLine(is, &line));
+      auto row = ExpectFields(line, 3);
+      if (!row.ok()) return row.status();
+      auto v = util::ParseUint64(row.value()[0]);
+      auto attr = util::ParseUint64(row.value()[1]);
+      auto delta = util::ParseInt64(row.value()[2]);
+      for (const auto* s : {&v, &attr}) {
+        if (!s->ok()) return s->status();
+      }
+      if (!delta.ok()) return delta.status();
+      d.attr_bumps.push_back(
+          GraphDelta::AttrBump{static_cast<VertexId>(v.value()),
+                               static_cast<AttributeId>(attr.value()),
+                               static_cast<AttrValue>(delta.value())});
+    }
+
+    auto num_edges = SectionCount(is, "edge_adds");
+    if (!num_edges.ok()) return num_edges.status();
+    d.edge_adds.reserve(num_edges.value());
+    for (uint64_t i = 0; i < num_edges.value(); ++i) {
+      HINPRIV_RETURN_IF_ERROR(NextLine(is, &line));
+      auto row = ExpectFields(line, 4);
+      if (!row.ok()) return row.status();
+      auto lt = util::ParseUint64(row.value()[0]);
+      auto src = util::ParseUint64(row.value()[1]);
+      auto dst = util::ParseUint64(row.value()[2]);
+      auto strength = util::ParseUint64(row.value()[3]);
+      for (const auto* s : {&lt, &src, &dst, &strength}) {
+        if (!s->ok()) return s->status();
+      }
+      d.edge_adds.push_back(
+          GraphDelta::EdgeAdd{static_cast<LinkTypeId>(lt.value()),
+                              static_cast<VertexId>(src.value()),
+                              static_cast<VertexId>(dst.value()),
+                              static_cast<Strength>(strength.value())});
+    }
+
+    HINPRIV_RETURN_IF_ERROR(NextLine(is, &line));
+    if (line != "end") {
+      return util::Status::Corruption("missing 'end' batch terminator");
+    }
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+util::Result<std::vector<GraphDelta>> LoadDeltaStreamFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for read: " + path);
+  return LoadDeltaStream(in);
+}
+
+}  // namespace hinpriv::hin

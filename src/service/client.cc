@@ -176,4 +176,14 @@ util::Result<Response> Client::TraceDump(const std::string& path) {
   return Call(request);
 }
 
+util::Result<Response> Client::ApplyDelta(const std::string& path,
+                                          double deadline_ms) {
+  Request request;
+  request.id = next_id_++;
+  request.method = Method::kApplyDelta;
+  request.path = path;
+  request.deadline_ms = deadline_ms;
+  return Call(request);
+}
+
 }  // namespace hinpriv::service

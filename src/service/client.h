@@ -52,6 +52,11 @@ class Client {
   util::Result<Response> TraceStop();
   // Chrome trace JSON; nonempty `path` writes server-side instead of inline.
   util::Result<Response> TraceDump(const std::string& path = "");
+  // Applies a server-side hinpriv-delta stream to the auxiliary graph and
+  // warm attack state (streaming growth). Rides the admission queue like
+  // attack_one; deadline stops between batches at a consistent boundary.
+  util::Result<Response> ApplyDelta(const std::string& path,
+                                    double deadline_ms = 0.0);
 
  private:
   explicit Client(int fd) : fd_(fd) {}

@@ -75,6 +75,8 @@ const char* MethodName(Method method) {
       return "trace_stop";
     case Method::kTraceDump:
       return "trace_dump";
+    case Method::kApplyDelta:
+      return "apply_delta";
   }
   return "unknown";
 }
@@ -89,6 +91,7 @@ std::optional<Method> ParseMethod(std::string_view name) {
   if (name == "trace_start") return Method::kTraceStart;
   if (name == "trace_stop") return Method::kTraceStop;
   if (name == "trace_dump") return Method::kTraceDump;
+  if (name == "apply_delta") return Method::kApplyDelta;
   return std::nullopt;
 }
 
@@ -104,6 +107,7 @@ bool IsAdminMethod(Method method) {
     case Method::kAttackOne:
     case Method::kRisk:
     case Method::kSleep:
+    case Method::kApplyDelta:
       return false;
   }
   return false;

@@ -34,11 +34,19 @@ namespace hinpriv::service {
 //   {"id": 14, "method": "trace_start"}
 //   {"id": 15, "method": "trace_stop"}
 //   {"id": 16, "method": "trace_dump", "path": "/tmp/t.json"}
+//   {"id": 17, "method": "apply_delta", "path": "/tmp/deltas.hinpriv"}
 //
 // The introspection verbs (stats, health, metrics, trace_*) are *admin
 // methods*: the server answers them inline on the connection's reader
 // thread, bypassing the admission queue, so they respond within deadline
 // even while the serving path is saturated and shedding.
+//
+// apply_delta is NOT an admin method: it mutates the auxiliary graph and
+// the warm attack state, so it rides the admission queue and the same
+// deadline machinery as attack_one, taking the server's warm-state lock
+// exclusively batch by batch. `path` names a server-side
+// hinpriv-delta stream (the graphs live server-side; shipping multi-GB
+// deltas through 16 MB frames would be the wrong layer).
 //
 // Response document:
 //   {"id": 7, "code": "OK", "result": {...}}
@@ -60,6 +68,7 @@ enum class Method {
   kTraceStart,
   kTraceStop,
   kTraceDump,
+  kApplyDelta,
 };
 
 const char* MethodName(Method method);

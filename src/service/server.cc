@@ -11,6 +11,8 @@
 #include "core/matchers.h"
 #include "core/privacy_risk.h"
 #include "core/signature.h"
+#include "hin/graph_builder.h"
+#include "hin/graph_delta.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "service/json.h"
@@ -124,6 +126,13 @@ Server::~Server() { Shutdown(); }
 util::Status Server::Start() {
   if (started_.exchange(true)) {
     return util::Status::InvalidArgument("server already started");
+  }
+  // The delta path mutates through mutable_aux while queries read through
+  // the auxiliary pointer; anything but an exact alias would split them
+  // into two diverging graphs.
+  if (config_.mutable_aux != nullptr && config_.mutable_aux != aux_) {
+    return util::Status::InvalidArgument(
+        "mutable_aux must alias the auxiliary graph");
   }
 
   EventLoop::Options loop_options;
@@ -442,6 +451,8 @@ Response Server::Process(const PendingRequest& pending) {
                            : ProcessAttackOne(pending, token);
     case Method::kRisk:
       return ProcessRisk(request);
+    case Method::kApplyDelta:
+      return ProcessApplyDelta(pending, token);
     case Method::kSleep:
       return ProcessSleep(request, token);
     case Method::kStats:
@@ -487,6 +498,9 @@ Response Server::ProcessAdmin(const Request& request) {
 Response Server::ProcessAttackOne(const PendingRequest& pending,
                                   const util::CancelToken& token) {
   HINPRIV_SPAN("service/attack_one");
+  // Shared against apply_delta's exclusive hold: a query never observes a
+  // half-applied growth batch. Uncontended when no deltas are in flight.
+  std::shared_lock<std::shared_mutex> warm_lock(warm_mu_);
   const Request& request = pending.request;
   Response response;
   response.id = request.id;
@@ -751,6 +765,100 @@ Response Server::ProcessRisk(const Request& request) {
     payload.Set("num_entities",
                 JsonValue::Int(static_cast<int64_t>(target_->num_vertices())));
   }
+  response.result = std::move(payload);
+  return response;
+}
+
+Response Server::ProcessApplyDelta(const PendingRequest& pending,
+                                   const util::CancelToken& token) {
+  HINPRIV_SPAN("service/apply_delta");
+  const Request& request = pending.request;
+  Response response;
+  response.id = request.id;
+  response.code = ResponseCode::kInvalidRequest;
+  if (coordinator()) {
+    response.error = "apply_delta is not supported in coordinator mode";
+    return response;
+  }
+  if (config_.mutable_aux == nullptr || dehin_ == nullptr) {
+    response.error = "server has no mutable auxiliary graph";
+    return response;
+  }
+  if (config_.mutable_aux->is_mapped()) {
+    response.error =
+        "auxiliary graph is an mmap snapshot; deltas need the heap arena";
+    return response;
+  }
+  if (request.path.empty()) {
+    response.error = "apply_delta requires a server-side 'path'";
+    return response;
+  }
+  auto stream = hin::LoadDeltaStreamFromFile(request.path);
+  if (!stream.ok()) {
+    response.error = stream.status().message();
+    return response;
+  }
+  response.code = ResponseCode::kOk;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  size_t batches_applied = 0;
+  uint64_t new_vertices = 0, new_edges = 0, attr_bumps = 0;
+  for (const hin::GraphDelta& delta : stream.value()) {
+    // Deadline between batches: already-applied batches are fully
+    // reflected in the warm state (graph + index + stats + caches commit
+    // under one exclusive hold), so stopping here leaves the server
+    // consistent at a batch boundary.
+    if (token.ShouldStop()) {
+      response.code = token.deadline_exceeded()
+                          ? ResponseCode::kDeadlineExceeded
+                          : ResponseCode::kCancelled;
+      response.error = "stopped after " + std::to_string(batches_applied) +
+                       " of " + std::to_string(stream.value().size()) +
+                       " batches (each applied batch is fully committed)";
+      return response;
+    }
+    {
+      std::unique_lock<std::shared_mutex> warm_lock(warm_mu_);
+      // ApplyDelta validates before mutating, so a rejected batch leaves
+      // the graph exactly as the previous batch committed it.
+      util::Status applied =
+          hin::GraphBuilder::ApplyDelta(config_.mutable_aux, delta);
+      if (!applied.ok()) {
+        response.code = ResponseCode::kInvalidRequest;
+        response.error = "batch " + std::to_string(batches_applied) + ": " +
+                         applied.message();
+        return response;
+      }
+      util::Status warmed = dehin_->ApplyAuxDelta(delta);
+      if (!warmed.ok()) {
+        // Graph mutated but the warm state refresh failed — can only be a
+        // programming error (precondition mismatch); surface it loudly.
+        response.code = ResponseCode::kInternal;
+        response.error = warmed.message();
+        return response;
+      }
+    }
+    ++batches_applied;
+    new_vertices += delta.new_vertices.size();
+    new_edges += delta.edge_adds.size();
+    attr_bumps += delta.attr_bumps.size();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  JsonValue payload = JsonValue::Object();
+  payload.Set("batches_applied",
+              JsonValue::Int(static_cast<int64_t>(batches_applied)));
+  payload.Set("new_vertices",
+              JsonValue::Int(static_cast<int64_t>(new_vertices)));
+  payload.Set("new_edges", JsonValue::Int(static_cast<int64_t>(new_edges)));
+  payload.Set("attr_bumps", JsonValue::Int(static_cast<int64_t>(attr_bumps)));
+  payload.Set("num_vertices",
+              JsonValue::Int(
+                  static_cast<int64_t>(config_.mutable_aux->num_vertices())));
+  payload.Set("num_edges",
+              JsonValue::Int(
+                  static_cast<int64_t>(config_.mutable_aux->num_edges())));
+  payload.Set("apply_us", JsonValue::Number(ElapsedUs(t0, t1)));
   response.result = std::move(payload);
   return response;
 }

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,6 +72,16 @@ struct ServerConfig {
   std::string metrics_json_path;
   // Attack configuration (match options, prefilter/cache/kernels).
   core::DehinConfig dehin;
+
+  // Streaming growth: when non-null (and aliasing the same graph as
+  // `auxiliary`), the apply_delta verb is enabled — it loads a
+  // hinpriv-delta stream from a server-side path and applies each batch
+  // in place under the warm-state lock, refreshing the candidate index,
+  // prefilter tables, and match caches incrementally (O(|delta|) instead
+  // of a full rebuild). Null (the default) rejects apply_delta with
+  // INVALID_REQUEST; mmap-backed snapshots and coordinator mode must
+  // leave it null (the heap arena is the only appendable representation).
+  hin::Graph* mutable_aux = nullptr;
 
   // --- sharded tier (see DESIGN.md §12) -------------------------------------
   // Nonempty switches this server into *coordinator* mode: attack_one is
@@ -246,6 +257,8 @@ class Server {
   Response ProcessAttackOneSharded(const PendingRequest& pending,
                                    const util::CancelToken& token);
   Response ProcessRisk(const Request& request);
+  Response ProcessApplyDelta(const PendingRequest& pending,
+                             const util::CancelToken& token);
   Response ProcessStats(const Request& request);
   Response ProcessSleep(const Request& request,
                         const util::CancelToken& token);
@@ -325,6 +338,13 @@ class Server {
 
   std::mutex risk_mu_;
   std::map<int, RiskEntry> risk_cache_;
+
+  // Warm-state lock for streaming growth: apply_delta holds it exclusively
+  // while mutating the auxiliary graph + Dehin warm state batch by batch;
+  // attack_one and risk hold it shared. Uncontended in the common case (no
+  // deltas in flight), and the unique_lock acquire/release per batch gives
+  // queries a window between batches of a long stream.
+  std::shared_mutex warm_mu_;
 
   // Introspection plane: a windowed view over the global registry, fed by
   // the watchdog thread (which also re-evaluates the health verdict each

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "hin/graph_builder.h"
+#include "hin/tqq_schema.h"
 #include "synth/profile.h"
 
 namespace hinpriv::synth {
@@ -14,35 +16,37 @@ using hin::AttrValue;
 using hin::AttributeId;
 using hin::Graph;
 using hin::GraphBuilder;
+using hin::GraphDelta;
 using hin::LinkTypeId;
 using hin::Strength;
 using hin::VertexId;
 
 }  // namespace
 
-util::Result<Graph> GrowNetwork(const Graph& base, const GrowthConfig& growth,
-                                const TqqConfig& profile_config,
-                                util::Rng* rng) {
+util::Result<GraphDelta> SampleGrowthDelta(const Graph& base,
+                                           const GrowthConfig& growth,
+                                           const TqqConfig& profile_config,
+                                           util::Rng* rng) {
   const hin::NetworkSchema& schema = base.schema();
   if (schema.num_entity_types() != 1) {
     return util::Status::InvalidArgument(
-        "GrowNetwork supports single-entity-type target-schema graphs");
+        "SampleGrowthDelta supports single-entity-type target-schema graphs");
   }
-  GraphBuilder builder(schema);
+  GraphDelta delta;
   const size_t base_n = base.num_vertices();
   const size_t num_attrs = base.num_attributes(0);
-  builder.AddVertices(0, base_n);
+  delta.base_num_vertices = base_n;
 
-  // Preserve base users; grow growable attributes only.
+  // Growable attributes of base users may bump (monotone growth).
   for (VertexId v = 0; v < base_n; ++v) {
     for (AttributeId a = 0; a < num_attrs; ++a) {
-      AttrValue value = base.attribute(v, a);
       if (schema.entity_type(0).attributes[a].growable &&
           rng->Bernoulli(growth.attr_growth_prob)) {
-        value += static_cast<AttrValue>(
-            rng->UniformInt(1, std::max(1, growth.attr_growth_max)));
+        delta.attr_bumps.push_back(GraphDelta::AttrBump{
+            v, a,
+            static_cast<AttrValue>(
+                rng->UniformInt(1, std::max(1, growth.attr_growth_max)))});
       }
-      HINPRIV_RETURN_IF_ERROR(builder.SetAttribute(v, a, value));
     }
   }
 
@@ -50,26 +54,38 @@ util::Result<Graph> GrowNetwork(const Graph& base, const GrowthConfig& growth,
   const size_t new_users = static_cast<size_t>(
       static_cast<double>(base_n) * growth.new_user_fraction);
   if (new_users > 0) {
-    const VertexId first_new = builder.AddVertices(0, new_users);
+    if (num_attrs <= hin::kTagCountAttr) {
+      return util::Status::OutOfRange(
+          "growth profile sampling needs the t.qq attribute layout");
+    }
     ProfileSampler sampler(profile_config);
+    delta.new_vertices.reserve(new_users);
     for (size_t i = 0; i < new_users; ++i) {
-      HINPRIV_RETURN_IF_ERROR(ApplyProfile(
-          &builder, first_new + static_cast<VertexId>(i), sampler.Sample(rng)));
+      const Profile profile = sampler.Sample(rng);
+      GraphDelta::NewVertex nv;
+      nv.type = 0;
+      nv.attrs.assign(num_attrs, 0);
+      nv.attrs[hin::kGenderAttr] = profile.gender;
+      nv.attrs[hin::kYobAttr] = profile.yob;
+      nv.attrs[hin::kTweetCountAttr] = profile.tweet_count;
+      nv.attrs[hin::kTagCountAttr] = profile.tag_count;
+      delta.new_vertices.push_back(std::move(nv));
     }
   }
   const size_t grown_n = base_n + new_users;
 
-  // Preserve base edges; strengths of growable-strength link types may grow.
+  // Strengths of growable-strength link types may grow; the increment is
+  // an EdgeAdd that folds onto the existing edge when applied.
   for (LinkTypeId lt = 0; lt < schema.num_link_types(); ++lt) {
-    const bool growable = schema.link_type(lt).growable_strength;
+    if (!schema.link_type(lt).growable_strength) continue;
     for (VertexId v = 0; v < base_n; ++v) {
       for (const hin::Edge& e : base.OutEdges(lt, v)) {
-        Strength strength = e.strength;
-        if (growable && rng->Bernoulli(growth.strength_growth_prob)) {
-          strength += static_cast<Strength>(rng->UniformInt(
-              1, std::max<int64_t>(1, growth.strength_growth_max)));
+        if (rng->Bernoulli(growth.strength_growth_prob)) {
+          delta.edge_adds.push_back(GraphDelta::EdgeAdd{
+              lt, v, e.neighbor,
+              static_cast<Strength>(rng->UniformInt(
+                  1, std::max<int64_t>(1, growth.strength_growth_max)))});
         }
-        HINPRIV_RETURN_IF_ERROR(builder.AddEdge(v, e.neighbor, lt, strength));
       }
     }
   }
@@ -95,9 +111,36 @@ util::Result<Graph> GrowNetwork(const Graph& base, const GrowthConfig& growth,
                            (static_cast<uint64_t>(src) << 28) ^ dst;
       if (!added.insert(key).second) continue;
     }
-    HINPRIV_RETURN_IF_ERROR(builder.AddEdge(src, dst, lt, 1));
+    delta.edge_adds.push_back(GraphDelta::EdgeAdd{lt, src, dst, 1});
   }
-  return std::move(builder).Build();
+  return delta;
+}
+
+util::Result<GrownNetwork> GrowNetworkWithDelta(const Graph& base,
+                                                const GrowthConfig& growth,
+                                                const TqqConfig& profile_config,
+                                                util::Rng* rng) {
+  auto delta = SampleGrowthDelta(base, growth, profile_config, rng);
+  if (!delta.ok()) return delta.status();
+
+  // Heap copy of the base (also converts a mapped snapshot into a mutable
+  // graph), then the in-place append path.
+  GraphBuilder builder(base.schema());
+  HINPRIV_RETURN_IF_ERROR(CopyVerticesWithAttributes(base, &builder));
+  HINPRIV_RETURN_IF_ERROR(CopyEdges(base, &builder));
+  auto grown = std::move(builder).Build();
+  if (!grown.ok()) return grown.status();
+  HINPRIV_RETURN_IF_ERROR(
+      GraphBuilder::ApplyDelta(&grown.value(), delta.value()));
+  return GrownNetwork{std::move(grown).value(), std::move(delta).value()};
+}
+
+util::Result<Graph> GrowNetwork(const Graph& base, const GrowthConfig& growth,
+                                const TqqConfig& profile_config,
+                                util::Rng* rng) {
+  auto grown = GrowNetworkWithDelta(base, growth, profile_config, rng);
+  if (!grown.ok()) return grown.status();
+  return std::move(grown.value().graph);
 }
 
 }  // namespace hinpriv::synth

@@ -2,25 +2,49 @@
 #define HINPRIV_SYNTH_GROWTH_H_
 
 #include "hin/graph.h"
+#include "hin/graph_delta.h"
 #include "synth/tqq_config.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace hinpriv::synth {
 
-// Applies the Section 5.1 threat-model growth to a base network, producing
-// the auxiliary dataset an adversary crawls after a time gap:
+// Samples the Section 5.1 threat-model growth against a base network as a
+// structured, replayable hin::GraphDelta — the batch an adversary's crawler
+// would observe after a time gap:
 //
-//   * the first base.num_vertices() vertices are preserved with their ids,
-//     so ground-truth mappings into the base remain valid;
-//   * new users are appended; new links are added (possibly touching base
-//     users); nothing is ever removed;
-//   * growable profile attributes (per the schema's AttributeDef.growable)
-//     only increase;
-//   * strengths of growable-strength link types only increase.
+//   * new users appended after the base ids (ground truth stays valid);
+//   * new links (possibly touching base users); nothing is ever removed;
+//   * growable profile attributes (AttributeDef.growable) only increase,
+//     encoded as positive AttrBump records;
+//   * strengths of growable-strength link types only increase, encoded as
+//     EdgeAdd records that fold onto the existing edge.
 //
 // Only single-entity-type target-schema graphs are supported (the growth
-// semantics of tweets/comments are induced via projection instead).
+// semantics of tweets/comments are induced via projection instead). The
+// RNG draw sequence is identical to the historical GrowNetwork, so seeded
+// runs reproduce the same grown network whether they materialize it
+// directly or replay the delta.
+util::Result<hin::GraphDelta> SampleGrowthDelta(const hin::Graph& base,
+                                                const GrowthConfig& growth,
+                                                const TqqConfig& profile_config,
+                                                util::Rng* rng);
+
+// A grown auxiliary network together with the delta that produced it from
+// the base. `graph` is heap-built, so further deltas can be applied to it
+// in place via hin::GraphBuilder::ApplyDelta.
+struct GrownNetwork {
+  hin::Graph graph;
+  hin::GraphDelta delta;
+};
+
+// Samples a growth delta and applies it to a heap copy of `base`.
+util::Result<GrownNetwork> GrowNetworkWithDelta(const hin::Graph& base,
+                                                const GrowthConfig& growth,
+                                                const TqqConfig& profile_config,
+                                                util::Rng* rng);
+
+// Convenience wrapper returning just the grown graph.
 util::Result<hin::Graph> GrowNetwork(const hin::Graph& base,
                                      const GrowthConfig& growth,
                                      const TqqConfig& profile_config,

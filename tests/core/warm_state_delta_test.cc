@@ -1,0 +1,185 @@
+// Incremental warm-state maintenance under growth deltas, component by
+// component: CandidateIndex::ApplyDelta must reproduce a from-scratch
+// rebuild's bucket order exactly, NeighborhoodStats::ApplyDelta must serve
+// the same sorted strength spans as a fresh build (through the patch table
+// or after compaction), and MatchCache epochs must invalidate exactly the
+// dirty (depth, vertex) entries while untouched entries keep hitting.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/candidate_index.h"
+#include "core/match_cache.h"
+#include "core/matchers.h"
+#include "core/neighborhood_stats.h"
+#include "hin/graph.h"
+#include "hin/graph_builder.h"
+#include "hin/graph_delta.h"
+#include "hin/tqq_schema.h"
+#include "synth/growth.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::core {
+namespace {
+
+hin::Graph MakeAux(size_t users, uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = users;
+  util::Rng rng(seed);
+  auto graph = synth::GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+// Applies `batches` sampled growth deltas to `aux`, invoking `check` after
+// every batch with the delta just applied.
+template <typename Check>
+void DriveBatches(hin::Graph* aux, size_t batches, uint64_t seed,
+                  const synth::GrowthConfig& growth, Check&& check) {
+  util::Rng rng(seed);
+  for (size_t b = 0; b < batches; ++b) {
+    auto delta =
+        synth::SampleGrowthDelta(*aux, growth, synth::TqqConfig{}, &rng);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    ASSERT_TRUE(hin::GraphBuilder::ApplyDelta(aux, delta.value()).ok());
+    check(delta.value());
+  }
+}
+
+TEST(WarmStateDeltaTest, CandidateIndexOrderIdenticalToRebuild) {
+  hin::Graph aux = MakeAux(600, 17);
+  const MatchOptions options = DefaultTqqMatchOptions();
+  CandidateIndex incremental(aux, options);
+  synth::GrowthConfig growth;  // defaults exercise every growth channel
+  DriveBatches(&aux, 4, 18, growth, [&](const hin::GraphDelta& delta) {
+    incremental.ApplyDelta(delta);
+    CandidateIndex rebuilt(aux, options);
+    EXPECT_TRUE(incremental.OrderIdenticalTo(rebuilt));
+  });
+}
+
+// Without a primary growable attribute the buckets are sorted by vertex id
+// alone; the incremental inserts must keep that order too.
+TEST(WarmStateDeltaTest, CandidateIndexNoPrimaryAttribute) {
+  hin::Graph aux = MakeAux(400, 19);
+  MatchOptions options = DefaultTqqMatchOptions();
+  options.growable_attributes.clear();
+  options.exact_attributes = {hin::kGenderAttr, hin::kYobAttr};
+  CandidateIndex incremental(aux, options);
+  synth::GrowthConfig growth;
+  DriveBatches(&aux, 3, 20, growth, [&](const hin::GraphDelta& delta) {
+    incremental.ApplyDelta(delta);
+    CandidateIndex rebuilt(aux, options);
+    EXPECT_TRUE(incremental.OrderIdenticalTo(rebuilt));
+  });
+}
+
+TEST(WarmStateDeltaTest, NeighborhoodStatsSpansIdenticalToRebuild) {
+  hin::Graph aux = MakeAux(1000, 21);
+  const MatchOptions options = DefaultTqqMatchOptions();
+  // In-edge slots on: covers all 8 slots, not just the default out-edge 4.
+  NeighborhoodStats incremental(aux, options.link_types,
+                                /*use_in_edges=*/true);
+  // Small enough batches that the accumulated patch set stays under the
+  // n/4 compaction threshold for all four batches — the assertions below
+  // must exercise the patch-table read path, not a post-compaction full
+  // build. (Edge and strength fractions are relative to E ~ 10x V.)
+  synth::GrowthConfig growth;
+  growth.new_user_fraction = 0.004;
+  growth.new_edge_fraction = 0.001;
+  growth.strength_growth_prob = 0.0005;
+  DriveBatches(&aux, 4, 22, growth, [&](const hin::GraphDelta& delta) {
+    incremental.ApplyDelta(aux, delta);
+    EXPECT_GT(incremental.num_patched(), 0u);
+    NeighborhoodStats fresh(aux, options.link_types, /*use_in_edges=*/true);
+    ASSERT_EQ(incremental.num_slots(), fresh.num_slots());
+    for (size_t slot = 0; slot < fresh.num_slots(); ++slot) {
+      for (hin::VertexId v = 0; v < aux.num_vertices(); ++v) {
+        const auto a = incremental.SortedStrengths(slot, v);
+        const auto b = fresh.SortedStrengths(slot, v);
+        ASSERT_EQ(a.size(), b.size()) << "slot " << slot << " v " << v;
+        for (size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i], b[i]) << "slot " << slot << " v " << v;
+        }
+      }
+    }
+  });
+}
+
+TEST(WarmStateDeltaTest, NeighborhoodStatsCompactsWhenPatchGrows) {
+  hin::Graph aux = MakeAux(300, 23);
+  const MatchOptions options = DefaultTqqMatchOptions();
+  NeighborhoodStats stats(aux, options.link_types, /*use_in_edges=*/true);
+  synth::GrowthConfig growth;
+  growth.new_user_fraction = 0.30;  // huge batch: touches > n/4 vertices
+  growth.new_edge_fraction = 0.40;
+  util::Rng rng(24);
+  auto delta =
+      synth::SampleGrowthDelta(aux, growth, synth::TqqConfig{}, &rng);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(hin::GraphBuilder::ApplyDelta(&aux, delta.value()).ok());
+  stats.ApplyDelta(aux, delta.value());
+  // Compaction folded the patch back into the base arenas.
+  EXPECT_EQ(stats.num_patched(), 0u);
+  EXPECT_EQ(stats.base_vertices(), aux.num_vertices());
+  NeighborhoodStats fresh(aux, options.link_types, /*use_in_edges=*/true);
+  for (size_t slot = 0; slot < fresh.num_slots(); ++slot) {
+    for (hin::VertexId v = 0; v < aux.num_vertices(); ++v) {
+      const auto a = stats.SortedStrengths(slot, v);
+      const auto b = fresh.SortedStrengths(slot, v);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST(WarmStateDeltaTest, MatchCacheEpochInvalidation) {
+  MatchCache cache(4);
+  // Depth 1 entries for aux vertices 10 and 20; depth 2 for 10.
+  cache.Insert(1, MatchCache::PairKey(1, 10), true);
+  cache.Insert(1, MatchCache::PairKey(2, 20), false);
+  cache.Insert(2, MatchCache::PairKey(3, 10), true);
+  EXPECT_EQ(cache.MaxPopulatedDepth(), 2u);
+
+  // Dirty aux vertex 10 at depth 1 only (dirty_by_depth[0]).
+  cache.Invalidate({{10}});
+  EXPECT_FALSE(cache.Lookup(1, MatchCache::PairKey(1, 10)).has_value());
+  auto survivor = cache.Lookup(1, MatchCache::PairKey(2, 20));
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_FALSE(*survivor);
+  auto deeper = cache.Lookup(2, MatchCache::PairKey(3, 10));
+  ASSERT_TRUE(deeper.has_value());  // depth 2 row was not dirtied
+  EXPECT_TRUE(*deeper);
+  EXPECT_EQ(cache.TotalStats().stale, 1u);
+
+  // Re-inserting after the invalidation postdates the stale mark.
+  cache.Insert(1, MatchCache::PairKey(1, 10), false);
+  auto refreshed = cache.Lookup(1, MatchCache::PairKey(1, 10));
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_FALSE(*refreshed);
+
+  // A deeper dirty set hits both depths for vertex 10.
+  cache.Invalidate({{10}, {10}});
+  EXPECT_FALSE(cache.Lookup(1, MatchCache::PairKey(1, 10)).has_value());
+  EXPECT_FALSE(cache.Lookup(2, MatchCache::PairKey(3, 10)).has_value());
+  EXPECT_TRUE(cache.Lookup(1, MatchCache::PairKey(2, 20)).has_value());
+}
+
+TEST(WarmStateDeltaTest, MatchCacheInvalidateAll) {
+  MatchCache cache(2);
+  cache.Insert(1, MatchCache::PairKey(1, 5), true);
+  cache.Insert(3, MatchCache::PairKey(2, 6), false);
+  cache.InvalidateAll();
+  EXPECT_FALSE(cache.Lookup(1, MatchCache::PairKey(1, 5)).has_value());
+  EXPECT_FALSE(cache.Lookup(3, MatchCache::PairKey(2, 6)).has_value());
+  // Entries inserted after the flush are live again.
+  cache.Insert(1, MatchCache::PairKey(1, 5), true);
+  EXPECT_TRUE(cache.Lookup(1, MatchCache::PairKey(1, 5)).has_value());
+  // The stale entries are still counted in size() until overwritten.
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hinpriv::core

@@ -1,0 +1,227 @@
+#include "hin/graph_delta.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hin/graph.h"
+#include "hin/graph_builder.h"
+#include "hin/schema.h"
+#include "hin/snapshot.h"
+
+namespace hinpriv::hin {
+namespace {
+
+// Mirrors the t.qq shape in miniature: one growable attribute, one
+// non-growable link type, one growable-strength link type that allows
+// self-links.
+NetworkSchema DeltaSchema() {
+  NetworkSchema schema;
+  const EntityTypeId user = schema.AddEntityType("User");
+  schema.AddAttribute(user, "yob", false);
+  schema.AddAttribute(user, "count", true);
+  schema.AddLinkType("follow", user, user, false, false, false);
+  schema.AddLinkType("mention", user, user, true, true, true);
+  return schema;
+}
+
+Graph BuildBase() {
+  GraphBuilder builder(DeltaSchema());
+  builder.AddVertices(0, 4);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(builder.SetAttribute(v, 0, 1980 + static_cast<int>(v)).ok());
+    EXPECT_TRUE(builder.SetAttribute(v, 1, 10 * static_cast<int>(v)).ok());
+  }
+  EXPECT_TRUE(builder.AddEdge(0, 1, 0).ok());
+  EXPECT_TRUE(builder.AddEdge(2, 3, 0).ok());
+  EXPECT_TRUE(builder.AddEdge(0, 2, 1, 5).ok());
+  EXPECT_TRUE(builder.AddEdge(3, 1, 1, 2).ok());
+  auto graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+GraphDelta SampleDelta() {
+  GraphDelta delta;
+  delta.base_num_vertices = 4;
+  delta.new_vertices.push_back({0, {1999, 7}});
+  delta.new_vertices.push_back({0, {2001, 0}});
+  delta.attr_bumps.push_back({1, 1, 3});
+  // Strength fold onto the existing mention edge plus brand-new edges,
+  // including ones touching the appended vertices.
+  delta.edge_adds.push_back({1, 0, 2, 4});
+  delta.edge_adds.push_back({0, 1, 3, 1});
+  delta.edge_adds.push_back({0, 4, 0, 1});
+  delta.edge_adds.push_back({1, 3, 5, 9});
+  return delta;
+}
+
+void ExpectGraphsIdentical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.entity_type(v), b.entity_type(v));
+    for (AttributeId attr = 0; attr < 2; ++attr) {
+      EXPECT_EQ(a.attribute(v, attr), b.attribute(v, attr))
+          << "vertex " << v << " attr " << attr;
+    }
+    for (LinkTypeId lt = 0; lt < a.num_link_types(); ++lt) {
+      const auto out_a = a.OutEdges(lt, v);
+      const auto out_b = b.OutEdges(lt, v);
+      ASSERT_EQ(out_a.size(), out_b.size()) << "out lt=" << lt << " v=" << v;
+      for (size_t i = 0; i < out_a.size(); ++i) {
+        EXPECT_EQ(out_a[i].neighbor, out_b[i].neighbor);
+        EXPECT_EQ(out_a[i].strength, out_b[i].strength);
+      }
+      const auto in_a = a.InEdges(lt, v);
+      const auto in_b = b.InEdges(lt, v);
+      ASSERT_EQ(in_a.size(), in_b.size()) << "in lt=" << lt << " v=" << v;
+      for (size_t i = 0; i < in_a.size(); ++i) {
+        EXPECT_EQ(in_a[i].neighbor, in_b[i].neighbor);
+        EXPECT_EQ(in_a[i].strength, in_b[i].strength);
+      }
+    }
+  }
+}
+
+TEST(GraphDeltaTest, StreamRoundTrip) {
+  std::vector<GraphDelta> deltas;
+  deltas.push_back(SampleDelta());
+  GraphDelta second;
+  second.base_num_vertices = 6;
+  second.attr_bumps.push_back({5, 1, 1});
+  deltas.push_back(second);
+
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDeltaStream(deltas, out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadDeltaStream(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+
+  const GraphDelta& d = loaded.value()[0];
+  EXPECT_EQ(d.base_num_vertices, 4u);
+  ASSERT_EQ(d.new_vertices.size(), 2u);
+  EXPECT_EQ(d.new_vertices[0].type, 0);
+  ASSERT_EQ(d.new_vertices[0].attrs.size(), 2u);
+  EXPECT_EQ(d.new_vertices[0].attrs[0], 1999);
+  ASSERT_EQ(d.attr_bumps.size(), 1u);
+  EXPECT_EQ(d.attr_bumps[0].v, 1u);
+  EXPECT_EQ(d.attr_bumps[0].delta, 3);
+  ASSERT_EQ(d.edge_adds.size(), 4u);
+  EXPECT_EQ(d.edge_adds[3].strength, 9u);
+  EXPECT_EQ(loaded.value()[1].base_num_vertices, 6u);
+  EXPECT_TRUE(loaded.value()[1].new_vertices.empty());
+}
+
+TEST(GraphDeltaTest, LoadRejectsCorruptStream) {
+  std::istringstream bad_magic("not-a-delta 1\n");
+  EXPECT_FALSE(LoadDeltaStream(bad_magic).ok());
+  // Truncation mid-batch must not pass as an empty stream.
+  std::istringstream truncated(
+      "hinpriv-delta 1\nbatch 4\nnew_vertices 1\n");
+  EXPECT_FALSE(LoadDeltaStream(truncated).ok());
+}
+
+// The tentpole identity: applying a delta in place is bit-identical to
+// rebuilding the grown graph from scratch over the union edge multiset.
+TEST(GraphDeltaTest, ApplyMatchesFromScratchRebuild) {
+  Graph grown = BuildBase();
+  const GraphDelta delta = SampleDelta();
+  ASSERT_TRUE(GraphBuilder::ApplyDelta(&grown, delta).ok());
+  ASSERT_EQ(grown.num_vertices(), 6u);
+
+  GraphBuilder builder(DeltaSchema());
+  builder.AddVertices(0, 6);
+  const int base_yob[] = {1980, 1981, 1982, 1983, 1999, 2001};
+  const int base_count[] = {0, 10 + 3, 20, 30, 7, 0};
+  for (VertexId v = 0; v < 6; ++v) {
+    ASSERT_TRUE(builder.SetAttribute(v, 0, base_yob[v]).ok());
+    ASSERT_TRUE(builder.SetAttribute(v, 1, base_count[v]).ok());
+  }
+  ASSERT_TRUE(builder.AddEdge(0, 1, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 3, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(4, 0, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(0, 2, 1, 5 + 4).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 1, 1, 2).ok());
+  ASSERT_TRUE(builder.AddEdge(3, 5, 1, 9).ok());
+  auto rebuilt = std::move(builder).Build();
+  ASSERT_TRUE(rebuilt.ok());
+
+  ExpectGraphsIdentical(grown, rebuilt.value());
+  EXPECT_EQ(grown.NumVerticesOfType(0), 6u);
+}
+
+TEST(GraphDeltaTest, EmptyDeltaIsIdentity) {
+  Graph grown = BuildBase();
+  GraphDelta delta;
+  delta.base_num_vertices = 4;
+  ASSERT_TRUE(GraphBuilder::ApplyDelta(&grown, delta).ok());
+  ExpectGraphsIdentical(grown, BuildBase());
+}
+
+TEST(GraphDeltaTest, MappedGraphRejected) {
+  const Graph base = BuildBase();
+  const std::string path =
+      testing::TempDir() + "/graph_delta_mapped_test.snap";
+  ASSERT_TRUE(SaveGraphSnapshot(base, path).ok());
+  auto mapped = LoadGraphSnapshot(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(mapped.value().is_mapped());
+  GraphDelta delta;
+  delta.base_num_vertices = 4;
+  const util::Status status =
+      GraphBuilder::ApplyDelta(&mapped.value(), delta);
+  EXPECT_EQ(status.code(), util::Status::Code::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(GraphDeltaTest, ValidationRejectsBadDeltas) {
+  Graph base = BuildBase();
+
+  GraphDelta wrong_base;
+  wrong_base.base_num_vertices = 7;
+  EXPECT_FALSE(GraphBuilder::ApplyDelta(&base, wrong_base).ok());
+
+  GraphDelta bad_bump;  // attr 0 (yob) is not growable
+  bad_bump.base_num_vertices = 4;
+  bad_bump.attr_bumps.push_back({1, 0, 3});
+  EXPECT_FALSE(GraphBuilder::ApplyDelta(&base, bad_bump).ok());
+
+  GraphDelta negative_bump;
+  negative_bump.base_num_vertices = 4;
+  negative_bump.attr_bumps.push_back({1, 1, -2});
+  EXPECT_FALSE(GraphBuilder::ApplyDelta(&base, negative_bump).ok());
+
+  GraphDelta out_of_range_edge;
+  out_of_range_edge.base_num_vertices = 4;
+  out_of_range_edge.edge_adds.push_back({0, 0, 9, 1});
+  EXPECT_FALSE(GraphBuilder::ApplyDelta(&base, out_of_range_edge).ok());
+
+  // follow is non-growable: re-adding an existing base edge must be
+  // rejected before any mutation, as must an in-delta duplicate.
+  GraphDelta dup_vs_base;
+  dup_vs_base.base_num_vertices = 4;
+  dup_vs_base.edge_adds.push_back({0, 0, 1, 1});
+  EXPECT_FALSE(GraphBuilder::ApplyDelta(&base, dup_vs_base).ok());
+
+  GraphDelta dup_in_delta;
+  dup_in_delta.base_num_vertices = 4;
+  dup_in_delta.edge_adds.push_back({0, 1, 2, 1});
+  dup_in_delta.edge_adds.push_back({0, 1, 2, 1});
+  EXPECT_FALSE(GraphBuilder::ApplyDelta(&base, dup_in_delta).ok());
+
+  GraphDelta self_follow;  // follow disallows self-links
+  self_follow.base_num_vertices = 4;
+  self_follow.edge_adds.push_back({0, 2, 2, 1});
+  EXPECT_FALSE(GraphBuilder::ApplyDelta(&base, self_follow).ok());
+
+  // A failed validation never mutates: the graph still equals the base.
+  ExpectGraphsIdentical(base, BuildBase());
+}
+
+}  // namespace
+}  // namespace hinpriv::hin

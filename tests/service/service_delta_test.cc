@@ -1,0 +1,300 @@
+// End-to-end tests of the apply_delta verb: a real Server on a loopback
+// socket absorbing growth batches from a hinpriv-delta stream file while
+// clients query it. The suite name contains "Service" so the CI TSan job
+// picks it up — the concurrency test below is exactly the race the
+// warm-state lock exists for.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "anon/utility_tradeoff_anonymizers.h"
+#include "core/dehin.h"
+#include "core/matchers.h"
+#include "hin/graph_builder.h"
+#include "hin/graph_delta.h"
+#include "hin/snapshot.h"
+#include "service/client.h"
+#include "service/json.h"
+#include "service/server.h"
+#include "synth/growth.h"
+#include "synth/tqq_generator.h"
+#include "util/random.h"
+
+namespace hinpriv::service {
+namespace {
+
+struct TestNetwork {
+  hin::Graph aux;
+  hin::Graph anonymized;
+  std::vector<hin::VertexId> to_original;
+};
+
+TestNetwork MakeNetwork(size_t num_users, uint64_t seed) {
+  synth::TqqConfig config;
+  config.num_users = num_users;
+  util::Rng rng(seed);
+  auto aux = synth::GenerateTqqNetwork(config, &rng);
+  EXPECT_TRUE(aux.ok());
+  anon::StrengthBucketingAnonymizer anonymizer(10);
+  auto published = anonymizer.Anonymize(aux.value(), &rng);
+  EXPECT_TRUE(published.ok());
+  return TestNetwork{std::move(aux).value(),
+                     std::move(published.value().graph),
+                     std::move(published.value().to_original)};
+}
+
+core::DehinConfig MakeDehinConfig() {
+  core::DehinConfig config;
+  config.match = core::DefaultTqqMatchOptions();
+  config.max_distance = 1;
+  return config;
+}
+
+hin::Graph HeapCopy(const hin::Graph& source) {
+  hin::GraphBuilder builder(source.schema());
+  EXPECT_TRUE(hin::CopyVerticesWithAttributes(source, &builder).ok());
+  EXPECT_TRUE(hin::CopyEdges(source, &builder).ok());
+  auto copy = std::move(builder).Build();
+  EXPECT_TRUE(copy.ok());
+  return std::move(copy).value();
+}
+
+// Samples `batches` chained growth deltas against a copy of `base` and
+// writes them as a delta stream to a per-test temp file. `grown` is the
+// copy with every batch applied, for oracle checks.
+struct DeltaStream {
+  std::string path;
+  hin::Graph grown;
+};
+
+DeltaStream WriteDeltaStream(const hin::Graph& base, size_t batches,
+                             uint64_t seed) {
+  hin::Graph preview = HeapCopy(base);
+  synth::GrowthConfig growth;
+  growth.new_user_fraction = 0.02;
+  growth.new_edge_fraction = 0.01;
+  util::Rng rng(seed);
+  std::vector<hin::GraphDelta> stream;
+  for (size_t b = 0; b < batches; ++b) {
+    auto delta =
+        synth::SampleGrowthDelta(preview, growth, synth::TqqConfig{}, &rng);
+    EXPECT_TRUE(delta.ok());
+    EXPECT_TRUE(
+        hin::GraphBuilder::ApplyDelta(&preview, delta.value()).ok());
+    stream.push_back(std::move(delta).value());
+  }
+  const std::string path =
+      testing::TempDir() + "/hinpriv_service_delta_" +
+      testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".deltas";
+  EXPECT_TRUE(hin::SaveDeltaStreamToFile(stream, path).ok());
+  return DeltaStream{path, std::move(preview)};
+}
+
+TEST(ServiceDeltaTest, ApplyDeltaGrowsAuxAndAnswersTrackFreshAttack) {
+  TestNetwork net = MakeNetwork(100, 31);
+  DeltaStream stream = WriteDeltaStream(net.aux, 2, 32);
+  const std::string& path = stream.path;
+  const hin::Graph& grown = stream.grown;
+
+  ServerConfig config;
+  config.num_workers = 2;
+  config.queue_capacity = 32;
+  config.default_max_distance = 1;
+  config.dehin = MakeDehinConfig();
+  config.mutable_aux = &net.aux;
+  Server server(&net.anonymized, &net.aux, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Prime the warm state so the delta has live cache entries to retire.
+  for (hin::VertexId v = 0; v < 8; ++v) {
+    auto warmup = client.value().AttackOne(v, 1);
+    ASSERT_TRUE(warmup.ok());
+    ASSERT_EQ(warmup.value().code, ResponseCode::kOk);
+  }
+
+  auto response = client.value().ApplyDelta(path);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response.value().code, ResponseCode::kOk)
+      << response.value().error;
+  const JsonValue& result = response.value().result;
+  EXPECT_EQ(result.GetInt("batches_applied", -1), 2);
+  EXPECT_EQ(result.GetInt("num_vertices", -1),
+            static_cast<int64_t>(grown.num_vertices()));
+  EXPECT_EQ(result.GetInt("num_edges", -1),
+            static_cast<int64_t>(grown.num_edges()));
+  EXPECT_EQ(net.aux.num_vertices(), grown.num_vertices());
+  EXPECT_EQ(net.aux.num_edges(), grown.num_edges());
+
+  // Served answers after the delta must equal a cold attack over the same
+  // grown auxiliary — the service counterpart of the bench's differential
+  // guard.
+  core::Dehin fresh(&grown, MakeDehinConfig());
+  for (hin::VertexId v = 0; v < net.anonymized.num_vertices(); ++v) {
+    auto served = client.value().AttackOne(v, 1);
+    ASSERT_TRUE(served.ok());
+    ASSERT_EQ(served.value().code, ResponseCode::kOk);
+    const auto expected = fresh.Deanonymize(net.anonymized, v, 1);
+    const JsonValue* candidates = served.value().result.Find("candidates");
+    ASSERT_NE(candidates, nullptr);
+    ASSERT_EQ(candidates->size(), expected.size()) << "vertex " << v;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(candidates->at(i).AsInt(-1),
+                static_cast<int64_t>(expected[i]));
+    }
+  }
+
+  server.Shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(ServiceDeltaTest, RejectedWithoutMutableAux) {
+  TestNetwork net = MakeNetwork(60, 33);
+  const std::string path = WriteDeltaStream(net.aux, 1, 34).path;
+
+  ServerConfig config;
+  config.num_workers = 1;
+  config.dehin = MakeDehinConfig();
+  // mutable_aux left null: the operator did not opt the server into
+  // streaming growth, so the verb must refuse rather than mutate.
+  Server server(&net.anonymized, &net.aux, config);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client.value().ApplyDelta(path);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().code, ResponseCode::kInvalidRequest);
+  server.Shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(ServiceDeltaTest, RejectedOnMappedSnapshot) {
+  TestNetwork net = MakeNetwork(60, 35);
+  const std::string snap_path =
+      testing::TempDir() + "/hinpriv_service_delta_mapped.snap";
+  ASSERT_TRUE(hin::SaveGraphSnapshot(net.aux, snap_path).ok());
+  auto mapped = hin::LoadGraphSnapshot(snap_path);
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(mapped.value().is_mapped());
+  const std::string path = WriteDeltaStream(net.aux, 1, 36).path;
+
+  ServerConfig config;
+  config.num_workers = 1;
+  config.dehin = MakeDehinConfig();
+  config.mutable_aux = &mapped.value();
+  Server server(&net.anonymized, &mapped.value(), config);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client.value().ApplyDelta(path);
+  ASSERT_TRUE(response.ok());
+  // The arena is read-only mmap'd: growth needs the heap path.
+  EXPECT_EQ(response.value().code, ResponseCode::kInvalidRequest);
+  server.Shutdown();
+  std::remove(path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(ServiceDeltaTest, RejectedOnUnreadableStream) {
+  TestNetwork net = MakeNetwork(60, 37);
+  ServerConfig config;
+  config.num_workers = 1;
+  config.dehin = MakeDehinConfig();
+  config.mutable_aux = &net.aux;
+  Server server(&net.anonymized, &net.aux, config);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client.value().ApplyDelta(testing::TempDir() +
+                                            "/does_not_exist.deltas");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().code, ResponseCode::kInvalidRequest);
+  server.Shutdown();
+}
+
+// The race the warm-state lock exists for: apply_delta mutating the aux
+// graph + Dehin warm state while attack_one queries are in flight on the
+// worker pool. Under TSan this is the proof there is no unsynchronized
+// access; under any build the queries must all complete with kOk (batch
+// boundaries are the only commit points, so no query ever observes a
+// half-applied batch).
+TEST(ServiceDeltaTest, ApplyDeltaRacesInFlightQueries) {
+  TestNetwork net = MakeNetwork(80, 38);
+  const std::string path = WriteDeltaStream(net.aux, 4, 39).path;
+
+  ServerConfig config;
+  config.num_workers = 3;
+  config.queue_capacity = 64;
+  config.default_max_distance = 1;
+  config.dehin = MakeDehinConfig();
+  config.mutable_aux = &net.aux;
+  Server server(&net.anonymized, &net.aux, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kQueryThreads = 2;
+  std::vector<std::string> failures(kQueryThreads + 1);
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      failures[0] = "connect: " + client.status().ToString();
+      return;
+    }
+    auto response = client.value().ApplyDelta(path);
+    if (!response.ok() || response.value().code != ResponseCode::kOk) {
+      failures[0] = "apply_delta failed";
+    }
+  });
+  for (size_t t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures[t + 1] = "connect: " + client.status().ToString();
+        return;
+      }
+      for (size_t round = 0; round < 3; ++round) {
+        for (hin::VertexId v = static_cast<hin::VertexId>(t);
+             v < net.anonymized.num_vertices();
+             v += static_cast<hin::VertexId>(kQueryThreads)) {
+          auto response = client.value().AttackOne(v, 1);
+          if (!response.ok() ||
+              response.value().code != ResponseCode::kOk) {
+            failures[t + 1] =
+                "attack_one(" + std::to_string(v) + ") failed mid-delta";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+
+  // Post-race differential check against a cold attack on the grown graph.
+  core::Dehin fresh(&net.aux, MakeDehinConfig());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  for (hin::VertexId v = 0; v < 16; ++v) {
+    auto served = client.value().AttackOne(v, 1);
+    ASSERT_TRUE(served.ok());
+    ASSERT_EQ(served.value().code, ResponseCode::kOk);
+    const auto expected = fresh.Deanonymize(net.anonymized, v, 1);
+    const JsonValue* candidates = served.value().result.Find("candidates");
+    ASSERT_NE(candidates, nullptr);
+    ASSERT_EQ(candidates->size(), expected.size()) << "vertex " << v;
+  }
+  server.Shutdown();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hinpriv::service

@@ -1,13 +1,44 @@
 #include "synth/growth.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "hin/graph_builder.h"
 #include "hin/tqq_schema.h"
 #include "synth/tqq_generator.h"
 #include "util/random.h"
 
 namespace hinpriv::synth {
 namespace {
+
+void ExpectGraphsIdentical(const hin::Graph& a, const hin::Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (hin::VertexId v = 0; v < a.num_vertices(); ++v) {
+    for (hin::AttributeId attr = 0; attr < 4; ++attr) {
+      ASSERT_EQ(a.attribute(v, attr), b.attribute(v, attr));
+    }
+    for (hin::LinkTypeId lt = 0; lt < a.num_link_types(); ++lt) {
+      const auto out_a = a.OutEdges(lt, v);
+      const auto out_b = b.OutEdges(lt, v);
+      ASSERT_EQ(out_a.size(), out_b.size()) << "lt=" << lt << " v=" << v;
+      for (size_t i = 0; i < out_a.size(); ++i) {
+        ASSERT_EQ(out_a[i].neighbor, out_b[i].neighbor);
+        ASSERT_EQ(out_a[i].strength, out_b[i].strength);
+      }
+    }
+  }
+}
+
+hin::Graph HeapCopy(const hin::Graph& source) {
+  hin::GraphBuilder builder(source.schema());
+  EXPECT_TRUE(hin::CopyVerticesWithAttributes(source, &builder).ok());
+  EXPECT_TRUE(hin::CopyEdges(source, &builder).ok());
+  auto copy = std::move(builder).Build();
+  EXPECT_TRUE(copy.ok());
+  return std::move(copy).value();
+}
 
 hin::Graph MakeBase(size_t users, uint64_t seed) {
   TqqConfig config;
@@ -122,6 +153,54 @@ TEST(GrowthTest, ZeroGrowthIsIdentityOnBaseUsers) {
       ASSERT_EQ(grown.value().attribute(v, a), base.attribute(v, a));
     }
   }
+}
+
+// The refactor contract: GrowNetworkWithDelta draws the same RNG sequence
+// as the historical direct materialization, and the delta it returns is a
+// faithful recording — replaying it onto a heap copy of the base
+// reproduces the grown graph exactly.
+TEST(GrowthTest, DeltaReplayReproducesGrownNetwork) {
+  const hin::Graph base = MakeBase(1200, 12);
+  GrowthConfig growth;  // defaults: all four growth channels fire
+  util::Rng rng_direct(13);
+  util::Rng rng_delta(13);
+  auto direct = GrowNetwork(base, growth, TqqConfig{}, &rng_direct);
+  ASSERT_TRUE(direct.ok());
+  auto recorded = GrowNetworkWithDelta(base, growth, TqqConfig{}, &rng_delta);
+  ASSERT_TRUE(recorded.ok());
+  ExpectGraphsIdentical(direct.value(), recorded.value().graph);
+
+  EXPECT_EQ(recorded.value().delta.base_num_vertices, base.num_vertices());
+  EXPECT_GT(recorded.value().delta.size(), 0u);
+  hin::Graph replay = HeapCopy(base);
+  ASSERT_TRUE(
+      hin::GraphBuilder::ApplyDelta(&replay, recorded.value().delta).ok());
+  ExpectGraphsIdentical(replay, recorded.value().graph);
+}
+
+// Deltas sampled against successive states chain: each batch's
+// base_num_vertices picks up where the previous one left off, and
+// replaying the stream end to end equals growing step by step.
+TEST(GrowthTest, SuccessiveDeltasChain) {
+  const hin::Graph base = MakeBase(800, 14);
+  GrowthConfig growth;
+  growth.new_user_fraction = 0.02;
+  util::Rng rng(15);
+  hin::Graph current = HeapCopy(base);
+  std::vector<hin::GraphDelta> stream;
+  for (int b = 0; b < 3; ++b) {
+    auto delta = SampleGrowthDelta(current, growth, TqqConfig{}, &rng);
+    ASSERT_TRUE(delta.ok());
+    EXPECT_EQ(delta.value().base_num_vertices, current.num_vertices());
+    ASSERT_TRUE(
+        hin::GraphBuilder::ApplyDelta(&current, delta.value()).ok());
+    stream.push_back(std::move(delta).value());
+  }
+  hin::Graph replay = HeapCopy(base);
+  for (const hin::GraphDelta& delta : stream) {
+    ASSERT_TRUE(hin::GraphBuilder::ApplyDelta(&replay, delta).ok());
+  }
+  ExpectGraphsIdentical(replay, current);
 }
 
 TEST(GrowthTest, RejectsMultiEntityGraphs) {

@@ -7,6 +7,9 @@
 //                         [--mapping=mapping.tsv] [--max_distance=2] [--strip]
 //                         [--threads=4] [--metrics-json=m.json]
 //                         [--trace-out=run.trace.json]
+//   hinpriv_cli grow      --in=net.graph --out=grown.graph
+//                         [--delta-out=deltas.hinpriv] [--batches=3]
+//                         [--new_user_fraction=0.05] [--seed=7]
 //   hinpriv_cli audit     --in=net.graph [--max_distance=3]
 //   hinpriv_cli stats     --in=net.graph
 //   hinpriv_cli stats     --port=7470 [--watch=2]      # live server stats
@@ -52,6 +55,9 @@
 #include "service/server.h"
 #include "service/signal.h"
 #include "shard/tier.h"
+#include "hin/graph_builder.h"
+#include "hin/graph_delta.h"
+#include "synth/growth.h"
 #include "synth/tqq_generator.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -70,6 +76,8 @@ int Usage() {
       "hinpriv_cli <command> [flags]\n"
       "commands:\n"
       "  generate   synthesize a t.qq-like network and save it\n"
+      "  grow       sample growth batches against a network; saves the\n"
+      "             grown graph and a replayable delta stream\n"
       "  anonymize  publish a graph through an anonymization scheme\n"
       "  attack     run DeHIN against a published graph\n"
       "  audit      privacy-risk audit of a graph before publication\n"
@@ -139,6 +147,95 @@ int RunGenerate(int argc, char** argv) {
     const util::Status kdd = hin::WriteKddCupDataset(graph.value(), files);
     if (!kdd.ok()) return Fail(kdd);
     std::printf("wrote KDD Cup files under prefix '%s'\n", prefix.c_str());
+  }
+  return 0;
+}
+
+int RunGrow(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("in", "", "base network (hinpriv-graph format)");
+  flags.Define("out", "", "grown network output path (empty = don't save)");
+  flags.Define("delta_out", "",
+               "write the sampled batches as a replayable hinpriv-delta "
+               "stream (feed it to 'query --method=apply_delta')");
+  flags.Define("batches", "1",
+               "growth batches to sample; each batch grows the result of "
+               "the previous one (fractions are per batch)");
+  flags.Define("new_user_fraction", "0.05",
+               "new users per batch, fraction of current users");
+  flags.Define("new_edge_fraction", "0.03",
+               "new links per batch, fraction of current links");
+  flags.Define("attr_growth_prob", "0.3",
+               "per user, probability a growable attribute grows");
+  flags.Define("attr_growth_max", "50", "max growable-attribute increment");
+  flags.Define("strength_growth_prob", "0.1",
+               "per growable-strength edge, probability the strength grows");
+  flags.Define("strength_growth_max", "3", "max strength increment");
+  flags.Define("seed", "7", "rng seed");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail(status);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage("hinpriv_cli grow").c_str());
+    return 0;
+  }
+  auto base = hin::LoadGraphAuto(flags.GetString("in"));
+  if (!base.ok()) return Fail(base.status());
+
+  synth::GrowthConfig growth;
+  growth.new_user_fraction = flags.GetDouble("new_user_fraction");
+  growth.new_edge_fraction = flags.GetDouble("new_edge_fraction");
+  growth.attr_growth_prob = flags.GetDouble("attr_growth_prob");
+  growth.attr_growth_max = static_cast<int>(flags.GetInt("attr_growth_max"));
+  growth.strength_growth_prob = flags.GetDouble("strength_growth_prob");
+  growth.strength_growth_max =
+      static_cast<uint32_t>(flags.GetInt("strength_growth_max"));
+  const size_t batches =
+      static_cast<size_t>(std::max<int64_t>(flags.GetInt("batches"), 1));
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  synth::TqqConfig profile_config;
+
+  // First batch copies the base to a heap graph; later batches append to
+  // that copy in place, each sampled against the then-current network.
+  auto grown = synth::GrowNetworkWithDelta(base.value(), growth,
+                                           profile_config, &rng);
+  if (!grown.ok()) return Fail(grown.status());
+  hin::Graph current = std::move(grown.value().graph);
+  std::vector<hin::GraphDelta> deltas;
+  deltas.push_back(std::move(grown.value().delta));
+  for (size_t b = 1; b < batches; ++b) {
+    auto delta =
+        synth::SampleGrowthDelta(current, growth, profile_config, &rng);
+    if (!delta.ok()) return Fail(delta.status());
+    const util::Status applied =
+        hin::GraphBuilder::ApplyDelta(&current, delta.value());
+    if (!applied.ok()) return Fail(applied);
+    deltas.push_back(std::move(delta).value());
+  }
+
+  size_t new_vertices = 0, new_edges = 0, attr_bumps = 0;
+  for (const hin::GraphDelta& d : deltas) {
+    new_vertices += d.new_vertices.size();
+    new_edges += d.edge_adds.size();
+    attr_bumps += d.attr_bumps.size();
+  }
+  std::printf("grew %s: %zu batches, +%zu users, +%zu link adds, +%zu "
+              "attribute bumps -> %zu users, %zu links\n",
+              flags.GetString("in").c_str(), deltas.size(), new_vertices,
+              new_edges, attr_bumps, current.num_vertices(),
+              current.num_edges());
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    const util::Status saved = hin::SaveGraphAuto(current, out);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("wrote grown network to %s\n", out.c_str());
+  }
+  const std::string delta_out = flags.GetString("delta_out");
+  if (!delta_out.empty()) {
+    const util::Status saved = hin::SaveDeltaStreamToFile(deltas, delta_out);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("wrote delta stream (%zu batches) to %s\n", deltas.size(),
+                delta_out.c_str());
   }
   return 0;
 }
@@ -863,6 +960,11 @@ int RunServe(int argc, char** argv) {
                 static_cast<long long>(flags.GetInt("shard_workers")),
                 config.queue_capacity);
   } else {
+    // Streaming growth works only against the heap arena — a mapped
+    // snapshot is immutable by construction and a shard tier would need
+    // re-partitioning. apply_delta against other configurations is
+    // rejected with INVALID_REQUEST.
+    if (snapshot_path.empty()) config.mutable_aux = &aux.value();
     server = std::make_unique<service::Server>(&target.value(), &aux.value(),
                                                config);
     status = server->Start();
@@ -928,7 +1030,7 @@ int RunQuery(int argc, char** argv) {
   flags.Define("port", "7470", "server port");
   flags.Define("method", "stats",
                "attack_one | risk | stats | sleep | health | metrics | "
-               "trace_start | trace_stop | trace_dump");
+               "trace_start | trace_stop | trace_dump | apply_delta");
   flags.Define("target_id", "-1",
                "anonymized vertex id (required for attack_one; optional for "
                "risk: present = per-entity R(t), absent = network R(T))");
@@ -938,7 +1040,8 @@ int RunQuery(int argc, char** argv) {
   flags.Define("sleep_ms", "0", "sleep method only: how long to hold a worker");
   flags.Define("path", "",
                "metrics / trace_dump: server-side output path (required for "
-               "traces larger than one frame)");
+               "traces larger than one frame); apply_delta: server-side "
+               "hinpriv-delta stream to replay (see 'grow --delta-out')");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) return Fail(status);
   if (flags.help_requested()) {
@@ -950,7 +1053,7 @@ int RunQuery(int argc, char** argv) {
     return Fail(util::Status::InvalidArgument(
         "unknown method '" + flags.GetString("method") +
         "' (want attack_one|risk|stats|sleep|health|metrics|trace_start|"
-        "trace_stop|trace_dump)"));
+        "trace_stop|trace_dump|apply_delta)"));
   }
   auto client = service::Client::Connect(
       flags.GetString("host"), static_cast<uint16_t>(flags.GetInt("port")));
@@ -983,6 +1086,7 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   // Subcommands reparse argv without the command token.
   if (command == "generate") return RunGenerate(argc - 1, argv + 1);
+  if (command == "grow") return RunGrow(argc - 1, argv + 1);
   if (command == "anonymize") return RunAnonymize(argc - 1, argv + 1);
   if (command == "attack") return RunAttack(argc - 1, argv + 1);
   if (command == "audit") return RunAudit(argc - 1, argv + 1);
